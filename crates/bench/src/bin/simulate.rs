@@ -1,0 +1,327 @@
+//! `simulate` — run one multi-GPU sort on a simulated platform.
+//!
+//! ```text
+//! simulate --platform dgx-a100 --algo p2p --gpus 4 --keys 2e9 \
+//!          --dist uniform --type u32 [--scale 2097152] [--multi-hop] \
+//!          [--approach 2n|3n] [--eager-merge] [--trace out.json]
+//! ```
+//!
+//! Prints the sort report (total simulated duration + phase breakdown) and
+//! optionally writes a Chrome trace of the run.
+
+use msort_core::{
+    cpu_only_sort, het_sort, p2p_sort, rp_sort, single_gpu_sort, HetConfig, LargeDataApproach,
+    P2pConfig, RpConfig, SortReport,
+};
+use msort_data::{generate, DataType, Distribution};
+use msort_gpu::Fidelity;
+use msort_sim::GpuSortAlgo;
+use msort_topology::{Platform, PlatformId};
+
+/// Parsed command-line options.
+struct Options {
+    platform: PlatformId,
+    algo: String,
+    gpus: usize,
+    keys: u64,
+    dist: Distribution,
+    data_type: DataType,
+    scale: u64,
+    multi_hop: bool,
+    approach: LargeDataApproach,
+    eager_merge: bool,
+    primitive: GpuSortAlgo,
+    trace: Option<String>,
+    seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            platform: PlatformId::DgxA100,
+            algo: "p2p".to_owned(),
+            gpus: 4,
+            keys: 1 << 24,
+            dist: Distribution::Uniform,
+            data_type: DataType::U32,
+            scale: 1,
+            multi_hop: false,
+            approach: LargeDataApproach::TwoN,
+            eager_merge: false,
+            primitive: GpuSortAlgo::ThrustLike,
+            trace: None,
+            seed: 42,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: simulate [--platform ac922|delta|dgx-a100] [--algo p2p|het|rp|1gpu|cpu]\n\
+         \x20               [--gpus N] [--keys N|Xe9] [--dist uniform|normal|sorted|reverse|nearly|zipf]\n\
+         \x20               [--type u32|i32|f32|u64|i64|f64|kv32|kv64] [--scale N] [--seed N]\n\
+         \x20               [--multi-hop] [--approach 2n|3n] [--eager-merge]\n\
+         \x20               [--primitive thrust|cub|stehle|mgpu] [--trace file.json]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_count(s: &str) -> Option<u64> {
+    if let Ok(v) = s.parse::<u64>() {
+        return Some(v);
+    }
+    s.parse::<f64>()
+        .ok()
+        .filter(|v| *v >= 0.0)
+        .map(|v| v as u64)
+}
+
+fn parse(args: &[String]) -> Option<Options> {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Option<String> {
+            let v = it.next();
+            if v.is_none() {
+                eprintln!("missing value for {name}");
+            }
+            v.cloned()
+        };
+        match arg.as_str() {
+            "--platform" => {
+                opts.platform = match value("--platform")?.as_str() {
+                    "ac922" | "ibm" => PlatformId::IbmAc922,
+                    "delta" | "d22x" => PlatformId::DeltaD22x,
+                    "dgx-a100" | "dgx" => PlatformId::DgxA100,
+                    other => {
+                        eprintln!("unknown platform '{other}'");
+                        return None;
+                    }
+                }
+            }
+            "--algo" => opts.algo = value("--algo")?,
+            "--gpus" => opts.gpus = value("--gpus")?.parse().ok()?,
+            "--keys" => opts.keys = parse_count(&value("--keys")?)?,
+            "--scale" => opts.scale = value("--scale")?.parse().ok()?,
+            "--seed" => opts.seed = value("--seed")?.parse().ok()?,
+            "--dist" => {
+                opts.dist = match value("--dist")?.as_str() {
+                    "uniform" => Distribution::Uniform,
+                    "normal" => Distribution::Normal,
+                    "sorted" => Distribution::Sorted,
+                    "reverse" | "reverse-sorted" => Distribution::ReverseSorted,
+                    "nearly" | "nearly-sorted" => Distribution::NearlySorted,
+                    "zipf" => Distribution::ZipfDuplicates {
+                        skew_permille: 1200,
+                    },
+                    other => {
+                        eprintln!("unknown distribution '{other}'");
+                        return None;
+                    }
+                }
+            }
+            "--type" => {
+                opts.data_type = match value("--type")?.as_str() {
+                    "u32" => DataType::U32,
+                    "i32" => DataType::I32,
+                    "f32" => DataType::F32,
+                    "u64" => DataType::U64,
+                    "i64" => DataType::I64,
+                    "f64" => DataType::F64,
+                    "kv32" => DataType::Kv32,
+                    "kv64" => DataType::Kv64,
+                    other => {
+                        eprintln!("unknown data type '{other}'");
+                        return None;
+                    }
+                }
+            }
+            "--approach" => {
+                opts.approach = match value("--approach")?.as_str() {
+                    "2n" => LargeDataApproach::TwoN,
+                    "3n" => LargeDataApproach::ThreeN,
+                    other => {
+                        eprintln!("unknown approach '{other}'");
+                        return None;
+                    }
+                }
+            }
+            "--primitive" => {
+                opts.primitive = match value("--primitive")?.as_str() {
+                    "thrust" => GpuSortAlgo::ThrustLike,
+                    "cub" => GpuSortAlgo::CubLike,
+                    "stehle" => GpuSortAlgo::StehleLike,
+                    "mgpu" => GpuSortAlgo::MgpuLike,
+                    other => {
+                        eprintln!("unknown primitive '{other}'");
+                        return None;
+                    }
+                }
+            }
+            "--multi-hop" => opts.multi_hop = true,
+            "--eager-merge" => opts.eager_merge = true,
+            "--trace" => opts.trace = Some(value("--trace")?),
+            "--help" | "-h" => return None,
+            other => {
+                eprintln!("unknown argument '{other}'");
+                return None;
+            }
+        }
+    }
+    Some(opts)
+}
+
+fn run_typed<K: msort_data::SortKey>(opts: &Options, platform: &Platform) -> SortReport {
+    let scale = opts.scale.max(1);
+    // Align the key count so every algorithm's chunking divides evenly.
+    let align = scale * opts.gpus.max(1) as u64 * 8;
+    let n = (opts.keys / align * align).max(align);
+    let fidelity = if scale == 1 {
+        Fidelity::Full
+    } else {
+        Fidelity::Sampled { scale }
+    };
+    let mut data: Vec<K> = generate(opts.dist, (n / scale) as usize, opts.seed);
+    match opts.algo.as_str() {
+        "p2p" => {
+            let mut cfg = P2pConfig {
+                fidelity,
+                algo: opts.primitive,
+                ..P2pConfig::new(opts.gpus)
+            };
+            cfg.multi_hop = opts.multi_hop;
+            p2p_sort(platform, &cfg, &mut data, n)
+        }
+        "het" => {
+            let mut cfg = HetConfig {
+                fidelity,
+                algo: opts.primitive,
+                ..HetConfig::new(opts.gpus)
+            };
+            cfg.approach = opts.approach;
+            cfg.eager_merge = opts.eager_merge;
+            het_sort(platform, &cfg, &mut data, n)
+        }
+        "rp" => {
+            let cfg = RpConfig {
+                fidelity,
+                algo: opts.primitive,
+                ..RpConfig::new(opts.gpus)
+            };
+            rp_sort(platform, &cfg, &mut data, n)
+        }
+        "1gpu" => single_gpu_sort(platform, fidelity, opts.primitive, &mut data, n),
+        "cpu" => cpu_only_sort(platform, fidelity, &mut data, n),
+        other => {
+            eprintln!("unknown algorithm '{other}'");
+            usage()
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(opts) = parse(&args) else { usage() };
+    let platform = Platform::paper(opts.platform);
+    if opts.gpus == 0 || opts.gpus > platform.gpu_count() {
+        eprintln!(
+            "--gpus must be between 1 and {} on the {}",
+            platform.gpu_count(),
+            platform.id.name()
+        );
+        std::process::exit(2);
+    }
+    if matches!(opts.algo.as_str(), "p2p") && !opts.gpus.is_power_of_two() {
+        eprintln!("--algo p2p needs a power-of-two GPU count (got {})", opts.gpus);
+        std::process::exit(2);
+    }
+    if opts.trace.is_some() {
+        eprintln!(
+            "note: --trace re-runs the workload to capture the timeline; \
+             reported numbers are from the first run"
+        );
+    }
+
+    let report = match opts.data_type {
+        DataType::U32 => run_typed::<u32>(&opts, &platform),
+        DataType::I32 => run_typed::<i32>(&opts, &platform),
+        DataType::F32 => run_typed::<f32>(&opts, &platform),
+        DataType::U64 => run_typed::<u64>(&opts, &platform),
+        DataType::I64 => run_typed::<i64>(&opts, &platform),
+        DataType::F64 => run_typed::<f64>(&opts, &platform),
+        DataType::Kv32 => run_typed::<msort_data::Pair<u32>>(&opts, &platform),
+        DataType::Kv64 => run_typed::<msort_data::Pair<u64>>(&opts, &platform),
+    };
+
+    println!("{}", report.summary());
+    println!(
+        "throughput: {:.1} M keys/s  |  {} of {} data  |  validated: {}",
+        report.mkeys_per_sec(),
+        report.total,
+        human_bytes(report.bytes),
+        report.validated,
+    );
+    if report.p2p_swapped_keys > 0 {
+        println!(
+            "P2P exchange volume: {:.2} B keys",
+            report.p2p_swapped_keys as f64 / 1e9
+        );
+    }
+
+    if let Some(ref path) = opts.trace {
+        // Re-run on a traced system. Keep it simple: only u32 runs get a
+        // trace (the common case for the paper's experiments).
+        let trace = trace_u32(&opts, &platform);
+        std::fs::write(path, trace).expect("write trace file");
+        println!("wrote Chrome trace to {path} (open in chrome://tracing)");
+    }
+}
+
+/// Re-run the u32 version of the workload capturing the op timeline.
+fn trace_u32(opts: &Options, platform: &Platform) -> String {
+    use msort_gpu::{GpuSystem, Phase};
+    let scale = opts.scale.max(1);
+    let align = scale * opts.gpus.max(1) as u64 * 8;
+    let n = (opts.keys / align * align).max(align);
+    let fidelity = if scale == 1 {
+        Fidelity::Full
+    } else {
+        Fidelity::Sampled { scale }
+    };
+    // A minimal traced workload: scatter + sort + gather on each GPU (the
+    // full algorithms manage their own GpuSystem internally; the trace of
+    // phase structure is what users inspect).
+    let mut sys: GpuSystem<'_, u32> = GpuSystem::new(platform, fidelity);
+    let data: Vec<u32> = generate(opts.dist, (n / scale) as usize, opts.seed);
+    let host = sys.world_mut().import_host(0, data, n);
+    let chunk = n / opts.gpus as u64;
+    for i in 0..opts.gpus {
+        let dev = sys.world_mut().alloc_gpu(i, chunk);
+        let aux = sys.world_mut().alloc_gpu(i, chunk);
+        let cs = sys.stream();
+        let up = sys.memcpy(cs, host, i as u64 * chunk, dev, 0, chunk, &[], Phase::HtoD);
+        let so = sys.gpu_sort(cs, opts.primitive, dev, (0, chunk), aux, &[up]);
+        sys.memcpy(
+            cs,
+            dev,
+            0,
+            host,
+            i as u64 * chunk,
+            chunk,
+            &[so],
+            Phase::DtoH,
+        );
+    }
+    sys.synchronize();
+    sys.chrome_trace()
+}
+
+fn human_bytes(b: u64) -> String {
+    if b >= 1 << 30 {
+        format!("{:.1} GiB", b as f64 / (1u64 << 30) as f64)
+    } else if b >= 1 << 20 {
+        format!("{:.1} MiB", b as f64 / (1u64 << 20) as f64)
+    } else {
+        format!("{b} B")
+    }
+}

@@ -1,0 +1,26 @@
+//! One module per table/figure of the paper, plus the extra ablations.
+
+pub mod ablations;
+pub mod conclusion;
+pub mod cpu_baselines;
+pub mod datatypes;
+pub mod distributions;
+pub mod extensions;
+pub mod fig1;
+pub mod large;
+pub mod scaling;
+pub mod table1;
+pub mod table2;
+pub mod transfers;
+pub mod whatif;
+
+use msort_data::GIB;
+
+/// The transfer benchmarks copy 4 GB buffers, like the paper.
+pub(crate) const TRANSFER_BYTES: u64 = 4 * GIB;
+
+/// Round a logical key count down to a multiple of `align` (sampling and
+/// chunk alignment).
+pub(crate) fn align_down(n: u64, align: u64) -> u64 {
+    n / align * align
+}

@@ -1,0 +1,68 @@
+//! Table 1: topology and specification of the evaluated platforms.
+//!
+//! There is nothing to measure here — the experiment renders our modeled
+//! topologies so they can be compared line by line against the paper's
+//! Table 1, and reports the theoretical link rates as sanity rows.
+
+use crate::ExperimentResult;
+use msort_topology::{Platform, PlatformId};
+
+/// Render the three platforms.
+#[must_use]
+pub fn run() -> ExperimentResult {
+    let mut r = ExperimentResult::new(
+        "table1",
+        "Topology and specification of the evaluated hardware platforms",
+        "GB/s (theoretical per direction)",
+    );
+    for id in PlatformId::paper_set() {
+        let p = Platform::paper(id);
+        r.push_ours(format!("{}: GPUs", id.name()), p.gpu_count() as f64);
+        r.push_ours(
+            format!("{}: combined GPU memory [GiB]", id.name()),
+            (p.combined_gpu_memory() >> 30) as f64,
+        );
+        for note_line in p.describe().lines() {
+            r.note(note_line.to_owned());
+        }
+    }
+    // Theoretical rates the paper quotes in Section 2 / Table 1.
+    use msort_topology::LinkKind;
+    r.push(
+        "PCIe 3.0 x16",
+        16.0,
+        LinkKind::Pcie3.theoretical_per_dir() / 1e9,
+    );
+    r.push(
+        "PCIe 4.0 x16",
+        32.0,
+        LinkKind::Pcie4.theoretical_per_dir() / 1e9,
+    );
+    r.push(
+        "NVLink 2.0 x3",
+        75.0,
+        LinkKind::NvLink2 { bricks: 3 }.theoretical_per_dir() / 1e9,
+    );
+    r.push(
+        "NVLink 3.0 (12 bricks)",
+        300.0,
+        LinkKind::NvLink3.theoretical_per_dir() / 1e9,
+    );
+    r.push("X-Bus", 64.0, LinkKind::XBus.theoretical_per_dir() / 1e9);
+    r.push("UPI", 62.0, LinkKind::Upi.theoretical_per_dir() / 1e9);
+    r.push(
+        "Infinity Fabric",
+        102.0,
+        LinkKind::InfinityFabric.theoretical_per_dir() / 1e9,
+    );
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table1_matches_exactly() {
+        let r = super::run();
+        assert_eq!(r.mean_abs_delta().unwrap(), 0.0);
+    }
+}

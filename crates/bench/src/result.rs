@@ -1,0 +1,223 @@
+//! Experiment result rows and rendering.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One row: a measurement point with the paper's value and ours.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Row {
+    /// Label ("GPU {0,1} HtoD", "P2P sort, 2 GPUs, 4B keys", ...).
+    pub label: String,
+    /// The paper's reported value (None where the paper gives no number,
+    /// e.g. values read off a line plot between markers).
+    pub paper: Option<f64>,
+    /// Our simulated value.
+    pub ours: f64,
+}
+
+impl Row {
+    /// Build a row with a paper reference value.
+    #[must_use]
+    pub fn new(label: impl Into<String>, paper: f64, ours: f64) -> Self {
+        Self {
+            label: label.into(),
+            paper: Some(paper),
+            ours,
+        }
+    }
+
+    /// Build a row without a paper reference.
+    #[must_use]
+    pub fn ours_only(label: impl Into<String>, ours: f64) -> Self {
+        Self {
+            label: label.into(),
+            paper: None,
+            ours,
+        }
+    }
+
+    /// Relative deviation from the paper value, if present.
+    #[must_use]
+    pub fn delta_percent(&self) -> Option<f64> {
+        self.paper
+            .filter(|p| *p != 0.0)
+            .map(|p| (self.ours - p) / p * 100.0)
+    }
+}
+
+/// One table or figure's worth of rows.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Experiment id ("fig5", "table2", ...).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// The value unit ("GB/s", "ms", "s").
+    pub unit: String,
+    /// The rows.
+    pub rows: Vec<Row>,
+    /// Free-form notes (modeling caveats, known deviations).
+    pub notes: Vec<String>,
+}
+
+impl ExperimentResult {
+    /// Start an empty result.
+    #[must_use]
+    pub fn new(id: impl Into<String>, title: impl Into<String>, unit: impl Into<String>) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            unit: unit.into(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row with a paper reference.
+    pub fn push(&mut self, label: impl Into<String>, paper: f64, ours: f64) {
+        self.rows.push(Row::new(label, paper, ours));
+    }
+
+    /// Append a row without a paper reference.
+    pub fn push_ours(&mut self, label: impl Into<String>, ours: f64) {
+        self.rows.push(Row::ours_only(label, ours));
+    }
+
+    /// Append a note.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Render as a GitHub-flavored markdown table.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {} — {}\n", self.id, self.title);
+        let _ = writeln!(
+            out,
+            "| measurement | paper [{u}] | ours [{u}] | Δ |",
+            u = self.unit
+        );
+        let _ = writeln!(out, "|---|---:|---:|---:|");
+        for row in &self.rows {
+            let paper = row
+                .paper
+                .map(format_value)
+                .unwrap_or_else(|| "—".to_owned());
+            let delta = row
+                .delta_percent()
+                .map(|d| format!("{d:+.0}%"))
+                .unwrap_or_else(|| "—".to_owned());
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} |",
+                row.label,
+                paper,
+                format_value(row.ours),
+                delta
+            );
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "\n*{note}*");
+        }
+        out
+    }
+
+    /// Render as CSV (`label,paper,ours,delta_percent`), suitable for
+    /// external plotting tools.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("label,paper,ours,delta_percent\n");
+        for row in &self.rows {
+            let paper = row.paper.map(|p| p.to_string()).unwrap_or_default();
+            let delta = row
+                .delta_percent()
+                .map(|d| format!("{d:.2}"))
+                .unwrap_or_default();
+            let _ = writeln!(
+                out,
+                "\"{}\",{},{},{}",
+                row.label.replace('"', "'"),
+                paper,
+                row.ours,
+                delta
+            );
+        }
+        out
+    }
+
+    /// Mean absolute relative deviation across rows with paper values.
+    #[must_use]
+    pub fn mean_abs_delta(&self) -> Option<f64> {
+        let deltas: Vec<f64> = self
+            .rows
+            .iter()
+            .filter_map(Row::delta_percent)
+            .map(f64::abs)
+            .collect();
+        if deltas.is_empty() {
+            None
+        } else {
+            Some(deltas.iter().sum::<f64>() / deltas.len() as f64)
+        }
+    }
+}
+
+fn format_value(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_owned()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_and_deltas() {
+        let r = Row::new("x", 10.0, 11.0);
+        assert!((r.delta_percent().unwrap() - 10.0).abs() < 1e-9);
+        assert!(Row::ours_only("y", 1.0).delta_percent().is_none());
+        assert!(Row::new("z", 0.0, 1.0).delta_percent().is_none());
+    }
+
+    #[test]
+    fn markdown_renders() {
+        let mut e = ExperimentResult::new("fig0", "test", "GB/s");
+        e.push("a", 72.0, 71.5);
+        e.push_ours("b", 12.0);
+        e.note("a note");
+        let md = e.to_markdown();
+        assert!(md.contains("### fig0"));
+        assert!(md.contains("| a | 72.00 | 71.50 | -1% |"), "{md}");
+        assert!(md.contains("| b | — | 12.00 | — |"));
+        assert!(md.contains("*a note*"));
+    }
+
+    #[test]
+    fn csv_renders() {
+        let mut e = ExperimentResult::new("fig0", "test", "GB/s");
+        e.push("a \"quoted\"", 72.0, 71.5);
+        e.push_ours("b", 12.0);
+        let csv = e.to_csv();
+        assert!(csv.starts_with("label,paper,ours,delta_percent\n"));
+        assert!(csv.contains("\"a 'quoted'\",72,71.5,-0.69"));
+        assert!(csv.contains("\"b\",,12,"));
+    }
+
+    #[test]
+    fn mean_abs_delta() {
+        let mut e = ExperimentResult::new("x", "t", "u");
+        e.push("a", 100.0, 110.0);
+        e.push("b", 100.0, 90.0);
+        assert!((e.mean_abs_delta().unwrap() - 10.0).abs() < 1e-9);
+        let empty = ExperimentResult::new("y", "t", "u");
+        assert!(empty.mean_abs_delta().is_none());
+    }
+}

@@ -1,0 +1,628 @@
+//! HET sort: the heterogeneous CPU/GPU sorting algorithm (Section 5.3).
+//!
+//! Chunks sort on the GPUs and return to host memory; the CPU merges the
+//! sorted sublists with a parallel multiway merge. For data that fits the
+//! combined GPU memory this is one chunk group and one final merge. For
+//! larger data, chunk groups stream through the GPUs with bidirectional
+//! transfer overlap, in one of two pipelines:
+//!
+//! * **2n-approach** (this paper's contribution): two buffers per GPU;
+//!   sorting blocks copies, but chunks are 1.5× larger, so the final merge
+//!   sees fewer sublists;
+//! * **3n-approach** (Stehle et al.): three buffers per GPU; copies overlap
+//!   the sort (the classic copy/compute overlap the paper shows to no
+//!   longer matter).
+//!
+//! Optional **eager merging** (Gowanlock et al.) merges each completed
+//! chunk group on the CPU while the GPUs work on the next one; the paper
+//! shows it *hurts* on modern systems because the merge queue grows faster
+//! than it drains and the merge steals host memory bandwidth from the
+//! transfers — both effects are reproduced by modeling CPU merges as
+//! host-memory flows.
+
+use crate::gpuset::default_gpu_set;
+use crate::report::{PhaseBreakdown, SortReport};
+use msort_data::{is_sorted, SortKey};
+use msort_gpu::{BufId, Fidelity, GpuSystem, OpId, Phase, StreamId};
+use msort_sim::{GpuSortAlgo, SimDuration, SimTime};
+use msort_topology::Platform;
+
+/// Which large-data pipeline to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LargeDataApproach {
+    /// Two buffers per GPU; sort blocks copies (Figure 11).
+    TwoN,
+    /// Three buffers per GPU; copies overlap the sort (Figure 10).
+    ThreeN,
+}
+
+impl LargeDataApproach {
+    /// Device buffers per GPU.
+    #[must_use]
+    pub fn buffers(self) -> u64 {
+        match self {
+            LargeDataApproach::TwoN => 2,
+            LargeDataApproach::ThreeN => 3,
+        }
+    }
+
+    /// Display label ("2n" / "3n").
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            LargeDataApproach::TwoN => "2n",
+            LargeDataApproach::ThreeN => "3n",
+        }
+    }
+}
+
+/// Configuration for [`het_sort`].
+#[derive(Debug, Clone)]
+pub struct HetConfig {
+    /// Number of GPUs.
+    pub gpus: usize,
+    /// Single-GPU sorting primitive.
+    pub algo: GpuSortAlgo,
+    /// Simulation fidelity.
+    pub fidelity: Fidelity,
+    /// Large-data pipeline (irrelevant when one chunk group suffices —
+    /// the two approaches then behave identically, as the paper notes).
+    pub approach: LargeDataApproach,
+    /// Eager merging (Section 5.3); the paper's recommendation is `false`.
+    pub eager_merge: bool,
+    /// Usable device memory per GPU in bytes (defaults to the full GPU
+    /// memory). The paper's 2n-vs-3n comparison fixes this to 33 GB so
+    /// both pipelines get the same budget (Section 6.2).
+    pub gpu_mem_budget: Option<u64>,
+}
+
+impl HetConfig {
+    /// Default configuration: 2n pipeline, no eager merging.
+    #[must_use]
+    pub fn new(gpus: usize) -> Self {
+        Self {
+            gpus,
+            algo: GpuSortAlgo::ThrustLike,
+            fidelity: Fidelity::Full,
+            approach: LargeDataApproach::TwoN,
+            eager_merge: false,
+            gpu_mem_budget: None,
+        }
+    }
+
+    /// Use sampled fidelity with the given factor.
+    #[must_use]
+    pub fn sampled(mut self, scale: u64) -> Self {
+        self.fidelity = Fidelity::Sampled { scale };
+        self
+    }
+
+    /// Select the large-data pipeline.
+    #[must_use]
+    pub fn with_approach(mut self, approach: LargeDataApproach) -> Self {
+        self.approach = approach;
+        self
+    }
+
+    /// Enable eager merging.
+    #[must_use]
+    pub fn with_eager_merge(mut self) -> Self {
+        self.eager_merge = true;
+        self
+    }
+
+    /// Restrict the usable device memory per GPU.
+    #[must_use]
+    pub fn with_mem_budget(mut self, bytes: u64) -> Self {
+        self.gpu_mem_budget = Some(bytes);
+        self
+    }
+}
+
+/// How the input divides into chunks: `pieces[group * g + gpu]` is the
+/// `(offset, len)` of that chunk in the input, in logical keys. Pieces are
+/// nearly equal (they differ by at most one sample) and scale-aligned.
+#[derive(Debug, Clone)]
+pub struct ChunkPlan {
+    /// Chunk `(offset, len)` pairs in input order.
+    pub pieces: Vec<(u64, u64)>,
+    /// Number of chunk groups.
+    pub groups: u64,
+    /// GPUs per group.
+    pub g: usize,
+}
+
+impl ChunkPlan {
+    /// Compute the plan for `logical_len` keys over `g` GPUs with at most
+    /// `max_chunk_keys` keys per chunk.
+    ///
+    /// # Panics
+    /// Panics if `logical_len` is not a multiple of `scale`, or if
+    /// `max_chunk_keys < scale` (a chunk must hold at least one sample).
+    #[must_use]
+    pub fn compute(logical_len: u64, g: usize, max_chunk_keys: u64, scale: u64) -> Self {
+        assert_eq!(logical_len % scale, 0, "input must be whole samples");
+        assert!(
+            max_chunk_keys >= scale,
+            "GPU memory budget too small for even one sample per chunk"
+        );
+        let samples = logical_len / scale;
+        let max_samples = max_chunk_keys / scale;
+        let mut groups = samples.div_ceil(max_samples * g as u64).max(1);
+        // Nearly-equal split can push the larger pieces one sample over
+        // the budget; bump the group count when that happens.
+        loop {
+            let total = groups * g as u64;
+            let base = samples / total;
+            let rem = samples % total;
+            if base + u64::from(rem > 0) <= max_samples {
+                let mut pieces = Vec::with_capacity(total as usize);
+                let mut off = 0u64;
+                for i in 0..total {
+                    let len = (base + u64::from(i < rem)) * scale;
+                    pieces.push((off, len));
+                    off += len;
+                }
+                debug_assert_eq!(off, logical_len);
+                return Self { pieces, groups, g };
+            }
+            groups += 1;
+        }
+    }
+
+    /// Chunk `(offset, len)` for `(group, gpu)`.
+    #[must_use]
+    pub fn piece(&self, group: u64, gpu: usize) -> (u64, u64) {
+        self.pieces[(group * self.g as u64) as usize + gpu]
+    }
+
+    /// The largest chunk length in the plan.
+    #[must_use]
+    pub fn max_len(&self) -> u64 {
+        self.pieces.iter().map(|&(_, l)| l).max().unwrap_or(0)
+    }
+}
+
+/// Sort `data` (physical payload for `logical_len` keys) with HET sort.
+/// Returns the report; the sorted output replaces `data`.
+///
+/// # Panics
+/// Panics if `logical_len` is not a multiple of the sampling factor or if
+/// even a single-sample chunk exceeds the GPU memory budget.
+pub fn het_sort<K: SortKey>(
+    platform: &Platform,
+    config: &HetConfig,
+    data: &mut Vec<K>,
+    logical_len: u64,
+) -> SortReport {
+    let g = config.gpus;
+    let order = default_gpu_set(platform, g);
+    let scale = config.fidelity.scale();
+    let key_bytes = K::DATA_TYPE.key_bytes();
+
+    let gpu_mem = order
+        .iter()
+        .map(|&i| platform.topology.gpu_memory_bytes(i))
+        .min()
+        .expect("at least one GPU");
+    let budget = config.gpu_mem_budget.unwrap_or(gpu_mem).min(gpu_mem);
+    let max_chunk_keys = budget / config.approach.buffers() / key_bytes;
+    let plan = ChunkPlan::compute(logical_len, g, max_chunk_keys, scale);
+
+    let mut sys: GpuSystem<'_, K> = GpuSystem::new(platform, config.fidelity);
+    let input = std::mem::take(data);
+    let host_in = sys.world_mut().import_host(0, input, logical_len);
+    // Sorted sublists land here; the final merge writes to `host_out`.
+    let host_runs = sys.world_mut().alloc_host(0, logical_len);
+    let host_out = sys.world_mut().alloc_host(0, logical_len);
+
+    let report = run_pipeline(
+        platform,
+        config,
+        &order,
+        &mut sys,
+        &plan,
+        host_in,
+        host_runs,
+        host_out,
+        logical_len,
+    );
+
+    let output = sys.world().buffer(host_out).data.clone();
+    debug_assert!(is_sorted(&output), "HET sort produced unsorted output");
+    *data = output;
+    report
+}
+
+/// The HET pipeline; a single chunk group degenerates to the in-core case
+/// (scatter, sort, gather, one merge) automatically.
+#[allow(clippy::too_many_arguments)]
+fn run_pipeline<K: SortKey>(
+    platform: &Platform,
+    config: &HetConfig,
+    order: &[usize],
+    sys: &mut GpuSystem<'_, K>,
+    plan: &ChunkPlan,
+    host_in: BufId,
+    host_runs: BufId,
+    host_out: BufId,
+    logical_len: u64,
+) -> SortReport {
+    let g = order.len();
+    let groups = plan.groups;
+    let buf_len = plan.max_len();
+
+    let nbuf = config.approach.buffers() as usize;
+    let bufs: Vec<Vec<BufId>> = order
+        .iter()
+        .map(|&gpu| {
+            (0..nbuf)
+                .map(|_| sys.world_mut().alloc_gpu(gpu, buf_len))
+                .collect()
+        })
+        .collect();
+    let copy_in: Vec<StreamId> = (0..g).map(|_| sys.stream()).collect();
+    let copy_out: Vec<StreamId> = (0..g).map(|_| sys.stream()).collect();
+    let compute: Vec<StreamId> = (0..g).map(|_| sys.stream()).collect();
+    let cpu_stream = sys.stream();
+
+    // A single chunk over a single GPU needs no CPU merge at all: the
+    // sorted chunk copies straight into the output (the paper's plain
+    // single-GPU baseline of Figures 12–14).
+    let single_chunk = plan.pieces.len() == 1;
+    let runs_target = if single_chunk { host_out } else { host_runs };
+
+    let mut last_sort: Vec<Option<OpId>> = vec![None; g];
+    let mut last_dtoh: Vec<Option<OpId>> = vec![None; g];
+    let mut group_dtoh: Vec<Vec<OpId>> = vec![Vec::new(); groups as usize];
+    // Eager outputs need their own staging area (the final merge writes
+    // `host_out` while reading them).
+    let eager_buf = if config.eager_merge && groups > 1 {
+        Some(sys.world_mut().alloc_host(0, logical_len))
+    } else {
+        None
+    };
+
+    let t0 = sys.now();
+    for group in 0..groups {
+        let j = group as usize;
+        for i in 0..g {
+            let (off, len) = plan.piece(group, i);
+            let data_buf = bufs[i][j % nbuf];
+            let aux_buf = match config.approach {
+                LargeDataApproach::TwoN => bufs[i][(j + 1) % nbuf],
+                LargeDataApproach::ThreeN => bufs[i][(j + 2) % nbuf],
+            };
+
+            // HtoD. 2n: the target buffer was the previous sort's aux, so
+            // wait for that sort (the paper's explicit synchronization
+            // step). 3n: the buffer cycles roles; the in-place
+            // data-transfer swap lets this copy overlap the DtoH that is
+            // still draining the same buffer.
+            let htod_waits: Vec<OpId> = match config.approach {
+                LargeDataApproach::TwoN => last_sort[i].into_iter().collect(),
+                LargeDataApproach::ThreeN => Vec::new(),
+            };
+            let up = sys.memcpy(
+                copy_in[i],
+                host_in,
+                off,
+                data_buf,
+                0,
+                len,
+                &htod_waits,
+                Phase::HtoD,
+            );
+
+            // Sort. 2n additionally waits for the previous DtoH: its aux
+            // buffer is the buffer that chunk was leaving from.
+            let mut sort_waits = vec![up];
+            if config.approach == LargeDataApproach::TwoN {
+                sort_waits.extend(last_dtoh[i]);
+            }
+            let so = sys.gpu_sort(
+                compute[i],
+                config.algo,
+                data_buf,
+                (0, len),
+                aux_buf,
+                &sort_waits,
+            );
+            last_sort[i] = Some(so);
+
+            // DtoH of the sorted chunk into its slot of the runs buffer.
+            let down = sys.memcpy(
+                copy_out[i],
+                data_buf,
+                0,
+                runs_target,
+                off,
+                len,
+                &[so],
+                Phase::DtoH,
+            );
+            last_dtoh[i] = Some(down);
+            group_dtoh[j].push(down);
+        }
+
+        // Eager merge of this group (skipped for the last group — no GPU
+        // work would remain to overlap with, Section 5.3).
+        if let Some(eager_buf) = eager_buf {
+            if group + 1 < groups {
+                let inputs: Vec<(BufId, u64, u64)> = (0..g)
+                    .map(|i| {
+                        let (off, len) = plan.piece(group, i);
+                        (host_runs, off, len)
+                    })
+                    .collect();
+                let out_off = plan.piece(group, 0).0;
+                sys.cpu_multiway_merge(cpu_stream, inputs, eager_buf, out_off, &group_dtoh[j]);
+            }
+        }
+    }
+    sys.synchronize();
+    let t_gpu_done = sys.now();
+
+    // Final multiway merge (skipped entirely when the single sorted chunk
+    // already landed in the output).
+    if single_chunk {
+        let t_end = sys.now();
+        let window = t_gpu_done.since(t0);
+        let (htod, (sort, dtoh)) = split3(
+            window,
+            sys.phase_busy(Phase::HtoD),
+            sys.phase_busy(Phase::Sort),
+            sys.phase_busy(Phase::DtoH),
+        );
+        return SortReport {
+            algorithm: "HET sort".into(),
+            platform: platform.id.name().into(),
+            gpus: order.to_vec(),
+            keys: logical_len,
+            bytes: logical_len * K::DATA_TYPE.key_bytes(),
+            total: t_end.since(SimTime::ZERO),
+            phases: PhaseBreakdown {
+                htod,
+                sort,
+                merge: SimDuration::ZERO,
+                dtoh,
+            },
+            validated: true,
+            p2p_swapped_keys: 0,
+        };
+    }
+    let inputs: Vec<(BufId, u64, u64)> = if let Some(eager_buf) = eager_buf {
+        // groups-1 eager outputs + the last group's g chunks.
+        let mut v: Vec<(BufId, u64, u64)> = (0..groups - 1)
+            .map(|grp| {
+                let start = plan.piece(grp, 0).0;
+                let end = plan.piece(grp, g - 1);
+                (eager_buf, start, end.0 + end.1 - start)
+            })
+            .collect();
+        v.extend((0..g).map(|i| {
+            let (off, len) = plan.piece(groups - 1, i);
+            (host_runs, off, len)
+        }));
+        v
+    } else {
+        plan.pieces
+            .iter()
+            .map(|&(off, len)| (host_runs, off, len))
+            .collect()
+    };
+    sys.cpu_multiway_merge(cpu_stream, inputs, host_out, 0, &[]);
+    sys.synchronize();
+    let t_end = sys.now();
+
+    let window = t_gpu_done.since(t0);
+    let (htod, (sort, dtoh)) = split3(
+        window,
+        sys.phase_busy(Phase::HtoD),
+        sys.phase_busy(Phase::Sort),
+        sys.phase_busy(Phase::DtoH),
+    );
+    // The final merge window; eager merges (if any) overlapped the GPU
+    // window and are folded into it.
+    let final_merge = t_end.since(t_gpu_done);
+    SortReport {
+        algorithm: if groups > 1 {
+            format!(
+                "HET sort ({}{})",
+                config.approach.label(),
+                if config.eager_merge { " + EM" } else { "" }
+            )
+        } else {
+            "HET sort".into()
+        },
+        platform: platform.id.name().into(),
+        gpus: order.to_vec(),
+        keys: logical_len,
+        bytes: logical_len * K::DATA_TYPE.key_bytes(),
+        total: t_end.since(SimTime::ZERO),
+        phases: PhaseBreakdown {
+            htod,
+            sort,
+            merge: final_merge,
+            dtoh,
+        },
+        validated: true,
+        p2p_swapped_keys: 0,
+    }
+}
+
+/// Split an overlapped window across three phases proportionally to their
+/// busy times (remainder goes to the last).
+fn split3(
+    total: SimDuration,
+    a: SimDuration,
+    b: SimDuration,
+    c: SimDuration,
+) -> (SimDuration, (SimDuration, SimDuration)) {
+    let denom = a.0 + b.0 + c.0;
+    if denom == 0 {
+        return (total, (SimDuration::ZERO, SimDuration::ZERO));
+    }
+    let part =
+        |x: u64| SimDuration((u128::from(total.0) * u128::from(x) / u128::from(denom)) as u64);
+    let pa = part(a.0);
+    let pb = part(b.0);
+    let pc = SimDuration(total.0 - pa.0 - pb.0);
+    (pa, (pb, pc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msort_data::{generate, same_multiset, Distribution};
+    use msort_topology::PlatformId;
+
+    fn run_cfg(
+        platform: &Platform,
+        cfg: &HetConfig,
+        dist: Distribution,
+        n: u64,
+        seed: u64,
+    ) -> (SortReport, Vec<u32>, Vec<u32>) {
+        let input: Vec<u32> = generate(dist, n as usize, seed);
+        let mut data = input.clone();
+        let report = het_sort(platform, cfg, &mut data, n);
+        (report, input, data)
+    }
+
+    #[test]
+    fn in_core_sorts_all_platforms() {
+        for id in PlatformId::paper_set() {
+            let p = Platform::paper(id);
+            let (report, input, output) =
+                run_cfg(&p, &HetConfig::new(4), Distribution::Uniform, 1 << 14, 11);
+            assert!(report.validated, "{id:?}");
+            assert!(same_multiset(&input, &output), "{id:?}");
+            assert!(report.phases.merge > SimDuration::ZERO);
+            assert_eq!(report.algorithm, "HET sort");
+        }
+    }
+
+    #[test]
+    fn in_core_all_distributions() {
+        let p = Platform::ibm_ac922();
+        for dist in Distribution::paper_set() {
+            let (report, input, output) = run_cfg(&p, &HetConfig::new(2), dist, 1 << 13, 5);
+            assert!(report.validated, "{dist:?}");
+            assert!(same_multiset(&input, &output), "{dist:?}");
+        }
+    }
+
+    #[test]
+    fn chunk_plan_respects_budget_and_covers_input() {
+        let plan = ChunkPlan::compute(1000, 2, 130, 1);
+        assert!(plan.groups >= 4);
+        let total: u64 = plan.pieces.iter().map(|&(_, l)| l).sum();
+        assert_eq!(total, 1000);
+        assert!(plan.pieces.iter().all(|&(_, l)| l <= 130 && l > 0));
+        // Pieces are contiguous.
+        let mut expect = 0;
+        for &(off, len) in &plan.pieces {
+            assert_eq!(off, expect);
+            expect += len;
+        }
+    }
+
+    #[test]
+    fn chunk_plan_scale_alignment() {
+        let plan = ChunkPlan::compute(64 * 10, 2, 64 * 3, 64);
+        for &(off, len) in &plan.pieces {
+            assert_eq!(off % 64, 0);
+            assert_eq!(len % 64, 0);
+        }
+    }
+
+    #[test]
+    fn out_of_core_pipelines_sort_correctly() {
+        let p = Platform::test_pcie(2);
+        for approach in [LargeDataApproach::TwoN, LargeDataApproach::ThreeN] {
+            // Budget of 96 KiB per GPU forces several chunk groups for a
+            // 64K-key input (2 or 3 buffers of 96/2 or 96/3 KiB).
+            let cfg = HetConfig::new(2)
+                .with_approach(approach)
+                .with_mem_budget(96 * 1024);
+            let n = 1u64 << 16;
+            let input: Vec<u32> = generate(Distribution::Uniform, n as usize, 3);
+            let mut data = input.clone();
+            let report = het_sort(&p, &cfg, &mut data, n);
+            assert!(report.validated, "{approach:?}");
+            assert!(same_multiset(&input, &data), "{approach:?}");
+            assert!(report.algorithm.contains(approach.label()));
+        }
+    }
+
+    #[test]
+    fn eager_merge_is_slower_but_correct() {
+        // Section 6.2: eager merging decreases performance.
+        let p = Platform::dgx_a100();
+        let base = HetConfig::new(4).with_mem_budget(1 << 20);
+        let n = 1u64 << 20; // forces ~4+ chunk groups at a 1 MiB budget
+        let input: Vec<u32> = generate(Distribution::Uniform, n as usize, 9);
+
+        let mut a = input.clone();
+        let plain = het_sort(&p, &base, &mut a, n);
+        let mut b = input.clone();
+        let eager = het_sort(&p, &base.clone().with_eager_merge(), &mut b, n);
+        assert!(plain.validated && eager.validated);
+        assert_eq!(a, b);
+        assert!(
+            eager.total >= plain.total,
+            "eager merging should not win: {} vs {}",
+            eager.total,
+            plain.total
+        );
+    }
+
+    #[test]
+    fn two_n_and_three_n_equal_in_core() {
+        // With a single chunk group the approaches are identical (§6.1).
+        let p = Platform::ibm_ac922();
+        let n = 1u64 << 14;
+        let (r2, _, out2) = run_cfg(
+            &p,
+            &HetConfig::new(2).with_approach(LargeDataApproach::TwoN),
+            Distribution::Uniform,
+            n,
+            4,
+        );
+        let (r3, _, out3) = run_cfg(
+            &p,
+            &HetConfig::new(2).with_approach(LargeDataApproach::ThreeN),
+            Distribution::Uniform,
+            n,
+            4,
+        );
+        assert_eq!(out2, out3);
+        assert_eq!(r2.total, r3.total);
+    }
+
+    #[test]
+    fn sampled_out_of_core_run() {
+        let p = Platform::dgx_a100();
+        let scale = 1u64 << 10;
+        let n = (1u64 << 16) * scale;
+        let cfg = HetConfig::new(2).sampled(scale).with_mem_budget(64 << 20);
+        let phys = (n / scale) as usize;
+        let input: Vec<u32> = generate(Distribution::Uniform, phys, 8);
+        let mut data = input.clone();
+        let report = het_sort(&p, &cfg, &mut data, n);
+        assert!(report.validated);
+        assert!(same_multiset(&input, &data));
+        assert_eq!(report.keys, n);
+    }
+
+    #[test]
+    fn wide_keys_sort() {
+        let p = Platform::dgx_a100();
+        let input: Vec<f64> = generate(Distribution::Normal, 1 << 13, 6);
+        let mut data = input.clone();
+        let report = het_sort(&p, &HetConfig::new(2), &mut data, 1 << 13);
+        assert!(report.validated);
+        assert!(same_multiset(&input, &data));
+    }
+}

@@ -1,0 +1,52 @@
+//! Multi-GPU sorting: the paper's contribution.
+//!
+//! Two complete multi-GPU sorting algorithms over the virtual GPU runtime:
+//!
+//! * [`p2p`] — **P2P sort** (after Tanasic et al., extended to any
+//!   `g = 2^k` GPUs): chunks sort locally, then a recursive merge phase
+//!   swaps pivot-determined blocks between GPUs over the P2P interconnects
+//!   and re-merges locally, producing the globally sorted array entirely on
+//!   the GPUs.
+//! * [`het`] — **HET sort** (after Gowanlock et al. / Stehle et al.):
+//!   chunks sort on the GPUs and return to host memory, where a parallel
+//!   multiway merge produces the output. Includes the large-data chunk-group
+//!   pipelines (2n and 3n approaches, Section 5.3) and optional eager
+//!   merging.
+//! * [`pivot`] — Algorithm 1: leftmost-pivot selection over two sorted
+//!   sequences (and concatenated chunk views), plus the block-swap plan
+//!   derivation (which chunk pairs exchange which ranges).
+//! * [`gpuset`] — GPU set selection and ordering (Section 5.4): which `g`
+//!   GPUs to use and how to pair them across merge stages.
+//! * [`baseline`] — the CPU-only (PARADIS) and single-GPU baselines every
+//!   figure compares against.
+//! * [`report`] — per-run reports: end-to-end duration, the four-phase
+//!   breakdown of Figures 12–14, and validation of the output.
+//!
+//! All algorithms work on any [`msort_data::SortKey`] and validate their
+//! output on the physical payload after every simulated run.
+//!
+//! ```
+//! use msort_core::{p2p_sort, P2pConfig};
+//! use msort_data::{generate, is_sorted, Distribution};
+//! use msort_topology::Platform;
+//!
+//! let dgx = Platform::dgx_a100();
+//! let mut keys: Vec<u32> = generate(Distribution::Uniform, 1 << 14, 1);
+//! let report = p2p_sort(&dgx, &P2pConfig::new(4), &mut keys, 1 << 14);
+//! assert!(report.validated && is_sorted(&keys));
+//! ```
+
+pub mod baseline;
+pub mod gpuset;
+pub mod het;
+pub mod p2p;
+pub mod pivot;
+pub mod report;
+pub mod rp;
+
+pub use baseline::{cpu_only_sort, single_gpu_sort};
+pub use gpuset::{default_gpu_set, search_gpu_set};
+pub use het::{het_sort, HetConfig, LargeDataApproach};
+pub use p2p::{best_p2p_route, p2p_sort, P2pConfig};
+pub use report::{PhaseBreakdown, SortReport};
+pub use rp::{rp_sort, RpConfig};

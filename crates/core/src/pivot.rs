@@ -1,0 +1,391 @@
+//! Pivot selection (paper Algorithm 1) and block-swap planning.
+//!
+//! To merge two equally sized sorted sequences `A` and `B` by swapping
+//! blocks, we pick a pivot `p`: the first `p` keys of `B` exchange with the
+//! last `p` keys of `A`, after which every key in `A` is `<=` every key in
+//! `B` and both sides consist of two sorted runs. Unlike Tanasic et al.'s
+//! original selection, we return the *leftmost* valid pivot, which
+//! minimizes (and for sorted inputs eliminates) the P2P transfer volume —
+//! the optimization of Section 5.2.
+//!
+//! For merge stages over more than two chunks, `A` and `B` are the
+//! *concatenations* of each half's chunks. [`swap_plan`] converts the pivot
+//! into the chunk-aligned block exchanges the paper describes (Figure 9):
+//! whole donor chunks pair with whole receiver chunks, plus at most one
+//! partial pair, so every chunk ends up with at most two sorted runs.
+
+use msort_data::SortKey;
+
+/// A read-only view over the concatenation of several sorted chunks.
+///
+/// Indexing is over the concatenated sequence; chunks must be equally
+/// sized (the invariant P2P sort maintains for perfect load balance).
+pub struct ConcatView<'a, K> {
+    chunks: Vec<&'a [K]>,
+    chunk_len: usize,
+}
+
+impl<'a, K: SortKey> ConcatView<'a, K> {
+    /// Build a view over `chunks`.
+    ///
+    /// # Panics
+    /// Panics if chunks are not equally sized or the view is empty.
+    #[must_use]
+    pub fn new(chunks: Vec<&'a [K]>) -> Self {
+        assert!(!chunks.is_empty(), "need at least one chunk");
+        let chunk_len = chunks[0].len();
+        assert!(
+            chunks.iter().all(|c| c.len() == chunk_len),
+            "chunks must be equally sized"
+        );
+        Self { chunks, chunk_len }
+    }
+
+    /// Total number of keys.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.chunk_len * self.chunks.len()
+    }
+
+    /// `true` when the view holds no keys.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Key at concatenated index `i`.
+    #[must_use]
+    pub fn get(&self, i: usize) -> K {
+        self.chunks[i / self.chunk_len][i % self.chunk_len]
+    }
+
+    /// `true` iff the concatenation is sorted (debug validation).
+    #[must_use]
+    pub fn is_sorted(&self) -> bool {
+        (1..self.len()).all(|i| self.get(i - 1).to_radix() <= self.get(i).to_radix())
+    }
+}
+
+/// Select the leftmost pivot for two equally sized sorted sequences.
+///
+/// Returns the smallest `p` such that swapping `B[..p]` with
+/// `A[n-p..]` leaves `max(A') <= min(B')`; `p == 0` means the sequences are
+/// already in merge order and no P2P transfer is needed at all.
+///
+/// # Panics
+/// Panics if the sequences differ in length.
+#[must_use]
+pub fn select_pivot<K: SortKey>(a: &ConcatView<'_, K>, b: &ConcatView<'_, K>) -> usize {
+    assert_eq!(a.len(), b.len(), "pivot selection needs equal sizes");
+    let n = a.len();
+    // Leftmost valid pivot: the smallest p with (p == n) or
+    // A[n-p-1] <= B[p]. The predicate is monotone in p: growing p moves
+    // the A index left (smaller key) and the B index right (larger key).
+    let mut lo = 0usize;
+    let mut hi = n;
+    while lo < hi {
+        let p = lo + (hi - lo) / 2;
+        let enough = p == n || a.get(n - p - 1).to_radix() <= b.get(p).to_radix();
+        if enough {
+            hi = p;
+        } else {
+            lo = p + 1;
+        }
+    }
+    lo
+}
+
+/// Convenience wrapper for two plain slices.
+#[must_use]
+pub fn select_pivot_slices<K: SortKey>(a: &[K], b: &[K]) -> usize {
+    select_pivot(&ConcatView::new(vec![a]), &ConcatView::new(vec![b]))
+}
+
+/// One block exchange between a donor range in an A-side chunk and the
+/// equally sized receiver range in a B-side chunk (and vice versa — swaps
+/// are symmetric).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockSwap {
+    /// Index *within the group* of the A-side chunk.
+    pub a_chunk: usize,
+    /// Start offset of the swapped range within the A-side chunk.
+    pub a_off: usize,
+    /// Index within the group of the B-side chunk.
+    pub b_chunk: usize,
+    /// Start offset of the swapped range within the B-side chunk.
+    pub b_off: usize,
+    /// Keys exchanged.
+    pub len: usize,
+}
+
+/// The full exchange plan for one merge stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwapPlan {
+    /// The pivot this plan realizes.
+    pub pivot: usize,
+    /// Chunk size of the group.
+    pub chunk_len: usize,
+    /// Number of chunks per half.
+    pub half: usize,
+    /// The block exchanges (empty when `pivot == 0`).
+    pub swaps: Vec<BlockSwap>,
+}
+
+impl SwapPlan {
+    /// Keys each chunk keeps and receives: `(kept_len, received_len)` for
+    /// every chunk in the group (A half first). Chunks with
+    /// `received == 0` are untouched; chunks with `kept == 0` are fully
+    /// replaced (one sorted run — no local merge needed).
+    #[must_use]
+    pub fn chunk_exchange(&self, group_chunk: usize) -> (usize, usize) {
+        let received: usize = self
+            .swaps
+            .iter()
+            .filter(|s| {
+                s.a_chunk == group_chunk && group_chunk < self.half
+                    || s.b_chunk == group_chunk && group_chunk >= self.half
+            })
+            .map(|s| s.len)
+            .sum();
+        (self.chunk_len - received, received)
+    }
+
+    /// Total keys crossing the P2P interconnects (both directions).
+    #[must_use]
+    pub fn transferred_keys(&self) -> usize {
+        2 * self.pivot
+    }
+}
+
+/// Derive the chunk-aligned exchange plan for a group of `2 * half` chunks
+/// of `chunk_len` keys each with the given `pivot` (Figure 9's pattern:
+/// whole chunks pair with whole chunks, plus at most one partial pair).
+///
+/// A-side chunks are group indices `0..half`; B-side `half..2*half`.
+///
+/// # Panics
+/// Panics if `pivot > half * chunk_len`.
+#[must_use]
+pub fn swap_plan(half: usize, chunk_len: usize, pivot: usize) -> SwapPlan {
+    assert!(
+        pivot <= half * chunk_len,
+        "pivot {pivot} exceeds half size {}",
+        half * chunk_len
+    );
+    let q = pivot / chunk_len; // whole chunks swapped per side
+    let r = pivot % chunk_len; // partial tail/head
+    let mut swaps = Vec::with_capacity(q + 1);
+    // Whole-chunk pairs: the last q chunks of A with the first q of B.
+    for i in 0..q {
+        swaps.push(BlockSwap {
+            a_chunk: half - q + i,
+            a_off: 0,
+            b_chunk: half + i,
+            b_off: 0,
+            len: chunk_len,
+        });
+    }
+    // Partial pair: tail of the next A chunk with head of the next B chunk.
+    if r > 0 {
+        swaps.push(BlockSwap {
+            a_chunk: half - q - 1,
+            a_off: chunk_len - r,
+            b_chunk: half + q,
+            b_off: 0,
+            len: r,
+        });
+    }
+    SwapPlan {
+        pivot,
+        chunk_len,
+        half,
+        swaps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msort_data::{generate, Distribution};
+
+    /// Reference property: after swapping per the pivot, max(A') <= min(B').
+    fn assert_pivot_valid(a: &[u32], b: &[u32], p: usize) {
+        let n = a.len();
+        let max_a = a[..n - p].iter().chain(b[..p].iter()).copied().max();
+        let min_b = a[n - p..].iter().chain(b[p..].iter()).copied().min();
+        if let (Some(ma), Some(mb)) = (max_a, min_b) {
+            assert!(ma <= mb, "p={p}: {ma} > {mb}");
+        }
+    }
+
+    fn sorted(dist: Distribution, n: usize, seed: u64) -> Vec<u32> {
+        let mut v: Vec<u32> = generate(dist, n, seed);
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn pivot_on_random_arrays_is_valid_and_leftmost() {
+        for seed in 0..20 {
+            let a = sorted(Distribution::Uniform, 257, seed);
+            let b = sorted(Distribution::Uniform, 257, seed + 1000);
+            let p = select_pivot_slices(&a, &b);
+            assert_pivot_valid(&a, &b, p);
+            if p > 0 {
+                // Leftmost: p-1 must be invalid.
+                let n = a.len();
+                assert!(
+                    a[n - p] > b[p - 1]
+                        || a[..n - (p - 1)]
+                            .iter()
+                            .chain(b[..p - 1].iter())
+                            .copied()
+                            .max()
+                            > a[n - (p - 1)..]
+                                .iter()
+                                .chain(b[p - 1..].iter())
+                                .copied()
+                                .min()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn already_ordered_gives_zero_pivot() {
+        let a: Vec<u32> = (0..100).collect();
+        let b: Vec<u32> = (100..200).collect();
+        assert_eq!(select_pivot_slices(&a, &b), 0);
+    }
+
+    #[test]
+    fn reversed_halves_give_full_pivot() {
+        let a: Vec<u32> = (100..200).collect();
+        let b: Vec<u32> = (0..100).collect();
+        assert_eq!(select_pivot_slices(&a, &b), 100);
+    }
+
+    #[test]
+    fn all_equal_keys_give_zero_pivot() {
+        // Leftmost-pivot with duplicates: nothing needs to move.
+        let a = vec![7u32; 64];
+        let b = vec![7u32; 64];
+        assert_eq!(select_pivot_slices(&a, &b), 0);
+    }
+
+    #[test]
+    fn interleaved_gives_middle_pivot() {
+        let a: Vec<u32> = (0..100).map(|x| x * 2).collect();
+        let b: Vec<u32> = (0..100).map(|x| x * 2 + 1).collect();
+        let p = select_pivot_slices(&a, &b);
+        assert_pivot_valid(&a, &b, p);
+        assert!((45..=55).contains(&p), "p={p}");
+    }
+
+    #[test]
+    fn concat_view_indexes_across_chunks() {
+        let c0 = [1u32, 2];
+        let c1 = [3u32, 4];
+        let v = ConcatView::new(vec![&c0[..], &c1[..]]);
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.get(0), 1);
+        assert_eq!(v.get(2), 3);
+        assert!(v.is_sorted());
+        let unsorted = ConcatView::new(vec![&c1[..], &c0[..]]);
+        assert!(!unsorted.is_sorted());
+    }
+
+    #[test]
+    fn pivot_over_concatenated_chunks() {
+        let a0 = sorted(Distribution::Uniform, 128, 1);
+        // Build a globally sorted A = a0 split into two chunks.
+        let a_lo = &a0[..64];
+        let a_hi = &a0[64..];
+        let b = sorted(Distribution::Uniform, 128, 2);
+        let a_view = ConcatView::new(vec![a_lo, a_hi]);
+        let b_view = ConcatView::new(vec![&b[..64], &b[64..]]);
+        let p = select_pivot(&a_view, &b_view);
+        assert_pivot_valid(&a0, &b, p);
+    }
+
+    #[test]
+    fn swap_plan_exact_pairs() {
+        // half=2, chunk=100, pivot=150: one whole pair + one partial pair.
+        let plan = swap_plan(2, 100, 150);
+        assert_eq!(plan.swaps.len(), 2);
+        assert_eq!(
+            plan.swaps[0],
+            BlockSwap {
+                a_chunk: 1,
+                a_off: 0,
+                b_chunk: 2,
+                b_off: 0,
+                len: 100
+            }
+        );
+        assert_eq!(
+            plan.swaps[1],
+            BlockSwap {
+                a_chunk: 0,
+                a_off: 50,
+                b_chunk: 3,
+                b_off: 0,
+                len: 50
+            }
+        );
+        assert_eq!(plan.transferred_keys(), 300);
+    }
+
+    #[test]
+    fn swap_plan_conserves_sizes() {
+        for pivot in [0, 1, 99, 100, 101, 199, 200] {
+            let plan = swap_plan(2, 100, pivot);
+            let total: usize = plan.swaps.iter().map(|s| s.len).sum();
+            assert_eq!(total, pivot, "pivot {pivot}");
+            for c in 0..4 {
+                let (kept, recv) = plan.chunk_exchange(c);
+                assert_eq!(kept + recv, 100);
+            }
+        }
+    }
+
+    #[test]
+    fn swap_plan_zero_pivot_is_empty() {
+        let plan = swap_plan(4, 64, 0);
+        assert!(plan.swaps.is_empty());
+        assert_eq!(plan.transferred_keys(), 0);
+    }
+
+    #[test]
+    fn swap_plan_full_pivot_swaps_all_chunks() {
+        let plan = swap_plan(2, 100, 200);
+        assert_eq!(plan.swaps.len(), 2);
+        for c in 0..4 {
+            let (kept, recv) = plan.chunk_exchange(c);
+            assert_eq!(kept, 0, "chunk {c}");
+            assert_eq!(recv, 100);
+        }
+    }
+
+    #[test]
+    fn paper_example_pivot_in_c3() {
+        // Figure 9: pivot falls into C3 -> C1 entirely swaps with C2 plus
+        // partial blocks in C0 and C3.
+        let plan = swap_plan(2, 4, 5); // pivot 5 of half-size 8
+        assert_eq!(plan.swaps.len(), 2);
+        assert_eq!(plan.swaps[0].a_chunk, 1);
+        assert_eq!(plan.swaps[0].b_chunk, 2);
+        assert_eq!(plan.swaps[0].len, 4);
+        assert_eq!(plan.swaps[1].a_chunk, 0);
+        assert_eq!(plan.swaps[1].b_chunk, 3);
+        assert_eq!(plan.swaps[1].len, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal sizes")]
+    fn unequal_sizes_panic() {
+        let a = [1u32, 2];
+        let b = [1u32];
+        let _ = select_pivot_slices(&a[..], &b[..]);
+    }
+}

@@ -1,0 +1,379 @@
+//! RP sort — the partitioning-based multi-GPU sort the paper proposes as
+//! future work (Section 7).
+//!
+//! P2P sort's merge phase needs `g − 1` merge stages, each re-swapping
+//! keys; the paper suggests instead a *partitioning-based* design that
+//! exchanges keys between GPUs exactly once (all-to-all), "which would
+//! highly benefit systems with many NVSwitch-interconnected GPUs such as
+//! the DGX A100". This module implements that design:
+//!
+//! 1. chunks sort locally (same phase 1 as P2P sort);
+//! 2. the host selects `g − 1` *splitters* by multisequence selection over
+//!    the sorted chunks at global ranks `i·n/g` — an exact partitioning,
+//!    so every GPU ends up with exactly `n/g` keys (perfect balance even
+//!    for skewed data, unlike a sampled radix histogram);
+//! 3. one all-to-all exchange: GPU `j` sends its `i`-th partition (a
+//!    sorted run) to GPU `i`'s receive buffer; its own partition moves by
+//!    a device-local copy;
+//! 4. each GPU k-way-merges the `g` received runs;
+//! 5. chunks copy back to the host in GPU order — the concatenation is
+//!    globally sorted by the splitter property.
+//!
+//! On NVSwitch every flow of the all-to-all runs at full rate, so the
+//! merge phase costs ~one chunk transfer regardless of `g`; on systems
+//! whose P2P crosses the host (AC922, DELTA), the all-to-all hammers the
+//! CPU interconnect with `O(g²)` streams and loses to P2P sort's staged
+//! merges — exactly the trade-off the paper predicts.
+
+use crate::gpuset::default_gpu_set;
+use crate::report::{PhaseBreakdown, SortReport};
+use msort_cpu::multiway::multisequence_select;
+use msort_data::{is_sorted, SortKey};
+use msort_gpu::{BufId, Fidelity, GpuSystem, OpId, Phase};
+use msort_sim::{GpuSortAlgo, SimTime};
+use msort_topology::Platform;
+
+/// Configuration for [`rp_sort`].
+#[derive(Debug, Clone)]
+pub struct RpConfig {
+    /// Number of GPUs (any `g >= 1`; RP sort does not need a power of two,
+    /// another advantage over the merge-tree design).
+    pub gpus: usize,
+    /// Single-GPU sorting primitive for the local sort phase.
+    pub algo: GpuSortAlgo,
+    /// Simulation fidelity.
+    pub fidelity: Fidelity,
+}
+
+impl RpConfig {
+    /// Default configuration.
+    #[must_use]
+    pub fn new(gpus: usize) -> Self {
+        Self {
+            gpus,
+            algo: GpuSortAlgo::ThrustLike,
+            fidelity: Fidelity::Full,
+        }
+    }
+
+    /// Use sampled fidelity with the given factor.
+    #[must_use]
+    pub fn sampled(mut self, scale: u64) -> Self {
+        self.fidelity = Fidelity::Sampled { scale };
+        self
+    }
+}
+
+/// Sort `data` (physical payload for `logical_len` keys) with RP sort.
+///
+/// # Panics
+/// Panics if `logical_len` is not divisible by `gpus² × scale` (each
+/// partition boundary must land on a whole sample for the exchange
+/// offsets to be scale-aligned) or the buffers exceed GPU memory.
+pub fn rp_sort<K: SortKey>(
+    platform: &Platform,
+    config: &RpConfig,
+    data: &mut Vec<K>,
+    logical_len: u64,
+) -> SortReport {
+    let g = config.gpus;
+    // RP sort is order-insensitive (no staged pairings), so take the g
+    // GPUs with the best transfer properties but ignore ordering. A
+    // non-power-of-two g falls back to the first g GPUs.
+    let order: Vec<usize> = if g.is_power_of_two() {
+        default_gpu_set(platform, g)
+    } else {
+        (0..g).collect()
+    };
+    let scale = config.fidelity.scale();
+    assert!(
+        logical_len.is_multiple_of(g as u64 * scale),
+        "input length must divide evenly into {g} chunks of whole samples"
+    );
+    let chunk = logical_len / g as u64;
+
+    let mut sys: GpuSystem<'_, K> = GpuSystem::new(platform, config.fidelity);
+    let input = std::mem::take(data);
+    let host_in = sys.world_mut().import_host(0, input, logical_len);
+    let host_out = sys.world_mut().alloc_host(0, logical_len);
+
+    // Buffers: primary chunk, aux (sort scratch + receive target), and a
+    // merge output buffer per GPU — RP sort's 3n footprint is the price of
+    // the single exchange. The slack absorbs partition-boundary rounding.
+    let slack = g as u64 * scale;
+    let bufs: Vec<(BufId, BufId, BufId)> = order
+        .iter()
+        .map(|&gpu| {
+            (
+                sys.world_mut().alloc_gpu(gpu, chunk),
+                sys.world_mut().alloc_gpu(gpu, chunk + slack),
+                sys.world_mut().alloc_gpu(gpu, chunk + slack),
+            )
+        })
+        .collect();
+    let copy_in: Vec<_> = (0..g).map(|_| sys.stream()).collect();
+    let copy_out: Vec<_> = (0..g).map(|_| sys.stream()).collect();
+    let compute: Vec<_> = (0..g).map(|_| sys.stream()).collect();
+    let host_stream = sys.stream();
+
+    // ---- Phase 1: scatter + local sort. ----
+    let t0 = sys.now();
+    for i in 0..g {
+        let up = sys.memcpy(
+            copy_in[i],
+            host_in,
+            i as u64 * chunk,
+            bufs[i].0,
+            0,
+            chunk,
+            &[],
+            Phase::HtoD,
+        );
+        sys.gpu_sort(
+            compute[i],
+            config.algo,
+            bufs[i].0,
+            (0, chunk),
+            bufs[i].1,
+            &[up],
+        );
+    }
+    sys.synchronize();
+    let t_sorted = sys.now();
+    let htod_busy = sys.phase_busy(Phase::HtoD);
+    let sort_busy = sys.phase_busy(Phase::Sort);
+
+    // ---- Phase 2: splitter selection (host side, O(g log n) reads). ----
+    let views: Vec<&[K]> = (0..g)
+        .map(|i| sys.world().slice(bufs[i].0, 0, chunk))
+        .collect();
+    let total_phys: usize = views.iter().map(|v| v.len()).sum();
+    // splits[r][j]: how many keys of chunk j have global rank < r*n/g.
+    let splits: Vec<Vec<usize>> = (0..=g)
+        .map(|r| multisequence_select(&views, r * total_phys / g))
+        .collect();
+    drop(views);
+    let split_cost = sys.cost_model().pivot_selection(chunk);
+    let split_op = sys.delay(
+        host_stream,
+        msort_sim::SimDuration(split_cost.0 * g as u64),
+        &[],
+        Phase::Merge,
+    );
+
+    // ---- Phase 3: the all-to-all exchange. ----
+    // Receive offsets: GPU i receives partition (j -> i) from every j.
+    let mut recv_off = vec![0u64; g];
+    let mut recv_deps: Vec<Vec<OpId>> = vec![Vec::new(); g];
+    let mut recv_runs: Vec<Vec<(u64, u64)>> = vec![Vec::new(); g];
+    let mut exchanged_keys = 0u64;
+    for j in 0..g {
+        for i in 0..g {
+            let from = splits[i][j] as u64 * scale;
+            let to = splits[i + 1][j] as u64 * scale;
+            let len = to - from;
+            if len == 0 {
+                continue;
+            }
+            let s = sys.stream();
+            let op = sys.memcpy(
+                s,
+                bufs[j].0,
+                from,
+                bufs[i].1,
+                recv_off[i],
+                len,
+                &[split_op],
+                Phase::Merge,
+            );
+            if i != j {
+                exchanged_keys += len;
+            }
+            recv_runs[i].push((recv_off[i], len));
+            recv_off[i] += len;
+            recv_deps[i].push(op);
+        }
+    }
+
+    // ---- Phase 4: per-GPU k-way merge of the received runs. ----
+    for i in 0..g {
+        let inputs: Vec<(BufId, u64, u64)> = recv_runs[i]
+            .iter()
+            .map(|&(off, len)| (bufs[i].1, off, len))
+            .collect();
+        sys.gpu_multiway_merge(compute[i], inputs, bufs[i].2, &recv_deps[i]);
+    }
+    sys.synchronize();
+    let t_merged = sys.now();
+
+    // ---- Phase 5: gather (partition sizes are exact n/g by selection). ----
+    for i in 0..g {
+        sys.memcpy(
+            copy_out[i],
+            bufs[i].2,
+            0,
+            host_out,
+            i as u64 * chunk,
+            recv_off[i],
+            &[],
+            Phase::DtoH,
+        );
+        debug_assert_eq!(recv_off[i], chunk, "exact selection balances partitions");
+    }
+    sys.synchronize();
+    let t_end = sys.now();
+
+    let output = sys.world().buffer(host_out).data.clone();
+    let validated = is_sorted(&output);
+    *data = output;
+
+    let window = t_sorted.since(t0);
+    let (htod, sort) = crate::p2p::split_overlapped(window, htod_busy, sort_busy);
+    let report = SortReport {
+        algorithm: "RP sort".into(),
+        platform: platform.id.name().into(),
+        gpus: order,
+        keys: logical_len,
+        bytes: logical_len * K::DATA_TYPE.key_bytes(),
+        total: t_end.since(SimTime::ZERO),
+        phases: PhaseBreakdown {
+            htod,
+            sort,
+            merge: t_merged.since(t_sorted),
+            dtoh: t_end.since(t_merged),
+        },
+        validated,
+        p2p_swapped_keys: exchanged_keys,
+    };
+    debug_assert!(report.validated, "RP sort produced unsorted output");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{p2p_sort, P2pConfig};
+    use msort_data::{generate, same_multiset, Distribution};
+    use msort_topology::PlatformId;
+
+    fn run(
+        platform: &Platform,
+        gpus: usize,
+        dist: Distribution,
+        n: u64,
+        seed: u64,
+    ) -> (SortReport, Vec<u32>, Vec<u32>) {
+        let input: Vec<u32> = generate(dist, n as usize, seed);
+        let mut data = input.clone();
+        let report = rp_sort(platform, &RpConfig::new(gpus), &mut data, n);
+        (report, input, data)
+    }
+
+    #[test]
+    fn sorts_on_all_platforms() {
+        for id in PlatformId::paper_set() {
+            let p = Platform::paper(id);
+            let (report, input, output) = run(&p, 4, Distribution::Uniform, 1 << 14, 3);
+            assert!(report.validated, "{id:?}");
+            assert!(same_multiset(&input, &output), "{id:?}");
+        }
+    }
+
+    #[test]
+    fn sorts_all_distributions() {
+        let p = Platform::dgx_a100();
+        for dist in Distribution::paper_set() {
+            let (report, input, output) = run(&p, 4, dist, 1 << 14, 5);
+            assert!(report.validated, "{dist:?}");
+            assert!(same_multiset(&input, &output), "{dist:?}");
+        }
+    }
+
+    #[test]
+    fn skewed_data_stays_balanced() {
+        // Exact splitter selection keeps partitions equal even for
+        // duplicate-heavy input (the debug_assert in phase 5 checks it).
+        let p = Platform::dgx_a100();
+        let (report, input, output) = run(
+            &p,
+            8,
+            Distribution::ZipfDuplicates {
+                skew_permille: 1500,
+            },
+            1 << 15,
+            7,
+        );
+        assert!(report.validated);
+        assert!(same_multiset(&input, &output));
+    }
+
+    #[test]
+    fn non_power_of_two_gpu_count() {
+        let p = Platform::dgx_a100();
+        let n = 3 * (1 << 12);
+        let (report, input, output) = run(&p, 3, Distribution::Uniform, n, 9);
+        assert!(report.validated);
+        assert!(same_multiset(&input, &output));
+        assert_eq!(report.gpus.len(), 3);
+    }
+
+    #[test]
+    fn beats_p2p_sort_on_nvswitch_at_scale() {
+        // The paper's Section 7 hypothesis: one all-to-all beats g-1 merge
+        // stages on the DGX A100 (at paper scale, 8 GPUs).
+        let p = Platform::dgx_a100();
+        let scale = 1u64 << 16;
+        let n = 8_000_000_000u64 / (scale * 64) * (scale * 64);
+        let input: Vec<u32> = generate(Distribution::Uniform, (n / scale) as usize, 13);
+        let mut a = input.clone();
+        let rp = rp_sort(&p, &RpConfig::new(8).sampled(scale), &mut a, n);
+        let mut b = input.clone();
+        let p2p = p2p_sort(
+            &p,
+            &P2pConfig {
+                fidelity: Fidelity::Sampled { scale },
+                ..P2pConfig::new(8)
+            },
+            &mut b,
+            n,
+        );
+        assert_eq!(a, b);
+        assert!(
+            rp.phases.merge < p2p.phases.merge,
+            "RP merge {} should beat P2P merge {}",
+            rp.phases.merge,
+            p2p.phases.merge
+        );
+    }
+
+    #[test]
+    fn advantage_is_small_on_host_traversing_systems() {
+        // On the AC922 the all-to-all still crosses the X-Bus for half the
+        // data — the same unavoidable cross-socket volume as P2P sort's
+        // global stage — so RP's gain shrinks to skipping the pair-wise
+        // stages. The NVSwitch advantage (previous test) is the big one.
+        let p = Platform::ibm_ac922();
+        let scale = 1u64 << 16;
+        let n = 2_000_000_000u64 / (scale * 16) * (scale * 16);
+        let input: Vec<u32> = generate(Distribution::Uniform, (n / scale) as usize, 17);
+        let mut a = input.clone();
+        let rp = rp_sort(&p, &RpConfig::new(4).sampled(scale), &mut a, n);
+        let mut b = input.clone();
+        let p2p = p2p_sort(
+            &p,
+            &P2pConfig {
+                fidelity: Fidelity::Sampled { scale },
+                ..P2pConfig::new(4)
+            },
+            &mut b,
+            n,
+        );
+        let ratio = p2p.total.as_secs_f64() / rp.total.as_secs_f64();
+        assert!(
+            (0.95..=1.25).contains(&ratio),
+            "RP {} vs P2P {} (ratio {ratio:.2}) left the expected band",
+            rp.total,
+            p2p.total
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! Recursive in-place most-significant-digit (MSB) radix sort.
+//!
+//! This is the algorithm family of Stehle & Jacobsen's GPU radix sort
+//! (SIGMOD 2017), which the paper re-evaluates in its Table 2: partition by
+//! the most significant digit first via in-place cycle-chasing permutation,
+//! then recurse into each bucket on the next digit. Small buckets fall back
+//! to a comparison sort on the radix image.
+//!
+//! The in-place permutation is the sequential (single stripe per bucket)
+//! special case of the PARADIS permutation: because the element counts per
+//! bucket are exact, the cycle chase never gets stuck and one pass fully
+//! partitions the slice.
+
+use crate::lsb_radix::{BUCKETS, DIGIT_BITS};
+use msort_data::keys::{RadixImage, SortKey};
+
+/// Buckets at or below this size are finished with a comparison sort.
+const SMALL_SORT_THRESHOLD: usize = 128;
+
+/// Sort `data` in place with a recursive MSB radix sort.
+pub fn msb_radix_sort<K: SortKey>(data: &mut [K]) {
+    if data.len() <= 1 {
+        return;
+    }
+    let top_shift = K::Radix::BITS - DIGIT_BITS;
+    msb_recurse(data, top_shift);
+}
+
+fn msb_recurse<K: SortKey>(data: &mut [K], shift: u32) {
+    if data.len() <= SMALL_SORT_THRESHOLD {
+        data.sort_unstable_by(|a, b| a.total_cmp_key(b));
+        return;
+    }
+
+    let bounds = partition_in_place(data, shift);
+    if shift == 0 {
+        return;
+    }
+    let next_shift = shift - DIGIT_BITS;
+    for b in 0..BUCKETS {
+        let (lo, hi) = (bounds[b], bounds[b + 1]);
+        if hi - lo > 1 {
+            msb_recurse(&mut data[lo..hi], next_shift);
+        }
+    }
+}
+
+/// Partition `data` by the digit at `shift` using in-place cycle chasing.
+/// Returns the `BUCKETS + 1` bucket boundary offsets.
+pub(crate) fn partition_in_place<K: SortKey>(data: &mut [K], shift: u32) -> Vec<usize> {
+    let mut hist = [0usize; BUCKETS];
+    for key in data.iter() {
+        hist[key.to_radix().digit(shift, DIGIT_BITS)] += 1;
+    }
+
+    let mut bounds = Vec::with_capacity(BUCKETS + 1);
+    let mut acc = 0usize;
+    bounds.push(0);
+    for &c in &hist {
+        acc += c;
+        bounds.push(acc);
+    }
+
+    // heads[b]: next unfilled position in bucket b; everything before it in
+    // the bucket already holds keys with digit b.
+    let mut heads: Vec<usize> = bounds[..BUCKETS].to_vec();
+    let tails = &bounds[1..];
+
+    for b in 0..BUCKETS {
+        while heads[b] < tails[b] {
+            let mut v = data[heads[b]];
+            let mut d = v.to_radix().digit(shift, DIGIT_BITS);
+            // Chase the cycle until an element belonging to bucket b lands
+            // in the hole at heads[b]. Never gets stuck: counts are exact,
+            // so a foreign element always has room in its home bucket.
+            while d != b {
+                std::mem::swap(&mut v, &mut data[heads[d]]);
+                heads[d] += 1;
+                d = v.to_radix().digit(shift, DIGIT_BITS);
+            }
+            data[heads[b]] = v;
+            heads[b] += 1;
+        }
+    }
+    bounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msort_data::{generate, is_sorted, same_multiset, Distribution};
+
+    fn check<K: SortKey>(dist: Distribution, n: usize, seed: u64) {
+        let input: Vec<K> = generate(dist, n, seed);
+        let mut sorted = input.clone();
+        msb_radix_sort(&mut sorted);
+        assert!(is_sorted(&sorted), "{dist:?} n={n} not sorted");
+        assert!(same_multiset(&input, &sorted), "{dist:?} n={n} lost keys");
+    }
+
+    #[test]
+    fn sorts_u32_across_distributions() {
+        for dist in Distribution::paper_set() {
+            check::<u32>(dist, 10_000, 11);
+        }
+    }
+
+    #[test]
+    fn sorts_all_key_types() {
+        check::<i32>(Distribution::Uniform, 5_000, 1);
+        check::<f32>(Distribution::Normal, 5_000, 2);
+        check::<u64>(Distribution::Uniform, 5_000, 3);
+        check::<f64>(Distribution::Normal, 5_000, 4);
+    }
+
+    #[test]
+    fn edge_sizes() {
+        check::<u32>(Distribution::Uniform, 0, 1);
+        check::<u32>(Distribution::Uniform, 1, 1);
+        check::<u32>(Distribution::Uniform, SMALL_SORT_THRESHOLD, 1);
+        check::<u32>(Distribution::Uniform, SMALL_SORT_THRESHOLD + 1, 1);
+    }
+
+    #[test]
+    fn duplicates_and_constant() {
+        check::<u32>(
+            Distribution::ZipfDuplicates {
+                skew_permille: 2000,
+            },
+            20_000,
+            5,
+        );
+        check::<u32>(Distribution::Constant, 5_000, 5);
+    }
+
+    #[test]
+    fn partition_respects_digit_bounds() {
+        let mut data: Vec<u32> = generate(Distribution::Uniform, 4_096, 9);
+        let shift = 24;
+        let bounds = partition_in_place(&mut data, shift);
+        assert_eq!(bounds.len(), BUCKETS + 1);
+        assert_eq!(bounds[BUCKETS], data.len());
+        for b in 0..BUCKETS {
+            for &k in &data[bounds[b]..bounds[b + 1]] {
+                assert_eq!(k.to_radix().digit(shift, DIGIT_BITS), b);
+            }
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Multiway (k-way) merging of sorted runs.
+//!
+//! HET sort's final phase merges the `c × g` sorted chunks returned from the
+//! GPUs in host memory (paper Section 5.3). The paper uses
+//! `gnu_parallel::multiway_merge`, which combines a **loser tree** (exactly
+//! `log k` comparisons per output element — the optimal for comparison-based
+//! k-way merging) with **multisequence selection** to split the output range
+//! across threads. Both pieces are implemented here:
+//!
+//! * [`LoserTree`] — the tournament tree merge cursor;
+//! * [`multiway_merge`] — sequential k-way merge into an output slice;
+//! * [`multisequence_select`] — given a global rank, find the per-run split
+//!   positions such that all keys before the splits sort at or before all
+//!   keys after them;
+//! * [`parallel_multiway_merge`] — gnu_parallel-style: split the output into
+//!   one equal part per thread with multisequence selection, then merge each
+//!   part independently with a loser tree.
+
+mod loser_tree;
+mod parallel;
+mod select;
+
+pub use loser_tree::LoserTree;
+pub use parallel::{parallel_multiway_merge, parallel_multiway_merge_with, ParallelMergeConfig};
+pub use select::multisequence_select;
+
+use msort_data::SortKey;
+
+/// Merge `runs` (each sorted) into `out` with a sequential loser tree.
+///
+/// # Panics
+/// Panics if `out.len()` differs from the total input length.
+pub fn multiway_merge<K: SortKey>(runs: &[&[K]], out: &mut [K]) {
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    assert_eq!(out.len(), total, "output length must equal total input");
+    let mut tree = LoserTree::new(runs);
+    for slot in out.iter_mut() {
+        *slot = tree.pop().expect("tree yields exactly `total` keys");
+    }
+    debug_assert!(tree.pop().is_none());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msort_data::{generate, is_sorted, same_multiset, Distribution};
+
+    #[test]
+    fn merges_disjoint_runs() {
+        let a: Vec<u32> = (0..100).map(|x| x * 3).collect();
+        let b: Vec<u32> = (0..100).map(|x| x * 3 + 1).collect();
+        let c: Vec<u32> = (0..100).map(|x| x * 3 + 2).collect();
+        let mut out = vec![0u32; 300];
+        multiway_merge(&[&a, &b, &c], &mut out);
+        assert_eq!(out, (0..300u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn merges_random_runs() {
+        let mut runs: Vec<Vec<u64>> = Vec::new();
+        let mut all: Vec<u64> = Vec::new();
+        for i in 0..7 {
+            let mut r: Vec<u64> = generate(Distribution::Uniform, 1000 + i * 37, i as u64);
+            r.sort_unstable();
+            all.extend_from_slice(&r);
+            runs.push(r);
+        }
+        let views: Vec<&[u64]> = runs.iter().map(Vec::as_slice).collect();
+        let mut out = vec![0u64; all.len()];
+        multiway_merge(&views, &mut out);
+        assert!(is_sorted(&out));
+        assert!(same_multiset(&all, &out));
+    }
+
+    #[test]
+    fn merges_with_empty_runs() {
+        let a: Vec<u32> = vec![1, 5, 9];
+        let b: Vec<u32> = vec![];
+        let c: Vec<u32> = vec![2, 3];
+        let mut out = vec![0u32; 5];
+        multiway_merge(&[&a, &b, &c], &mut out);
+        assert_eq!(out, vec![1, 2, 3, 5, 9]);
+    }
+
+    #[test]
+    fn merges_single_run() {
+        let a: Vec<u32> = vec![1, 2, 3];
+        let mut out = vec![0u32; 3];
+        multiway_merge(&[&a], &mut out);
+        assert_eq!(out, a);
+    }
+
+    #[test]
+    fn merges_no_runs() {
+        let mut out: Vec<u32> = vec![];
+        multiway_merge(&[], &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "output length")]
+    fn wrong_output_length_panics() {
+        let a: Vec<u32> = vec![1, 2];
+        let mut out = vec![0u32; 3];
+        multiway_merge(&[&a], &mut out);
+    }
+}

@@ -1,0 +1,184 @@
+//! Parallel multiway merge (gnu_parallel-style).
+//!
+//! The output range is split into one equal part per thread by
+//! [`multisequence selection`](super::multisequence_select); each thread then
+//! merges its part independently with a [`LoserTree`](super::LoserTree).
+//! Because parts are disjoint output slices fed from disjoint input suffixes,
+//! the merge is embarrassingly parallel and — like the real
+//! `gnu_parallel::multiway_merge` the paper measures — memory-bandwidth
+//! bound rather than compute bound.
+
+use super::multisequence_select;
+use msort_data::SortKey;
+
+/// Configuration for [`parallel_multiway_merge`].
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelMergeConfig {
+    /// Number of merger threads.
+    pub threads: usize,
+    /// Inputs smaller than this merge sequentially (thread spawn overhead
+    /// would dominate below it).
+    pub sequential_threshold: usize,
+}
+
+impl Default for ParallelMergeConfig {
+    fn default() -> Self {
+        Self {
+            threads: crate::default_threads(),
+            sequential_threshold: 1 << 14,
+        }
+    }
+}
+
+/// Merge `runs` (each sorted) into `out` using the default configuration.
+///
+/// # Panics
+/// Panics if `out.len()` differs from the total input length.
+pub fn parallel_multiway_merge<K: SortKey>(runs: &[&[K]], out: &mut [K]) {
+    parallel_multiway_merge_with(runs, out, ParallelMergeConfig::default());
+}
+
+/// Merge `runs` into `out` with an explicit configuration.
+pub fn parallel_multiway_merge_with<K: SortKey>(
+    runs: &[&[K]],
+    out: &mut [K],
+    config: ParallelMergeConfig,
+) {
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    assert_eq!(out.len(), total, "output length must equal total input");
+    let threads = config.threads.max(1);
+    if threads == 1 || total < config.sequential_threshold {
+        super::multiway_merge(runs, out);
+        return;
+    }
+
+    // Split points: ranks 0, total/T, 2·total/T, ..., total.
+    let mut boundaries = Vec::with_capacity(threads + 1);
+    for t in 0..=threads {
+        boundaries.push(t * total / threads);
+    }
+
+    // For each part, the per-run input window [splits[t], splits[t+1]).
+    let split_sets: Vec<Vec<usize>> = boundaries
+        .iter()
+        .map(|&rank| multisequence_select(runs, rank))
+        .collect();
+
+    crossbeam::thread::scope(|scope| {
+        let mut rest = out;
+        for t in 0..threads {
+            let part_len = boundaries[t + 1] - boundaries[t];
+            let (part, tail) = rest.split_at_mut(part_len);
+            rest = tail;
+            let lo = &split_sets[t];
+            let hi = &split_sets[t + 1];
+            let windows: Vec<&[K]> = runs
+                .iter()
+                .zip(lo.iter().zip(hi.iter()))
+                .map(|(r, (&a, &b))| &r[a..b])
+                .collect();
+            scope.spawn(move |_| {
+                super::multiway_merge(&windows, part);
+            });
+        }
+    })
+    .expect("merge worker panicked");
+
+    // The tie-distribution in multisequence selection is greedy by run
+    // index for every boundary, so equal keys land in consistent windows
+    // and concatenated parts are globally sorted.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msort_data::{generate, is_sorted, same_multiset, Distribution};
+
+    fn check(k: usize, n_per: usize, threads: usize, seed: u64) {
+        let mut runs_owned: Vec<Vec<u32>> = (0..k)
+            .map(|i| {
+                let mut v: Vec<u32> =
+                    generate(Distribution::Uniform, n_per + i * 13, seed + i as u64);
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        if k > 2 {
+            runs_owned[1].clear(); // one empty run
+        }
+        let runs: Vec<&[u32]> = runs_owned.iter().map(Vec::as_slice).collect();
+        let total: usize = runs.iter().map(|r| r.len()).sum();
+        let mut all: Vec<u32> = Vec::with_capacity(total);
+        for r in &runs {
+            all.extend_from_slice(r);
+        }
+        let mut out = vec![0u32; total];
+        parallel_multiway_merge_with(
+            &runs,
+            &mut out,
+            ParallelMergeConfig {
+                threads,
+                sequential_threshold: 0,
+            },
+        );
+        assert!(is_sorted(&out), "k={k} threads={threads} not sorted");
+        assert!(same_multiset(&all, &out), "k={k} lost keys");
+    }
+
+    #[test]
+    fn merges_in_parallel() {
+        check(4, 5_000, 4, 1);
+        check(8, 2_000, 3, 2);
+        check(2, 10_000, 7, 3);
+    }
+
+    #[test]
+    fn single_thread_matches_sequential() {
+        check(5, 3_000, 1, 4);
+    }
+
+    #[test]
+    fn more_threads_than_keys() {
+        check(2, 3, 8, 5);
+    }
+
+    #[test]
+    fn duplicate_heavy_runs() {
+        let mut runs_owned: Vec<Vec<u32>> = (0..4)
+            .map(|i| {
+                let mut v: Vec<u32> = generate(
+                    Distribution::ZipfDuplicates {
+                        skew_permille: 1500,
+                    },
+                    4_000,
+                    i,
+                );
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        runs_owned[0].push(u32::MAX);
+        runs_owned[0].sort_unstable();
+        let runs: Vec<&[u32]> = runs_owned.iter().map(Vec::as_slice).collect();
+        let total: usize = runs.iter().map(|r| r.len()).sum();
+        let mut out = vec![0u32; total];
+        parallel_multiway_merge_with(
+            &runs,
+            &mut out,
+            ParallelMergeConfig {
+                threads: 4,
+                sequential_threshold: 0,
+            },
+        );
+        assert!(is_sorted(&out));
+    }
+
+    #[test]
+    fn default_config_small_input_sequential_path() {
+        let a = vec![1u32, 3];
+        let b = vec![2u32];
+        let mut out = vec![0u32; 3];
+        parallel_multiway_merge(&[&a, &b], &mut out);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,185 @@
+//! Multisequence selection: split `k` sorted runs at a global rank.
+//!
+//! Given sorted runs `R₀..R_{k−1}` and a rank `r`, find per-run split
+//! positions `s₀..s_{k−1}` with `Σ sᵢ = r` such that every key before a split
+//! sorts at or before every key after any split. This is the primitive that
+//! lets a parallel multiway merge hand each thread an independent output
+//! range (gnu_parallel does the same internally).
+//!
+//! The implementation binary-searches the key's radix-image domain: find the
+//! smallest image `v` with `count_lt(v) ≤ r ≤ count_le(v)`, take all keys
+//! `< v`, and distribute the remaining `r − count_lt(v)` ties (`== v`)
+//! greedily over the runs. Complexity `O(k · log n · log |domain|)`.
+
+use msort_data::keys::{RadixImage, SortKey};
+
+/// Split positions for `rank` across `runs`. See module docs.
+///
+/// # Panics
+/// Panics if `rank` exceeds the total number of keys.
+#[must_use]
+pub fn multisequence_select<K: SortKey>(runs: &[&[K]], rank: usize) -> Vec<usize> {
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    assert!(rank <= total, "rank {rank} out of range (total {total})");
+    if runs.is_empty() {
+        return Vec::new();
+    }
+    if rank == 0 {
+        return vec![0; runs.len()];
+    }
+    if rank == total {
+        return runs.iter().map(|r| r.len()).collect();
+    }
+
+    // Binary search the image domain for the smallest v with count_le(v) >= rank.
+    let mut lo = K::Radix::zero().to_u64();
+    let mut hi = K::Radix::max_value().to_u64();
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if count_le::<K>(runs, mid) >= rank as u64 {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    let pivot = lo;
+
+    // Take everything strictly below the pivot, then distribute ties.
+    let mut splits: Vec<usize> = runs
+        .iter()
+        .map(|r| partition_point_le::<K>(r, pivot.wrapping_sub(1), pivot == 0))
+        .collect();
+    let below: usize = splits.iter().sum();
+    debug_assert!(below <= rank);
+    let mut ties_needed = rank - below;
+    for (run, split) in runs.iter().zip(splits.iter_mut()) {
+        if ties_needed == 0 {
+            break;
+        }
+        let ties_here = partition_point_le::<K>(run, pivot, false) - *split;
+        let take = ties_here.min(ties_needed);
+        *split += take;
+        ties_needed -= take;
+    }
+    debug_assert_eq!(ties_needed, 0, "tie distribution must consume the rank");
+    splits
+}
+
+/// Number of keys with image `<= v` across all runs.
+fn count_le<K: SortKey>(runs: &[&[K]], v: u64) -> u64 {
+    runs.iter()
+        .map(|r| partition_point_le::<K>(r, v, false) as u64)
+        .sum()
+}
+
+/// `partition_point` for "image <= v"; when `none` is set, returns 0
+/// (used for the `pivot == 0` underflow case of "image < pivot").
+fn partition_point_le<K: SortKey>(run: &[K], v: u64, none: bool) -> usize {
+    if none {
+        return 0;
+    }
+    run.partition_point(|k| k.to_radix().to_u64() <= v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msort_data::{generate, Distribution};
+
+    /// Check the fundamental split property: max(prefixes) <= min(suffixes).
+    fn assert_valid_split<K: SortKey>(runs: &[&[K]], splits: &[usize], rank: usize) {
+        assert_eq!(splits.iter().sum::<usize>(), rank);
+        let max_before = runs
+            .iter()
+            .zip(splits)
+            .filter_map(|(r, &s)| r[..s].last())
+            .map(|k| k.to_radix().to_u64())
+            .max();
+        let min_after = runs
+            .iter()
+            .zip(splits)
+            .filter_map(|(r, &s)| r.get(s))
+            .map(|k| k.to_radix().to_u64())
+            .min();
+        if let (Some(mb), Some(ma)) = (max_before, min_after) {
+            assert!(mb <= ma, "split property violated: {mb} > {ma}");
+        }
+    }
+
+    #[test]
+    fn selects_across_uniform_runs() {
+        let mut runs_owned: Vec<Vec<u32>> = (0..4)
+            .map(|i| {
+                let mut v: Vec<u32> = generate(Distribution::Uniform, 500, i);
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        runs_owned[2].truncate(123); // unequal lengths
+        let runs: Vec<&[u32]> = runs_owned.iter().map(Vec::as_slice).collect();
+        let total: usize = runs.iter().map(|r| r.len()).sum();
+        for rank in [0, 1, 17, total / 3, total / 2, total - 1, total] {
+            let splits = multisequence_select(&runs, rank);
+            assert_valid_split(&runs, &splits, rank);
+        }
+    }
+
+    #[test]
+    fn selects_with_heavy_duplicates() {
+        let a = vec![5u32; 100];
+        let b = vec![5u32; 50];
+        let mut c = vec![1u32; 30];
+        c.extend(vec![5u32; 20]);
+        c.extend(vec![9u32; 10]);
+        let runs: Vec<&[u32]> = vec![&a, &b, &c];
+        for rank in [0, 29, 30, 31, 100, 199, 200, 201, 210] {
+            let splits = multisequence_select(&runs, rank);
+            assert_valid_split(&runs, &splits, rank);
+        }
+    }
+
+    #[test]
+    fn selects_with_empty_runs() {
+        let a: Vec<u32> = vec![];
+        let b = vec![1u32, 2, 3];
+        let runs: Vec<&[u32]> = vec![&a, &b];
+        let splits = multisequence_select(&runs, 2);
+        assert_eq!(splits, vec![0, 2]);
+    }
+
+    #[test]
+    fn selects_zero_image_keys() {
+        // pivot == 0 exercises the underflow path of "image < pivot".
+        let a = vec![0u32, 0, 1];
+        let b = vec![0u32, 2];
+        let runs: Vec<&[u32]> = vec![&a, &b];
+        for rank in 0..=5 {
+            let splits = multisequence_select(&runs, rank);
+            assert_valid_split(&runs, &splits, rank);
+        }
+    }
+
+    #[test]
+    fn selects_signed_and_float_keys() {
+        let mut a: Vec<i32> = generate(Distribution::Uniform, 300, 1);
+        let mut b: Vec<i32> = generate(Distribution::Uniform, 200, 2);
+        a.sort_unstable();
+        b.sort_unstable();
+        let runs: Vec<&[i32]> = vec![&a, &b];
+        let splits = multisequence_select(&runs, 250);
+        assert_valid_split(&runs, &splits, 250);
+
+        let mut fa: Vec<f64> = generate(Distribution::Normal, 300, 3);
+        fa.sort_unstable_by(|x, y| x.total_cmp_key(y));
+        let fruns: Vec<&[f64]> = vec![&fa];
+        let splits = multisequence_select(&fruns, 150);
+        assert_valid_split(&fruns, &splits, 150);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rank_out_of_range_panics() {
+        let a = [1u32];
+        let _ = multisequence_select(&[&a[..]], 2);
+    }
+}

@@ -1,0 +1,211 @@
+//! Parallel out-of-place LSB radix sort (Polychroniou & Ross style).
+//!
+//! The paper's CPU-baseline bake-off (Section 6) includes the SIMD-enabled
+//! LSB radix sort by Polychroniou & Ross, which wins for small inputs but
+//! loses to PARADIS at scale and is x86-only. This is its portable stand-in:
+//! a multi-threaded, stable, out-of-place LSB radix sort —
+//!
+//! * per pass, threads build histograms over disjoint stripes;
+//! * a global two-dimensional prefix sum assigns every (thread, bucket)
+//!   pair a disjoint output region — scatters then proceed without any
+//!   synchronization, preserving stability (stripe order within buckets);
+//! * buffers ping-pong between passes, constant digits skip their pass.
+
+use crate::lsb_radix::{BUCKETS, DIGIT_BITS};
+use msort_data::keys::{RadixImage, SortKey};
+
+/// Sort `data` in place using the parallel LSB radix sort with `threads`
+/// workers.
+pub fn parallel_lsb_radix_sort<K: SortKey>(data: &mut [K], threads: usize) {
+    let n = data.len();
+    let threads = threads.max(1).min(n.max(1));
+    if n <= 1 {
+        return;
+    }
+    if threads == 1 || n < 1 << 14 {
+        crate::lsb_radix::lsb_radix_sort(data);
+        return;
+    }
+
+    let mut aux = vec![data[0]; n];
+    let passes = (K::Radix::BITS / DIGIT_BITS) as usize;
+    let stripe = n.div_ceil(threads);
+    let mut in_data = true;
+
+    for p in 0..passes {
+        let shift = p as u32 * DIGIT_BITS;
+        // Source slice and destination pointer refer to *different*
+        // allocations each pass; raw-derived views sidestep the borrow
+        // checker's inability to see that the ping-pong never aliases.
+        let (src, dst_ptr): (&[K], SendPtr<K>) = if in_data {
+            // SAFETY: `data` and `aux` are distinct allocations of len n.
+            (
+                unsafe { std::slice::from_raw_parts(data.as_ptr(), n) },
+                SendPtr(aux.as_mut_ptr()),
+            )
+        } else {
+            (
+                unsafe { std::slice::from_raw_parts(aux.as_ptr(), n) },
+                SendPtr(data.as_mut_ptr()),
+            )
+        };
+
+        // Per-thread histograms over stripes.
+        let histograms: Vec<Vec<usize>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = src
+                .chunks(stripe)
+                .map(|chunk| {
+                    scope.spawn(move |_| {
+                        let mut hist = vec![0usize; BUCKETS];
+                        for k in chunk {
+                            hist[k.to_radix().digit(shift, DIGIT_BITS)] += 1;
+                        }
+                        hist
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("histogram worker panicked"))
+                .collect()
+        })
+        .expect("histogram scope failed");
+
+        // Skip constant-digit passes.
+        let mut bucket_totals = vec![0usize; BUCKETS];
+        for h in &histograms {
+            for (t, &c) in bucket_totals.iter_mut().zip(h) {
+                *t += c;
+            }
+        }
+        if bucket_totals.contains(&n) {
+            continue;
+        }
+
+        // offsets[t][b]: where thread t writes its first key of bucket b.
+        // Column-major prefix sum keeps stripe order within each bucket,
+        // which is what makes the sort stable.
+        let mut offsets: Vec<Vec<usize>> = vec![vec![0usize; BUCKETS]; histograms.len()];
+        let mut acc = 0usize;
+        for b in 0..BUCKETS {
+            for (t, h) in histograms.iter().enumerate() {
+                offsets[t][b] = acc;
+                acc += h[b];
+            }
+        }
+        debug_assert_eq!(acc, n);
+
+        // Parallel scatter into disjoint regions.
+        crossbeam::thread::scope(|scope| {
+            for (chunk, mut my_offsets) in src.chunks(stripe).zip(offsets) {
+                let dst = dst_ptr;
+                scope.spawn(move |_| {
+                    for &key in chunk {
+                        let d = key.to_radix().digit(shift, DIGIT_BITS);
+                        // SAFETY: the (thread, bucket) output regions are
+                        // pairwise disjoint by the prefix-sum construction,
+                        // so no two threads write the same slot.
+                        unsafe { dst.write(my_offsets[d], key) };
+                        my_offsets[d] += 1;
+                    }
+                });
+            }
+        })
+        .expect("scatter worker panicked");
+
+        in_data = !in_data;
+    }
+
+    if !in_data {
+        data.copy_from_slice(&aux);
+    }
+}
+
+/// `Send` raw-pointer wrapper for the disjoint-region scatter. Accessed
+/// only through [`SendPtr::write`] so closures capture the wrapper, not
+/// the raw pointer (edition-2021 closures capture individual fields).
+#[derive(Clone, Copy)]
+struct SendPtr<T>(*mut T);
+
+// SAFETY: dereferences are guarded by region disjointness at the use site.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+
+impl<T: Copy> SendPtr<T> {
+    /// # Safety
+    /// `i` must be in bounds and no other thread may write slot `i`.
+    #[inline]
+    unsafe fn write(self, i: usize, v: T) {
+        unsafe { self.0.add(i).write(v) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msort_data::{generate, is_sorted, same_multiset, Distribution};
+
+    fn check<K: SortKey>(dist: Distribution, n: usize, threads: usize, seed: u64) {
+        let input: Vec<K> = generate(dist, n, seed);
+        let mut sorted = input.clone();
+        parallel_lsb_radix_sort(&mut sorted, threads);
+        assert!(is_sorted(&sorted), "{dist:?} n={n} threads={threads}");
+        assert!(same_multiset(&input, &sorted), "{dist:?} lost keys");
+    }
+
+    #[test]
+    fn sorts_parallel_across_distributions() {
+        for dist in Distribution::paper_set() {
+            check::<u32>(dist, 60_000, 4, 42);
+        }
+    }
+
+    #[test]
+    fn sorts_key_types() {
+        check::<i32>(Distribution::Uniform, 40_000, 3, 1);
+        check::<f32>(Distribution::Normal, 40_000, 4, 2);
+        check::<u64>(Distribution::Uniform, 40_000, 4, 3);
+        check::<f64>(Distribution::Normal, 40_000, 2, 4);
+    }
+
+    #[test]
+    fn small_inputs_use_sequential_path() {
+        check::<u32>(Distribution::Uniform, 100, 8, 5);
+        check::<u32>(Distribution::Uniform, 0, 8, 5);
+        check::<u32>(Distribution::Uniform, 1, 8, 5);
+    }
+
+    #[test]
+    fn matches_sequential_result_exactly() {
+        let input: Vec<u32> = generate(Distribution::Uniform, 100_000, 9);
+        let mut a = input.clone();
+        let mut b = input.clone();
+        parallel_lsb_radix_sort(&mut a, 4);
+        crate::lsb_radix::lsb_radix_sort(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stability_via_payload_order() {
+        // Keys with few distinct values: stable sorts keep the original
+        // relative order. Encode position in the low bits and sort by the
+        // high byte only... we can't mask the comparator, so instead sort
+        // u64 values whose low 32 bits are unique positions: a stable sort
+        // by the full key equals an unstable one, but the parallel and the
+        // (stable) sequential scatter must produce identical outputs even
+        // when restricted to the duplicate-heavy top bits. Covered by
+        // matches_sequential_result_exactly; here we check duplicates.
+        check::<u32>(
+            Distribution::ZipfDuplicates {
+                skew_permille: 1800,
+            },
+            80_000,
+            4,
+            11,
+        );
+    }
+
+    #[test]
+    fn more_threads_than_elements() {
+        check::<u32>(Distribution::Uniform, 20_000, 64, 13);
+    }
+}

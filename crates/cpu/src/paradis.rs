@@ -1,0 +1,560 @@
+//! PARADIS — parallel in-place radix sort (Cho et al., VLDB 2015).
+//!
+//! PARADIS is the state-of-the-art parallel CPU radix sort the paper uses as
+//! its CPU-only baseline. The implementation follows the published design:
+//!
+//! 1. **Histogram**: threads count digit occurrences over stripes of the
+//!    input; a prefix sum yields exact bucket boundaries.
+//! 2. **Speculative permutation**: the *remaining* (unpermuted) range of each
+//!    bucket is divided into one private stripe per thread. Each thread
+//!    cycle-chases elements between the stripe heads it owns — entirely
+//!    synchronization-free, because no two threads ever touch the same
+//!    stripe. A thread's stripe of some destination bucket can fill up while
+//!    foreign elements for it remain elsewhere, so a pass may leave some
+//!    elements misplaced.
+//! 3. **Repair**: per bucket (buckets distributed over threads), misplaced
+//!    elements are compacted to the bucket's tail, so each bucket's remainder
+//!    is again one contiguous range.
+//! 4. Steps 2–3 repeat on the (geometrically shrinking) remainders until all
+//!    buckets are clean. As a termination safety net, a pass that makes no
+//!    progress falls back to a single-stripe (sequential) permutation, which
+//!    provably completes.
+//!
+//! After the most-significant digit is fully partitioned, PARADIS recurses
+//! into the buckets on the next digit; bucket recursion is distributed over
+//! the thread pool, and small buckets use a comparison sort.
+
+use crate::lsb_radix::{BUCKETS, DIGIT_BITS};
+use msort_data::keys::{RadixImage, SortKey};
+
+/// Tuning parameters for [`paradis_sort`].
+#[derive(Debug, Clone, Copy)]
+pub struct ParadisConfig {
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Buckets at or below this size use a comparison sort.
+    pub small_sort_threshold: usize,
+}
+
+impl Default for ParadisConfig {
+    fn default() -> Self {
+        Self {
+            threads: crate::default_threads(),
+            small_sort_threshold: 256,
+        }
+    }
+}
+
+/// Sort `data` in place with PARADIS using the default configuration.
+pub fn paradis_sort<K: SortKey>(data: &mut [K]) {
+    paradis_sort_with(data, ParadisConfig::default());
+}
+
+/// Sort `data` in place with PARADIS using an explicit configuration.
+pub fn paradis_sort_with<K: SortKey>(data: &mut [K], config: ParadisConfig) {
+    let threads = config.threads.max(1);
+    if data.len() <= config.small_sort_threshold {
+        data.sort_unstable_by(|a, b| a.total_cmp_key(b));
+        return;
+    }
+    let top_shift = K::Radix::BITS - DIGIT_BITS;
+    recurse(data, top_shift, threads, config.small_sort_threshold);
+}
+
+fn recurse<K: SortKey>(data: &mut [K], shift: u32, threads: usize, small: usize) {
+    if data.len() <= small {
+        data.sort_unstable_by(|a, b| a.total_cmp_key(b));
+        return;
+    }
+
+    let bounds = parallel_partition(data, shift, threads);
+    if shift == 0 {
+        return;
+    }
+    let next_shift = shift - DIGIT_BITS;
+
+    // Recurse into the buckets, distributing them over the thread pool.
+    // Split `data` into disjoint bucket slices first so each worker owns its
+    // buckets exclusively — no unsafe aliasing, no locks.
+    let mut slices: Vec<&mut [K]> = Vec::with_capacity(BUCKETS);
+    let mut rest = data;
+    let mut prev = 0usize;
+    #[allow(clippy::needless_range_loop)] // b indexes `bounds` while splitting `rest`
+    for b in 1..=BUCKETS {
+        let (head, tail) = rest.split_at_mut(bounds[b] - prev);
+        slices.push(head);
+        rest = tail;
+        prev = bounds[b];
+    }
+
+    if threads <= 1 {
+        for s in slices {
+            if s.len() > 1 {
+                recurse(s, next_shift, 1, small);
+            }
+        }
+        return;
+    }
+
+    // Greedy longest-processing-time assignment of buckets to workers keeps
+    // the load balanced even for skewed digit distributions.
+    slices.sort_by_key(|s| std::cmp::Reverse(s.len()));
+    let mut queues: Vec<Vec<&mut [K]>> = (0..threads).map(|_| Vec::new()).collect();
+    let mut loads = vec![0usize; threads];
+    for s in slices {
+        let (w, _) = loads
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &l)| l)
+            .expect("at least one worker");
+        loads[w] += s.len();
+        queues[w].push(s);
+    }
+
+    crossbeam::thread::scope(|scope| {
+        for queue in queues {
+            // Sub-recursion runs single-threaded per bucket: the top-level
+            // fan-out already saturates the pool (matching the PARADIS
+            // paper's bucket-parallel recursion).
+            scope.spawn(move |_| {
+                for s in queue {
+                    if s.len() > 1 {
+                        recurse(s, next_shift, 1, small);
+                    }
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+}
+
+/// One contiguous remainder range of a bucket awaiting permutation.
+#[derive(Debug, Clone, Copy)]
+struct Remainder {
+    start: usize,
+    end: usize,
+}
+
+impl Remainder {
+    fn len(self) -> usize {
+        self.end - self.start
+    }
+}
+
+/// Partition `data` by the digit at `shift` using the PARADIS speculative
+/// permutation + repair loop. Returns bucket boundary offsets.
+fn parallel_partition<K: SortKey>(data: &mut [K], shift: u32, threads: usize) -> Vec<usize> {
+    // ---- Phase 1: histogram (parallel over stripes). ----
+    let hist = parallel_histogram(data, shift, threads);
+    let mut bounds = Vec::with_capacity(BUCKETS + 1);
+    let mut acc = 0usize;
+    bounds.push(0);
+    for &c in &hist {
+        acc += c;
+        bounds.push(acc);
+    }
+
+    let mut remainders: Vec<Remainder> = (0..BUCKETS)
+        .map(|b| Remainder {
+            start: bounds[b],
+            end: bounds[b + 1],
+        })
+        .collect();
+
+    // ---- Phases 2+3: iterate speculative permutation and repair. ----
+    loop {
+        let total: usize = remainders.iter().map(|r| r.len()).sum();
+        if total == 0 {
+            break;
+        }
+        let workers = if total < 4 * threads * BUCKETS {
+            // Tiny remainders: stripe subdivision would be all overhead (and
+            // a single stripe per bucket completes in one pass).
+            1
+        } else {
+            threads
+        };
+        speculative_permute(data, shift, &remainders, workers);
+        let after = repair(data, shift, &mut remainders, workers);
+        if after == 0 {
+            break;
+        }
+        debug_assert!(workers > 1, "single-stripe permutation must fully complete");
+        if after == total {
+            // No progress (pathological stripe imbalance): finish with the
+            // provably complete single-stripe pass.
+            speculative_permute(data, shift, &remainders, 1);
+            let left = repair(data, shift, &mut remainders, 1);
+            debug_assert_eq!(left, 0);
+            break;
+        }
+    }
+    bounds
+}
+
+fn parallel_histogram<K: SortKey>(data: &[K], shift: u32, threads: usize) -> Vec<usize> {
+    if threads <= 1 || data.len() < 1 << 16 {
+        let mut hist = vec![0usize; BUCKETS];
+        for k in data {
+            hist[k.to_radix().digit(shift, DIGIT_BITS)] += 1;
+        }
+        return hist;
+    }
+    let stripe = data.len().div_ceil(threads);
+    let partials: Vec<Vec<usize>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = data
+            .chunks(stripe)
+            .map(|chunk| {
+                scope.spawn(move |_| {
+                    let mut hist = vec![0usize; BUCKETS];
+                    for k in chunk {
+                        hist[k.to_radix().digit(shift, DIGIT_BITS)] += 1;
+                    }
+                    hist
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("histogram worker panicked"))
+            .collect()
+    })
+    .expect("histogram scope failed");
+
+    let mut hist = vec![0usize; BUCKETS];
+    for partial in partials {
+        for (h, p) in hist.iter_mut().zip(partial) {
+            *h += p;
+        }
+    }
+    hist
+}
+
+/// Thread-private view of the permutation state: one stripe per bucket.
+struct Stripes {
+    /// `heads[b]`: next fill position in this worker's stripe of bucket `b`.
+    heads: Vec<usize>,
+    /// `tails[b]`: exclusive end of this worker's stripe of bucket `b`.
+    tails: Vec<usize>,
+}
+
+/// Run the speculative permutation over the given remainders with `workers`
+/// private stripes per bucket.
+fn speculative_permute<K: SortKey>(
+    data: &mut [K],
+    shift: u32,
+    remainders: &[Remainder],
+    workers: usize,
+) {
+    // Carve each bucket remainder into `workers` stripes. Worker w owns
+    // stripe w of every bucket, so the union of worker w's stripes is a
+    // disjoint set of index ranges: safe to hand out as raw pointers.
+    let mut per_worker: Vec<Stripes> = (0..workers)
+        .map(|_| Stripes {
+            heads: vec![0; BUCKETS],
+            tails: vec![0; BUCKETS],
+        })
+        .collect();
+    for (b, rem) in remainders.iter().enumerate() {
+        let len = rem.len();
+        let base = len / workers;
+        let extra = len % workers;
+        let mut pos = rem.start;
+        for (w, stripes) in per_worker.iter_mut().enumerate() {
+            let take = base + usize::from(w < extra);
+            stripes.heads[b] = pos;
+            stripes.tails[b] = pos + take;
+            pos += take;
+        }
+        debug_assert_eq!(pos, rem.end);
+    }
+
+    let shared = SharedData::new(data);
+    if workers == 1 {
+        // SAFETY: exclusive access — there is only this one "worker".
+        unsafe { permute_stripes(shared, shift, &mut per_worker[0]) };
+        return;
+    }
+
+    crossbeam::thread::scope(|scope| {
+        for mut stripes in per_worker {
+            scope.spawn(move |_| {
+                // SAFETY: worker stripes are pairwise disjoint index ranges
+                // of `data` (constructed above), so no two threads ever
+                // touch the same element; the scope joins before `data` is
+                // used again.
+                unsafe { permute_stripes(shared, shift, &mut stripes) };
+            });
+        }
+    })
+    .expect("permute worker panicked");
+}
+
+/// Raw-pointer view of the data slice used to give scoped worker threads
+/// element-disjoint access without forming aliasing `&mut` slices.
+struct SharedData<K> {
+    ptr: *mut K,
+    len: usize,
+}
+
+// Manual impls: derive would require `K: Clone`/`K: Copy` bounds on the
+// wrapper even though only the pointer is copied.
+impl<K> Clone for SharedData<K> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<K> Copy for SharedData<K> {}
+
+// SAFETY: sending the pointer is safe; all dereferences are guarded by the
+// stripe-disjointness contract documented on each unsafe use site.
+unsafe impl<K: Send> Send for SharedData<K> {}
+
+impl<K: Copy> SharedData<K> {
+    fn new(data: &mut [K]) -> Self {
+        Self {
+            ptr: data.as_mut_ptr(),
+            len: data.len(),
+        }
+    }
+
+    /// # Safety
+    /// `i < self.len` and no other thread accesses index `i` concurrently.
+    #[inline]
+    unsafe fn read(self, i: usize) -> K {
+        debug_assert!(i < self.len);
+        unsafe { self.ptr.add(i).read() }
+    }
+
+    /// # Safety
+    /// `i < self.len` and no other thread accesses index `i` concurrently.
+    #[inline]
+    unsafe fn write(self, i: usize, v: K) {
+        debug_assert!(i < self.len);
+        unsafe { self.ptr.add(i).write(v) }
+    }
+
+    /// Swap the value at `i` with `*v`.
+    ///
+    /// # Safety
+    /// Same contract as [`SharedData::read`].
+    #[inline]
+    unsafe fn swap_in(self, i: usize, v: &mut K) {
+        debug_assert!(i < self.len);
+        unsafe {
+            let old = self.ptr.add(i).read();
+            self.ptr.add(i).write(*v);
+            *v = old;
+        }
+    }
+}
+
+/// The PARADIS speculative permutation for one worker's stripes.
+///
+/// # Safety
+/// The caller must guarantee that the index ranges described by `s` are
+/// disjoint from every other concurrent accessor of `data`.
+unsafe fn permute_stripes<K: SortKey>(data: SharedData<K>, shift: u32, s: &mut Stripes) {
+    for b in 0..BUCKETS {
+        let mut pos = s.heads[b];
+        while pos < s.tails[b] {
+            // SAFETY: `pos` and all `s.heads[d]` lie within this worker's
+            // stripes per the function contract.
+            let mut v = unsafe { data.read(pos) };
+            let mut d = v.to_radix().digit(shift, DIGIT_BITS);
+            // Cycle-chase: push v toward its home stripe until the hole at
+            // `pos` receives an element of bucket b or the chain gets stuck.
+            while d != b && s.heads[d] < s.tails[d] {
+                unsafe { data.swap_in(s.heads[d], &mut v) };
+                s.heads[d] += 1;
+                d = v.to_radix().digit(shift, DIGIT_BITS);
+            }
+            unsafe { data.write(pos, v) };
+            if d == b && pos == s.heads[b] {
+                s.heads[b] += 1;
+            }
+            // Misplaced (stuck) elements stay behind for the repair phase.
+            pos += 1;
+        }
+    }
+}
+
+/// Compact misplaced elements of each bucket remainder to the remainder's
+/// tail and shrink the remainder accordingly. Returns the total number of
+/// still-misplaced elements.
+fn repair<K: SortKey>(
+    data: &mut [K],
+    shift: u32,
+    remainders: &mut [Remainder],
+    workers: usize,
+) -> usize {
+    let shared = SharedData::new(data);
+    if workers <= 1 {
+        for (b, rem) in remainders.iter_mut().enumerate() {
+            // SAFETY: exclusive access on this thread.
+            unsafe { repair_bucket(shared, shift, b, rem) };
+        }
+    } else {
+        // Each worker repairs a disjoint set of buckets; bucket remainders
+        // are pairwise disjoint index ranges of `data`.
+        let chunk = BUCKETS.div_ceil(workers);
+        crossbeam::thread::scope(|scope| {
+            for (ci, rems) in remainders.chunks_mut(chunk).enumerate() {
+                scope.spawn(move |_| {
+                    for (off, rem) in rems.iter_mut().enumerate() {
+                        // SAFETY: this worker exclusively owns these buckets'
+                        // remainder ranges.
+                        unsafe { repair_bucket(shared, shift, ci * chunk + off, rem) };
+                    }
+                });
+            }
+        })
+        .expect("repair worker panicked");
+    }
+    remainders.iter().map(|r| r.len()).sum()
+}
+
+/// Two-pointer compaction within one bucket remainder: correctly placed
+/// elements move to the front, misplaced ones to the back; the remainder
+/// shrinks to just the misplaced tail.
+///
+/// # Safety
+/// No other thread may access `rem`'s index range concurrently.
+unsafe fn repair_bucket<K: SortKey>(
+    data: SharedData<K>,
+    shift: u32,
+    b: usize,
+    rem: &mut Remainder,
+) {
+    let mut lo = rem.start;
+    let mut hi = rem.end;
+    while lo < hi {
+        // SAFETY: `lo`/`hi` stay within `rem`'s range per the contract.
+        let v = unsafe { data.read(lo) };
+        if v.to_radix().digit(shift, DIGIT_BITS) == b {
+            lo += 1;
+        } else {
+            hi -= 1;
+            unsafe {
+                let w = data.read(hi);
+                data.write(hi, v);
+                data.write(lo, w);
+            }
+        }
+    }
+    rem.start = lo;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msort_data::{generate, is_sorted, same_multiset, Distribution};
+
+    fn check_with<K: SortKey>(dist: Distribution, n: usize, seed: u64, threads: usize) {
+        let input: Vec<K> = generate(dist, n, seed);
+        let mut sorted = input.clone();
+        paradis_sort_with(
+            &mut sorted,
+            ParadisConfig {
+                threads,
+                small_sort_threshold: 64,
+            },
+        );
+        assert!(
+            is_sorted(&sorted),
+            "{dist:?} n={n} threads={threads} not sorted"
+        );
+        assert!(same_multiset(&input, &sorted), "{dist:?} lost keys");
+    }
+
+    #[test]
+    fn single_threaded_across_distributions() {
+        for dist in Distribution::paper_set() {
+            check_with::<u32>(dist, 20_000, 42, 1);
+        }
+    }
+
+    #[test]
+    fn multi_threaded_across_distributions() {
+        for dist in Distribution::paper_set() {
+            check_with::<u32>(dist, 50_000, 42, 4);
+        }
+    }
+
+    #[test]
+    fn multi_threaded_key_types() {
+        check_with::<i32>(Distribution::Uniform, 30_000, 1, 4);
+        check_with::<f32>(Distribution::Normal, 30_000, 2, 4);
+        check_with::<u64>(Distribution::Uniform, 30_000, 3, 4);
+        check_with::<f64>(Distribution::Normal, 30_000, 4, 3);
+    }
+
+    #[test]
+    fn duplicate_heavy_parallel() {
+        check_with::<u32>(
+            Distribution::ZipfDuplicates {
+                skew_permille: 1500,
+            },
+            50_000,
+            7,
+            4,
+        );
+        check_with::<u32>(Distribution::Constant, 10_000, 7, 4);
+    }
+
+    #[test]
+    fn edge_sizes() {
+        check_with::<u32>(Distribution::Uniform, 0, 1, 4);
+        check_with::<u32>(Distribution::Uniform, 1, 1, 4);
+        check_with::<u32>(Distribution::Uniform, 63, 1, 4);
+        check_with::<u32>(Distribution::Uniform, 65, 1, 4);
+        check_with::<u32>(Distribution::Uniform, 4_099, 1, 4);
+    }
+
+    #[test]
+    fn many_threads_small_input() {
+        // More threads than sensible for the input size: stripes degenerate
+        // to zero-length for some workers; must still sort.
+        check_with::<u32>(Distribution::Uniform, 2_000, 9, 16);
+    }
+
+    #[test]
+    fn default_config_sorts() {
+        let input: Vec<u32> = generate(Distribution::Uniform, 10_000, 5);
+        let mut sorted = input.clone();
+        paradis_sort(&mut sorted);
+        assert!(is_sorted(&sorted));
+        assert!(same_multiset(&input, &sorted));
+    }
+
+    #[test]
+    fn partition_invariant_holds() {
+        let mut data: Vec<u32> = generate(Distribution::Uniform, 100_000, 13);
+        let shift = 24;
+        let bounds = parallel_partition(&mut data, shift, 4);
+        for b in 0..BUCKETS {
+            for &k in &data[bounds[b]..bounds[b + 1]] {
+                assert_eq!(k.to_radix().digit(shift, DIGIT_BITS), b);
+            }
+        }
+    }
+
+    #[test]
+    fn repair_bucket_compacts() {
+        // Bucket 1 of an 8-bit digit at shift 0: values with low byte == 1.
+        let mut data: Vec<u32> = vec![1, 513, 7, 1, 9, 257];
+        let mut rem = Remainder { start: 0, end: 6 };
+        let shared = SharedData::new(&mut data);
+        // SAFETY: single-threaded test, exclusive access.
+        unsafe { repair_bucket(shared, 0, 1, &mut rem) };
+        // Four elements belong to bucket 1 (1, 513, 1, 257); two are misplaced.
+        assert_eq!(rem.len(), 2);
+        assert_eq!(rem.start, 4);
+        for &k in &data[..4] {
+            assert_eq!(k & 0xFF, 1);
+        }
+        for &k in &data[4..] {
+            assert_ne!(k & 0xFF, 1);
+        }
+    }
+}

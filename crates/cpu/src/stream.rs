@@ -1,0 +1,103 @@
+//! STREAM-style memory bandwidth microbenchmark.
+//!
+//! The paper calibrates its expectations for the CPU multiway merge against
+//! the maximum sustainable memory bandwidth measured with the STREAM
+//! benchmark (Section 5.3), observing that modern DRAM achieves 75–80% of
+//! its theoretical rate and that `gnu_parallel::multiway_merge` saturates
+//! 71–94% of that. This module provides the same measurement for the host
+//! the test suite runs on: it is used by examples to relate the *real*
+//! machine's merge throughput to its copy bandwidth, mirroring the paper's
+//! methodology (it plays no role in the simulated platforms, whose
+//! bandwidths come from the calibration tables).
+
+use std::time::Instant;
+
+/// Result of one bandwidth measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct BandwidthSample {
+    /// Bytes read plus bytes written.
+    pub bytes_moved: u64,
+    /// Wall-clock duration of the measured kernel.
+    pub seconds: f64,
+}
+
+impl BandwidthSample {
+    /// Throughput in bytes per second.
+    #[must_use]
+    pub fn bytes_per_sec(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.bytes_moved as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Throughput in (decimal) GB/s, the unit the paper reports.
+    #[must_use]
+    pub fn gb_per_sec(&self) -> f64 {
+        self.bytes_per_sec() / 1e9
+    }
+}
+
+/// STREAM "copy": `b[i] = a[i]`. Moves `2 × 8 × n` bytes.
+#[must_use]
+pub fn stream_copy(n: usize, iterations: usize) -> BandwidthSample {
+    let a = vec![1.0f64; n];
+    let mut b = vec![0.0f64; n];
+    let start = Instant::now();
+    for _ in 0..iterations.max(1) {
+        b.copy_from_slice(&a);
+        std::hint::black_box(&mut b);
+    }
+    BandwidthSample {
+        bytes_moved: (2 * 8 * n * iterations.max(1)) as u64,
+        seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// STREAM "triad": `c[i] = a[i] + s * b[i]`. Moves `3 × 8 × n` bytes.
+#[must_use]
+pub fn stream_triad(n: usize, iterations: usize) -> BandwidthSample {
+    let a = vec![1.0f64; n];
+    let b = vec![2.0f64; n];
+    let mut c = vec![0.0f64; n];
+    let s = 3.0f64;
+    let start = Instant::now();
+    for _ in 0..iterations.max(1) {
+        for ((ci, &ai), &bi) in c.iter_mut().zip(&a).zip(&b) {
+            *ci = ai + s * bi;
+        }
+        std::hint::black_box(&mut c);
+    }
+    BandwidthSample {
+        bytes_moved: (3 * 8 * n * iterations.max(1)) as u64,
+        seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copy_reports_positive_bandwidth() {
+        let s = stream_copy(1 << 16, 2);
+        assert!(s.bytes_per_sec() > 0.0);
+        assert_eq!(s.bytes_moved, 2 * 8 * (1 << 16) * 2);
+    }
+
+    #[test]
+    fn triad_reports_positive_bandwidth() {
+        let s = stream_triad(1 << 14, 1);
+        assert!(s.gb_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn zero_duration_guard() {
+        let s = BandwidthSample {
+            bytes_moved: 100,
+            seconds: 0.0,
+        };
+        assert_eq!(s.bytes_per_sec(), 0.0);
+    }
+}

@@ -1,0 +1,289 @@
+//! Deterministic workload generators.
+//!
+//! All generators are seedable so every experiment, test, and benchmark is
+//! reproducible. Generation is defined on the *radix image* domain and then
+//! decoded, so the same [`Distribution`] produces order-equivalent data for
+//! every key type (a "sorted" f32 workload really is ascending in the float
+//! total order).
+
+use crate::dist::Distribution;
+use crate::keys::{RadixImage, SortKey};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A seeded generator for one distribution.
+///
+/// ```
+/// use msort_data::{DataGenerator, Distribution};
+/// let gen = DataGenerator::new(Distribution::Uniform, 42);
+/// let keys: Vec<u32> = gen.generate(1000);
+/// assert_eq!(keys.len(), 1000);
+/// // Same seed, same data:
+/// assert_eq!(keys, DataGenerator::new(Distribution::Uniform, 42).generate::<u32>(1000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DataGenerator {
+    dist: Distribution,
+    seed: u64,
+}
+
+impl DataGenerator {
+    /// Create a generator for `dist` with the given `seed`.
+    #[must_use]
+    pub fn new(dist: Distribution, seed: u64) -> Self {
+        Self { dist, seed }
+    }
+
+    /// The distribution this generator produces.
+    #[must_use]
+    pub fn distribution(&self) -> Distribution {
+        self.dist
+    }
+
+    /// Generate `n` keys into a fresh vector.
+    #[must_use]
+    pub fn generate<K: SortKey>(&self, n: usize) -> Vec<K> {
+        let mut out = Vec::with_capacity(n);
+        self.generate_extend(n, &mut out);
+        out
+    }
+
+    /// Generate `n` keys, appending to `out` (reuses its capacity).
+    pub fn generate_extend<K: SortKey>(&self, n: usize, out: &mut Vec<K>) {
+        let start = out.len();
+        out.reserve(n);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        match self.dist {
+            Distribution::Uniform => {
+                for _ in 0..n {
+                    out.push(K::from_radix(uniform_image::<K>(&mut rng)));
+                }
+            }
+            Distribution::Normal => {
+                for _ in 0..n {
+                    out.push(K::from_radix(normal_image::<K>(&mut rng)));
+                }
+            }
+            Distribution::Sorted => {
+                extend_uniform_sorted::<K>(n, &mut rng, out);
+            }
+            Distribution::ReverseSorted => {
+                extend_uniform_sorted::<K>(n, &mut rng, out);
+                out[start..].reverse();
+            }
+            Distribution::NearlySorted => {
+                extend_uniform_sorted::<K>(n, &mut rng, out);
+                perturb(&mut out[start..], &mut rng);
+            }
+            Distribution::ZipfDuplicates { skew_permille } => {
+                let skew = f64::from(skew_permille) / 1000.0;
+                let zipf = ZipfSampler::new(1024, skew);
+                for _ in 0..n {
+                    let rank = zipf.sample(&mut rng);
+                    // Spread the 1024 distinct values over the full domain so
+                    // pivots still land at interesting positions.
+                    let img = value_at_fraction::<K>((rank as f64 + 0.5) / 1024.0);
+                    out.push(K::from_radix(img));
+                }
+            }
+            Distribution::Constant => {
+                let img = value_at_fraction::<K>(0.5);
+                out.resize(start + n, K::from_radix(img));
+            }
+        }
+        debug_assert_eq!(out.len(), start + n);
+    }
+}
+
+/// Generate `n` keys of distribution `dist` with `seed` (convenience form).
+#[must_use]
+pub fn generate<K: SortKey>(dist: Distribution, n: usize, seed: u64) -> Vec<K> {
+    DataGenerator::new(dist, seed).generate(n)
+}
+
+/// Generate into an existing vector, clearing it first.
+pub fn generate_into<K: SortKey>(dist: Distribution, n: usize, seed: u64, out: &mut Vec<K>) {
+    out.clear();
+    DataGenerator::new(dist, seed).generate_extend(n, out);
+}
+
+fn uniform_image<K: SortKey>(rng: &mut StdRng) -> K::Radix {
+    image_from_u64::<K>(rng.random::<u64>())
+}
+
+/// Gaussian over the image domain centered at the midpoint, clamped.
+fn normal_image<K: SortKey>(rng: &mut StdRng) -> K::Radix {
+    // Box-Muller on two uniforms; no external distribution crate needed.
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random::<f64>();
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    let frac = (0.5 + z / 20.0).clamp(0.0, 1.0);
+    value_at_fraction::<K>(frac)
+}
+
+/// Sorted uniform sample: draw i.i.d. uniforms and sort the image values.
+fn extend_uniform_sorted<K: SortKey>(n: usize, rng: &mut StdRng, out: &mut Vec<K>) {
+    let start = out.len();
+    for _ in 0..n {
+        out.push(K::from_radix(uniform_image::<K>(rng)));
+    }
+    out[start..].sort_unstable_by(|a, b| a.total_cmp_key(b));
+}
+
+/// Swap ~1% of positions with a partner within a window of 100 slots.
+fn perturb<K: SortKey>(data: &mut [K], rng: &mut StdRng) {
+    if data.len() < 2 {
+        return;
+    }
+    let swaps = (data.len() / 100).max(1);
+    for _ in 0..swaps {
+        let i = rng.random_range(0..data.len());
+        let lo = i.saturating_sub(50);
+        let hi = (i + 50).min(data.len() - 1);
+        let j = rng.random_range(lo..=hi);
+        data.swap(i, j);
+    }
+}
+
+/// Map a fraction in `[0, 1]` onto the radix image domain.
+fn value_at_fraction<K: SortKey>(frac: f64) -> K::Radix {
+    let max = K::Radix::max_value().to_u64() as f64;
+    K::Radix::from_u64_trunc((frac.clamp(0.0, 1.0) * max) as u64)
+}
+
+fn image_from_u64<K: SortKey>(v: u64) -> K::Radix {
+    // Use the high bits for 32-bit keys so they still get well-mixed entropy.
+    if <K::Radix as RadixImage>::BITS == 32 {
+        K::Radix::from_u64_trunc(v >> 32)
+    } else {
+        K::Radix::from_u64_trunc(v)
+    }
+}
+
+/// Simple zipf sampler over ranks `0..n` using precomputed cumulative
+/// weights (n is small — 1024 — so table lookup via binary search is fine).
+struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    fn new(n: usize, skew: f64) -> Self {
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(skew);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.random();
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) | Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::is_sorted;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u32> = generate(Distribution::Uniform, 1000, 7);
+        let b: Vec<u32> = generate(Distribution::Uniform, 1000, 7);
+        let c: Vec<u32> = generate(Distribution::Uniform, 1000, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sorted_is_sorted_for_all_types() {
+        assert!(is_sorted(&generate::<u32>(Distribution::Sorted, 500, 1)));
+        assert!(is_sorted(&generate::<i32>(Distribution::Sorted, 500, 1)));
+        assert!(is_sorted(&generate::<f32>(Distribution::Sorted, 500, 1)));
+        assert!(is_sorted(&generate::<u64>(Distribution::Sorted, 500, 1)));
+        assert!(is_sorted(&generate::<i64>(Distribution::Sorted, 500, 1)));
+        assert!(is_sorted(&generate::<f64>(Distribution::Sorted, 500, 1)));
+    }
+
+    #[test]
+    fn reverse_sorted_is_descending() {
+        let v: Vec<u32> = generate(Distribution::ReverseSorted, 500, 3);
+        let mut rev = v.clone();
+        rev.reverse();
+        assert!(is_sorted(&rev));
+        assert!(!is_sorted(&v));
+    }
+
+    #[test]
+    fn nearly_sorted_is_mostly_sorted() {
+        let v: Vec<u32> = generate(Distribution::NearlySorted, 10_000, 3);
+        let inversions = v.windows(2).filter(|w| w[0] > w[1]).count();
+        assert!(inversions > 0, "perturbation did nothing");
+        assert!(
+            inversions < v.len() / 20,
+            "too many inversions: {inversions}"
+        );
+    }
+
+    #[test]
+    fn normal_is_concentrated() {
+        let v: Vec<u32> = generate(Distribution::Normal, 10_000, 5);
+        let mid = u32::MAX / 2;
+        let band = u32::MAX / 4;
+        let inside = v
+            .iter()
+            .filter(|&&x| x > mid - band && x < mid + band)
+            .count();
+        // 5 sigma band => essentially everything inside.
+        assert!(inside > 9_900, "only {inside} inside the band");
+    }
+
+    #[test]
+    fn zipf_has_many_duplicates() {
+        let v: Vec<u32> = generate(
+            Distribution::ZipfDuplicates {
+                skew_permille: 1200,
+            },
+            10_000,
+            5,
+        );
+        let mut uniq = v.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert!(uniq.len() <= 1024);
+        assert!(uniq.len() > 10);
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let v: Vec<u64> = generate(Distribution::Constant, 100, 5);
+        assert!(v.iter().all(|&x| x == v[0]));
+    }
+
+    #[test]
+    fn generate_into_reuses_buffer() {
+        let mut buf: Vec<u32> = Vec::new();
+        generate_into(Distribution::Uniform, 100, 1, &mut buf);
+        assert_eq!(buf.len(), 100);
+        generate_into(Distribution::Sorted, 50, 1, &mut buf);
+        assert_eq!(buf.len(), 50);
+        assert!(is_sorted(&buf));
+    }
+
+    #[test]
+    fn uniform_floats_are_finite_spread() {
+        let v: Vec<f64> = generate(Distribution::Normal, 1000, 9);
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+}

@@ -1,0 +1,117 @@
+//! Key-value pairs: sort by key, payload rides along.
+//!
+//! Database sorting rarely moves bare keys — index builds and merge-joins
+//! sort `(key, row-id)` pairs, which is why Thrust/CUB ship
+//! `sort_by_key`/`SortPairs` variants. [`Pair`] makes every algorithm in
+//! this workspace a by-key sort: the radix image (and therefore every
+//! comparison and every digit) comes from the key alone, while the whole
+//! pair moves through histograms, scatters, swaps, and merges.
+//!
+//! The payload doubles the moved bytes for 32-bit keys — the same
+//! transfer/bandwidth penalty real GPU pair-sorting pays — which the cost
+//! models pick up through [`DataType::key_bytes`] (bytes per *element*).
+
+use crate::keys::{DataType, SortKey};
+
+/// A `(key, payload)` pair ordered by key only.
+///
+/// `from_radix` reconstructs a pair with a zero payload (generators can
+/// only synthesize keys); attach real payloads with [`Pair::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pair<K> {
+    /// The sort key.
+    pub key: K,
+    /// The payload carried alongside (row id, offset, ...).
+    pub value: u32,
+}
+
+impl<K> Pair<K> {
+    /// Construct a pair.
+    #[must_use]
+    pub fn new(key: K, value: u32) -> Self {
+        Self { key, value }
+    }
+}
+
+impl<K: SortKey> SortKey for Pair<K> {
+    type Radix = K::Radix;
+
+    const DATA_TYPE: DataType = match K::DATA_TYPE {
+        DataType::U32 | DataType::I32 | DataType::F32 => DataType::Kv32,
+        DataType::U64 | DataType::I64 | DataType::F64 => DataType::Kv64,
+        // Nested pairs would mis-size every cost model; forbid them.
+        DataType::Kv32 | DataType::Kv64 => panic!("pairs of pairs are not supported"),
+    };
+
+    #[inline]
+    fn to_radix(self) -> Self::Radix {
+        self.key.to_radix()
+    }
+
+    #[inline]
+    fn from_radix(bits: Self::Radix) -> Self {
+        Pair {
+            key: K::from_radix(bits),
+            value: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::is_sorted;
+
+    /// Stable by-key reference sort (the real radix sorts live in
+    /// msort-cpu, which depends on this crate).
+    fn stable_by_key<K: SortKey>(data: &mut [K]) {
+        data.sort_by_key(|a| a.to_radix());
+    }
+
+    #[test]
+    fn pair_orders_by_key_only() {
+        let a = Pair::new(5u32, 99);
+        let b = Pair::new(7u32, 1);
+        assert!(a.to_radix() < b.to_radix());
+        // Equal keys, different payloads: equal in the sort order.
+        let c = Pair::new(5u32, 1);
+        assert_eq!(a.to_radix(), c.to_radix());
+    }
+
+    #[test]
+    fn pair_data_types_and_sizes() {
+        assert_eq!(<Pair<u32> as SortKey>::DATA_TYPE, DataType::Kv32);
+        assert_eq!(<Pair<f32> as SortKey>::DATA_TYPE, DataType::Kv32);
+        assert_eq!(<Pair<u64> as SortKey>::DATA_TYPE, DataType::Kv64);
+        assert_eq!(DataType::Kv32.key_bytes(), 8);
+        assert_eq!(DataType::Kv64.key_bytes(), 12);
+    }
+
+    #[test]
+    fn stable_sort_keeps_payload_order() {
+        // A stable by-key sort of duplicate keys preserves payload order.
+        let mut pairs: Vec<Pair<u32>> = (0..1000u32).map(|i| Pair::new(i % 10, i)).collect();
+        stable_by_key(&mut pairs);
+        assert!(is_sorted(&pairs));
+        for w in pairs.windows(2) {
+            if w[0].key == w[1].key {
+                assert!(w[0].value < w[1].value, "stability violated");
+            }
+        }
+    }
+
+    #[test]
+    fn float_keyed_pairs_total_order() {
+        let mut pairs = [
+            Pair::new(f32::NAN, 1),
+            Pair::new(-0.0f32, 2),
+            Pair::new(f32::NEG_INFINITY, 3),
+            Pair::new(1.5f32, 4),
+        ];
+        pairs.sort_by_key(|a| a.to_radix());
+        assert_eq!(pairs[0].value, 3);
+        assert_eq!(pairs[1].value, 2);
+        assert_eq!(pairs[2].value, 4);
+        assert_eq!(pairs[3].value, 1); // NaN sorts last
+    }
+}

@@ -1,0 +1,129 @@
+//! Sortedness and permutation validation used by tests, examples, and the
+//! experiment harness (every simulated sort is checked for correctness on
+//! its physical payload before timings are reported).
+
+use crate::keys::SortKey;
+
+/// Outcome of a full sort validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortValidation {
+    /// Output is sorted and a permutation of the input.
+    Valid,
+    /// Output is not in non-decreasing order; holds the first bad index.
+    NotSorted {
+        /// Index `i` such that `out[i] > out[i + 1]`.
+        index: usize,
+    },
+    /// Output is sorted but is not a permutation of the input.
+    NotPermutation,
+    /// Output length differs from input length.
+    LengthMismatch {
+        /// Input length.
+        expected: usize,
+        /// Output length.
+        actual: usize,
+    },
+}
+
+impl SortValidation {
+    /// `true` when the sort is fully valid.
+    #[must_use]
+    pub fn is_valid(self) -> bool {
+        self == SortValidation::Valid
+    }
+}
+
+/// `true` iff `data` is non-decreasing in the key total order.
+#[must_use]
+pub fn is_sorted<K: SortKey>(data: &[K]) -> bool {
+    first_unsorted_index(data).is_none()
+}
+
+/// First index `i` with `data[i] > data[i + 1]`, if any.
+#[must_use]
+pub fn first_unsorted_index<K: SortKey>(data: &[K]) -> Option<usize> {
+    data.windows(2)
+        .position(|w| w[0].to_radix() > w[1].to_radix())
+}
+
+/// `true` iff `a` and `b` contain the same keys with the same multiplicities.
+///
+/// Runs in `O(n log n)` by sorting radix images; intended for test-scale
+/// data, not for 60-billion-key workloads.
+#[must_use]
+pub fn same_multiset<K: SortKey>(a: &[K], b: &[K]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut ia: Vec<K::Radix> = a.iter().map(|k| k.to_radix()).collect();
+    let mut ib: Vec<K::Radix> = b.iter().map(|k| k.to_radix()).collect();
+    ia.sort_unstable();
+    ib.sort_unstable();
+    ia == ib
+}
+
+/// Validate that `output` is a sorted permutation of `input`.
+#[must_use]
+pub fn validate_sort<K: SortKey>(input: &[K], output: &[K]) -> SortValidation {
+    if input.len() != output.len() {
+        return SortValidation::LengthMismatch {
+            expected: input.len(),
+            actual: output.len(),
+        };
+    }
+    if let Some(i) = first_unsorted_index(output) {
+        return SortValidation::NotSorted { index: i };
+    }
+    if !same_multiset(input, output) {
+        return SortValidation::NotPermutation;
+    }
+    SortValidation::Valid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_detection() {
+        assert!(is_sorted::<u32>(&[]));
+        assert!(is_sorted(&[1u32]));
+        assert!(is_sorted(&[1u32, 1, 2, 3]));
+        assert!(!is_sorted(&[2u32, 1]));
+        assert_eq!(first_unsorted_index(&[1u32, 3, 2, 4]), Some(1));
+    }
+
+    #[test]
+    fn float_sortedness_uses_total_order() {
+        assert!(is_sorted(&[-0.0f32, 0.0]));
+        assert!(!is_sorted(&[0.0f32, -0.0]));
+    }
+
+    #[test]
+    fn multiset_checks() {
+        assert!(same_multiset(&[3u32, 1, 2], &[1, 2, 3]));
+        assert!(!same_multiset(&[1u32, 1, 2], &[1, 2, 2]));
+        assert!(!same_multiset(&[1u32], &[1, 1]));
+    }
+
+    #[test]
+    fn validate_full() {
+        let input = [5u32, 3, 9, 1];
+        assert!(validate_sort(&input, &[1, 3, 5, 9]).is_valid());
+        assert_eq!(
+            validate_sort(&input, &[1, 5, 3, 9]),
+            SortValidation::NotSorted { index: 1 }
+        );
+        assert_eq!(
+            validate_sort(&input, &[1, 3, 5, 10]),
+            SortValidation::NotPermutation
+        );
+        assert_eq!(
+            validate_sort(&input, &[1, 3, 5]),
+            SortValidation::LengthMismatch {
+                expected: 4,
+                actual: 3
+            }
+        );
+    }
+}

@@ -1,0 +1,347 @@
+//! Buffers and the data world.
+//!
+//! Every buffer lives either in a NUMA node's host memory or in one GPU's
+//! device memory. Device allocations are capacity-checked against the GPU
+//! model's memory size — the same constraint that forces HET sort's
+//! chunk-group design for large data in the paper.
+//!
+//! # Fidelity
+//!
+//! A [`World`] has a [`Fidelity`]: with `Full`, logical and physical sizes
+//! are equal and every simulated sort is a real sort of every key. With
+//! `Sampled(s)`, a buffer of logical length `N` stores `N / s` physical
+//! keys: all *timing* uses logical byte counts while all *data-dependent
+//! control flow* (pivot selection, merge ordering, validation) runs on the
+//! physical sample. Lengths and offsets in the runtime API are always
+//! logical and must be multiples of `s`, which keeps the logical↔physical
+//! mapping exact.
+
+use msort_data::SortKey;
+use msort_topology::Topology;
+
+/// Handle to a buffer in a [`World`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufId(pub(crate) usize);
+
+/// Where a buffer's memory lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Location {
+    /// Pinned host memory on NUMA socket `socket`.
+    Host {
+        /// NUMA socket index.
+        socket: usize,
+    },
+    /// Device memory of GPU `index`.
+    Gpu {
+        /// System-wide GPU index.
+        index: usize,
+    },
+}
+
+impl Location {
+    /// The transfer endpoint corresponding to this location.
+    #[must_use]
+    pub fn endpoint(self) -> msort_topology::Endpoint {
+        match self {
+            Location::Host { socket } => msort_topology::Endpoint::HostMem { socket },
+            Location::Gpu { index } => msort_topology::Endpoint::GpuMem { index },
+        }
+    }
+}
+
+/// Simulation fidelity: the logical-to-physical sampling factor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fidelity {
+    /// Physical data equals logical data (tests, examples).
+    Full,
+    /// One physical key represents `scale` logical keys (figure harness at
+    /// paper scale). `Sampled(1)` behaves exactly like `Full`.
+    Sampled {
+        /// The sampling factor (`>= 1`).
+        scale: u64,
+    },
+}
+
+impl Fidelity {
+    /// The sampling factor as a plain integer.
+    #[must_use]
+    pub fn scale(self) -> u64 {
+        match self {
+            Fidelity::Full => 1,
+            Fidelity::Sampled { scale } => scale.max(1),
+        }
+    }
+}
+
+/// One buffer: location, logical length, physical payload.
+#[derive(Debug)]
+pub struct Buffer<K> {
+    /// Where the buffer lives.
+    pub location: Location,
+    /// Logical length in keys.
+    pub len: u64,
+    /// Physical payload (`len / scale` keys).
+    pub data: Vec<K>,
+}
+
+/// All buffers of one simulation run plus GPU memory accounting.
+#[derive(Debug)]
+pub struct World<K> {
+    buffers: Vec<Buffer<K>>,
+    fidelity: Fidelity,
+    /// Remaining device memory per GPU (logical bytes).
+    gpu_free: Vec<u64>,
+}
+
+impl<K: SortKey> World<K> {
+    /// Create an empty world for the GPUs of `topo`.
+    #[must_use]
+    pub fn new(topo: &Topology, fidelity: Fidelity) -> Self {
+        let gpu_free = (0..topo.gpu_count())
+            .map(|g| topo.gpu_memory_bytes(g))
+            .collect();
+        Self {
+            buffers: Vec::new(),
+            fidelity,
+            gpu_free,
+        }
+    }
+
+    /// The world's fidelity.
+    #[must_use]
+    pub fn fidelity(&self) -> Fidelity {
+        self.fidelity
+    }
+
+    /// Logical keys per physical key.
+    #[must_use]
+    pub fn scale(&self) -> u64 {
+        self.fidelity.scale()
+    }
+
+    /// Convert a logical key count/offset to physical.
+    ///
+    /// # Panics
+    /// Panics if `logical` is not a multiple of the sampling factor.
+    #[must_use]
+    pub fn physical(&self, logical: u64) -> usize {
+        let s = self.scale();
+        assert!(
+            logical.is_multiple_of(s),
+            "logical count {logical} is not a multiple of the sampling factor {s}"
+        );
+        usize::try_from(logical / s).expect("physical length fits usize")
+    }
+
+    /// Allocate a zero-initialized device buffer of `len` logical keys on
+    /// GPU `gpu`.
+    ///
+    /// # Panics
+    /// Panics if the GPU does not have `len × key_bytes` free.
+    pub fn alloc_gpu(&mut self, gpu: usize, len: u64) -> BufId {
+        let bytes = len * K::DATA_TYPE.key_bytes();
+        let free = &mut self.gpu_free[gpu];
+        assert!(
+            *free >= bytes,
+            "GPU {gpu} out of memory: need {bytes} B, {free} B free \
+             (the paper's HET sort exists precisely because of this limit)"
+        );
+        *free -= bytes;
+        self.push(Location::Gpu { index: gpu }, len)
+    }
+
+    /// Allocate a zero-initialized host buffer of `len` logical keys on
+    /// NUMA socket `socket`.
+    pub fn alloc_host(&mut self, socket: usize, len: u64) -> BufId {
+        self.push(Location::Host { socket }, len)
+    }
+
+    /// Free a device buffer, returning its bytes to the GPU's pool. The
+    /// handle becomes invalid (its slot is emptied, not reused).
+    pub fn free(&mut self, id: BufId) {
+        let buf = &mut self.buffers[id.0];
+        if let Location::Gpu { index } = buf.location {
+            self.gpu_free[index] += buf.len * K::DATA_TYPE.key_bytes();
+        }
+        buf.len = 0;
+        buf.data = Vec::new();
+    }
+
+    /// Import host data as a buffer on `socket`. In sampled mode, `data`
+    /// must already be the physical sample and `logical_len` the full size.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` does not equal `logical_len / scale`.
+    pub fn import_host(&mut self, socket: usize, data: Vec<K>, logical_len: u64) -> BufId {
+        assert_eq!(
+            data.len(),
+            self.physical(logical_len),
+            "physical payload must be logical_len / scale"
+        );
+        let id = BufId(self.buffers.len());
+        self.buffers.push(Buffer {
+            location: Location::Host { socket },
+            len: logical_len,
+            data,
+        });
+        id
+    }
+
+    /// Remaining device memory on `gpu` in (logical) bytes.
+    #[must_use]
+    pub fn gpu_free_bytes(&self, gpu: usize) -> u64 {
+        self.gpu_free[gpu]
+    }
+
+    /// The buffer behind a handle.
+    #[must_use]
+    pub fn buffer(&self, id: BufId) -> &Buffer<K> {
+        &self.buffers[id.0]
+    }
+
+    /// Location of a buffer.
+    #[must_use]
+    pub fn location(&self, id: BufId) -> Location {
+        self.buffers[id.0].location
+    }
+
+    /// Physical view of a logical key range of a buffer.
+    #[must_use]
+    pub fn slice(&self, id: BufId, offset: u64, len: u64) -> &[K] {
+        let (o, l) = (self.physical(offset), self.physical(len));
+        &self.buffers[id.0].data[o..o + l]
+    }
+
+    /// Copy a logical range between two buffers' physical payloads outside
+    /// of simulated time (setup/teardown plumbing; simulated copies go
+    /// through the executor's `memcpy`).
+    pub fn copy_range(&mut self, src: BufId, src_off: u64, dst: BufId, dst_off: u64, len: u64) {
+        let (so, do_, l) = (
+            self.physical(src_off),
+            self.physical(dst_off),
+            self.physical(len),
+        );
+        if l == 0 {
+            return;
+        }
+        if src == dst {
+            self.buffers[src.0].data.copy_within(so..so + l, do_);
+            return;
+        }
+        let (a, b) = split_two(&mut self.buffers, src.0, dst.0);
+        b.data[do_..do_ + l].copy_from_slice(&a.data[so..so + l]);
+    }
+
+    /// Mutable physical view of a whole buffer.
+    pub(crate) fn data_mut(&mut self, id: BufId) -> &mut [K] {
+        &mut self.buffers[id.0].data
+    }
+
+    /// Mutable physical views of two distinct buffers.
+    pub(crate) fn two_mut(&mut self, a: BufId, b: BufId) -> (&mut [K], &mut [K]) {
+        let (ba, bb) = split_two(&mut self.buffers, a.0, b.0);
+        (&mut ba.data, &mut bb.data)
+    }
+
+    fn push(&mut self, location: Location, len: u64) -> BufId {
+        let physical = self.physical(len);
+        let id = BufId(self.buffers.len());
+        self.buffers.push(Buffer {
+            location,
+            len,
+            data: vec![K::from_radix(<K as SortKey>::Radix::zero()); physical],
+        });
+        id
+    }
+}
+
+use msort_data::keys::RadixImage;
+
+/// Disjoint mutable access to two slots of a vec.
+fn split_two<T>(v: &mut [T], i: usize, j: usize) -> (&mut T, &mut T) {
+    assert_ne!(i, j, "need two distinct buffers");
+    if i < j {
+        let (lo, hi) = v.split_at_mut(j);
+        (&mut lo[i], &mut hi[0])
+    } else {
+        let (lo, hi) = v.split_at_mut(i);
+        (&mut hi[0], &mut lo[j])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msort_topology::Platform;
+
+    fn world(fidelity: Fidelity) -> World<u32> {
+        World::new(&Platform::test_pcie(2).topology, fidelity)
+    }
+
+    #[test]
+    fn alloc_and_accounting() {
+        let mut w = world(Fidelity::Full);
+        let free0 = w.gpu_free_bytes(0);
+        let b = w.alloc_gpu(0, 1024);
+        assert_eq!(w.gpu_free_bytes(0), free0 - 4096);
+        assert_eq!(w.buffer(b).len, 1024);
+        assert_eq!(w.buffer(b).data.len(), 1024);
+        w.free(b);
+        assert_eq!(w.gpu_free_bytes(0), free0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of memory")]
+    fn over_allocation_panics() {
+        let mut w = world(Fidelity::Full);
+        let cap_keys = w.gpu_free_bytes(0) / 4;
+        let _ = w.alloc_gpu(0, cap_keys + 1);
+    }
+
+    #[test]
+    fn sampled_mode_scales_payload() {
+        let mut w: World<u32> = world(Fidelity::Sampled { scale: 8 });
+        let b = w.alloc_gpu(0, 800);
+        assert_eq!(w.buffer(b).data.len(), 100);
+        assert_eq!(w.physical(160), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn unaligned_logical_panics() {
+        let w: World<u32> = world(Fidelity::Sampled { scale: 8 });
+        let _ = w.physical(100);
+    }
+
+    #[test]
+    fn import_and_slice() {
+        let mut w = world(Fidelity::Full);
+        let b = w.import_host(0, vec![5u32, 6, 7, 8], 4);
+        assert_eq!(w.slice(b, 1, 2), &[6, 7]);
+        assert_eq!(w.location(b), Location::Host { socket: 0 });
+    }
+
+    #[test]
+    fn copy_between_buffers() {
+        let mut w = world(Fidelity::Full);
+        let src = w.import_host(0, vec![1u32, 2, 3, 4], 4);
+        let dst = w.alloc_gpu(0, 4);
+        w.copy_range(src, 1, dst, 0, 3);
+        assert_eq!(w.slice(dst, 0, 3), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn copy_within_buffer() {
+        let mut w = world(Fidelity::Full);
+        let b = w.import_host(0, vec![1u32, 2, 3, 4], 4);
+        w.copy_range(b, 0, b, 2, 2);
+        assert_eq!(w.slice(b, 0, 4), &[1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn fidelity_scale() {
+        assert_eq!(Fidelity::Full.scale(), 1);
+        assert_eq!(Fidelity::Sampled { scale: 0 }.scale(), 1);
+        assert_eq!(Fidelity::Sampled { scale: 1000 }.scale(), 1000);
+    }
+}

@@ -1,0 +1,1045 @@
+//! The executor: streams, events, and the simulated event loop.
+//!
+//! Programming model (deliberately CUDA-shaped):
+//!
+//! 1. create streams with [`GpuSystem::stream`];
+//! 2. enqueue operations — each returns an [`OpId`] that doubles as an
+//!    event other operations can wait on;
+//! 3. operations on one stream run in FIFO order; across streams they run
+//!    concurrently unless ordered by waits;
+//! 4. [`GpuSystem::synchronize`] drives the simulation until every queue
+//!    drains, advancing the simulated clock; afterwards the host code can
+//!    inspect buffer contents (e.g. for pivot selection) and enqueue the
+//!    next phase, exactly like a host thread calling
+//!    `cudaDeviceSynchronize` between algorithm phases.
+//!
+//! Transfers become fluid flows (bandwidth contention handled by the
+//! max-min allocator); kernels and CPU tasks get durations from the
+//! calibrated cost model; the *data effect* of every operation applies at
+//! its completion time, so any host-side read after a `synchronize` sees
+//! exactly what real hardware would have produced.
+
+use crate::buffer::{BufId, Fidelity, Location, World};
+use crate::primitives;
+use msort_cpu::multiway::multiway_merge;
+use msort_data::SortKey;
+use msort_sim::{CostModel, FlowId, FlowSim, GpuSortAlgo, SimDuration, SimTime};
+use msort_topology::{FlowRequest, Platform, Route};
+
+/// Handle to an enqueued operation; awaitable as an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OpId(usize);
+
+/// Handle to a stream (FIFO op queue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreamId(usize);
+
+/// Experiment phase an operation belongs to; used by the harness to build
+/// the paper's sort-duration breakdowns (Figures 12–14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Host-to-device copies.
+    HtoD,
+    /// Device-to-host copies.
+    DtoH,
+    /// On-GPU sorting.
+    Sort,
+    /// Merge work (P2P swaps + local merges, or the CPU multiway merge).
+    Merge,
+    /// Anything else (pivot selection, bookkeeping).
+    Other,
+}
+
+/// What an operation does. Durations: `Transfer`/`HostFlow` emerge from the
+/// fluid model; `Fixed` durations are computed when the op starts.
+enum OpKind<K> {
+    /// A copy along `route`; `bytes` is derived from the logical length.
+    Transfer {
+        route: Route,
+        src: (BufId, u64),
+        dst: (BufId, u64),
+        len: u64,
+    },
+    /// A fixed-duration compute task with a data effect.
+    Fixed {
+        duration: SimDuration,
+        effect: Effect<K>,
+    },
+    /// A device- or host-local copy: fixed duration (device memory
+    /// bandwidth, no interconnect involved) with a transfer-style effect.
+    LocalCopy {
+        duration: SimDuration,
+        src: (BufId, u64),
+        dst: (BufId, u64),
+        len: u64,
+    },
+    /// A CPU task modeled as a host-memory flow so it *contends with
+    /// concurrent transfers for memory bandwidth* (the mechanism behind
+    /// the paper's eager-merging slowdown). `bytes` are the total bytes
+    /// the task moves; `rate_cap` is its compute-side ceiling.
+    HostFlow {
+        socket: usize,
+        bytes: u64,
+        rate_cap: f64,
+        effect: Effect<K>,
+    },
+}
+
+/// The data effect applied at completion time.
+enum Effect<K> {
+    None,
+    DeviceSort {
+        algo: GpuSortAlgo,
+        data: BufId,
+        range: (u64, u64),
+        aux: BufId,
+    },
+    DeviceMergeInto {
+        src: BufId,
+        mid: u64,
+        len: u64,
+        dst: BufId,
+    },
+    HostSort {
+        data: BufId,
+    },
+    HostMultiwayMerge {
+        inputs: Vec<(BufId, u64, u64)>,
+        output: (BufId, u64),
+    },
+    DeviceMultiwayMerge {
+        inputs: Vec<(BufId, u64, u64)>,
+        dst: BufId,
+    },
+    #[allow(dead_code)]
+    Marker(std::marker::PhantomData<K>),
+}
+
+impl<K> Effect<K> {
+    fn name(&self) -> &'static str {
+        match self {
+            Effect::None | Effect::Marker(_) => "delay",
+            Effect::DeviceSort { .. } => "gpu sort",
+            Effect::DeviceMergeInto { .. } => "gpu merge",
+            Effect::HostSort { .. } => "cpu sort",
+            Effect::HostMultiwayMerge { .. } => "cpu multiway merge",
+            Effect::DeviceMultiwayMerge { .. } => "gpu multiway merge",
+        }
+    }
+}
+
+enum OpState {
+    Pending,
+    Running {
+        flow: Option<FlowId>,
+        ends: Option<SimTime>,
+    },
+    Done,
+}
+
+struct Op<K> {
+    stream: StreamId,
+    name: &'static str,
+    waits: Vec<OpId>,
+    kind: Option<OpKind<K>>,
+    state: OpState,
+    phase: Phase,
+    started: Option<SimTime>,
+    finished: Option<SimTime>,
+    /// Copies capture their source at start and write at completion —
+    /// real DMA streams the data through the transfer window, so a source
+    /// overwritten mid-transfer (the 3n-approach's in-place data-transfer
+    /// swap, Figure 10) must not corrupt the outgoing bytes.
+    staged: Option<Vec<K>>,
+}
+
+/// The virtual multi-GPU system: platform + cost model + world + executor.
+pub struct GpuSystem<'p, K: SortKey> {
+    flows: FlowSim<'p>,
+    cost: CostModel,
+    world: World<K>,
+    ops: Vec<Op<K>>,
+    /// Per stream: index of the next not-yet-started op in `order`.
+    streams: Vec<StreamQueue>,
+}
+
+struct StreamQueue {
+    ops: Vec<OpId>,
+    next: usize,
+}
+
+impl<'p, K: SortKey> GpuSystem<'p, K> {
+    /// Create a system over `platform` at the given fidelity.
+    #[must_use]
+    pub fn new(platform: &'p Platform, fidelity: Fidelity) -> Self {
+        Self {
+            flows: FlowSim::new(platform),
+            cost: CostModel::for_platform(platform),
+            world: World::new(&platform.topology, fidelity),
+            ops: Vec::new(),
+            streams: Vec::new(),
+        }
+    }
+
+    /// The platform being simulated.
+    #[must_use]
+    pub fn platform(&self) -> &'p Platform {
+        self.flows.platform()
+    }
+
+    /// The calibrated cost model in effect.
+    #[must_use]
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The buffer world (for allocation and data inspection).
+    #[must_use]
+    pub fn world(&self) -> &World<K> {
+        &self.world
+    }
+
+    /// Mutable access to the buffer world (allocation between phases).
+    pub fn world_mut(&mut self) -> &mut World<K> {
+        &mut self.world
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.flows.now()
+    }
+
+    /// Create a new stream.
+    pub fn stream(&mut self) -> StreamId {
+        let id = StreamId(self.streams.len());
+        self.streams.push(StreamQueue {
+            ops: Vec::new(),
+            next: 0,
+        });
+        id
+    }
+
+    /// When an operation started and finished (after `synchronize`).
+    #[must_use]
+    pub fn op_span(&self, op: OpId) -> Option<(SimTime, SimTime)> {
+        let o = &self.ops[op.0];
+        Some((o.started?, o.finished?))
+    }
+
+    /// The stream an operation was enqueued on.
+    #[must_use]
+    pub fn op_stream(&self, op: OpId) -> StreamId {
+        self.ops[op.0].stream
+    }
+
+    /// Total wall-clock (simulated) time during which at least one
+    /// completed operation of `phase` was running — the union of the op
+    /// intervals, which is how the paper's sort-duration breakdowns
+    /// attribute time to overlapping phases.
+    #[must_use]
+    pub fn phase_busy(&self, phase: Phase) -> SimDuration {
+        let mut intervals: Vec<(SimTime, SimTime)> = self
+            .ops
+            .iter()
+            .filter(|o| o.phase == phase)
+            .filter_map(|o| Some((o.started?, o.finished?)))
+            .collect();
+        intervals.sort_unstable();
+        let mut total = SimDuration::ZERO;
+        let mut cursor: Option<(SimTime, SimTime)> = None;
+        for (s, e) in intervals {
+            match cursor {
+                None => cursor = Some((s, e)),
+                Some((cs, ce)) => {
+                    if s <= ce {
+                        cursor = Some((cs, ce.max(e)));
+                    } else {
+                        total += ce.since(cs);
+                        cursor = Some((s, e));
+                    }
+                }
+            }
+        }
+        if let Some((cs, ce)) = cursor {
+            total += ce.since(cs);
+        }
+        total
+    }
+
+    /// Raw timeline entries for completed operations (unsorted).
+    pub(crate) fn timeline_entries(&self) -> Vec<crate::trace::TimelineEntry> {
+        self.ops
+            .iter()
+            .filter_map(|o| {
+                Some(crate::trace::TimelineEntry {
+                    name: o.name,
+                    phase: o.phase,
+                    stream: o.stream.0,
+                    start: o.started?,
+                    end: o.finished?,
+                })
+            })
+            .collect()
+    }
+
+    // ---- enqueue API ------------------------------------------------
+
+    /// Enqueue a copy of `len` logical keys from `(src, src_off)` to
+    /// `(dst, dst_off)` on `stream`. The direction (HtoD/DtoH/DtoD/P2P)
+    /// and its route follow from the buffer locations.
+    #[allow(clippy::too_many_arguments)] // mirrors cudaMemcpyAsync's shape
+    pub fn memcpy(
+        &mut self,
+        stream: StreamId,
+        src: BufId,
+        src_off: u64,
+        dst: BufId,
+        dst_off: u64,
+        len: u64,
+        waits: &[OpId],
+        phase: Phase,
+    ) -> OpId {
+        let src_loc = self.world.location(src);
+        let dst_loc = self.world.location(dst);
+        if src_loc == dst_loc {
+            // Device-local (or host-local) copy: modeled as a fixed-duration
+            // task at the device's copy bandwidth, not an interconnect flow.
+            let bytes = len * K::DATA_TYPE.key_bytes();
+            let duration = match src_loc {
+                Location::Gpu { index } => self
+                    .cost
+                    .dtod_copy(self.platform().topology.gpu_model(index), bytes),
+                // Host-local memcpy at the socket's combined stream rate.
+                Location::Host { .. } => {
+                    SimDuration::from_secs_f64(2.0 * bytes as f64 / self.cost.cpu.merge_bw)
+                }
+            };
+            return self.push_op(
+                stream,
+                waits,
+                OpKind::LocalCopy {
+                    duration,
+                    src: (src, src_off),
+                    dst: (dst, dst_off),
+                    len,
+                },
+                phase,
+            );
+        }
+
+        let route = msort_topology::route::route(
+            &self.platform().topology,
+            src_loc.endpoint(),
+            dst_loc.endpoint(),
+        )
+        .unwrap_or_else(|| panic!("no route from {src_loc:?} to {dst_loc:?}"));
+        self.push_op(
+            stream,
+            waits,
+            OpKind::Transfer {
+                route,
+                src: (src, src_off),
+                dst: (dst, dst_off),
+                len,
+            },
+            phase,
+        )
+    }
+
+    /// Enqueue a copy along an *explicit* route instead of the default
+    /// shortest path — the mechanism behind multi-hop P2P routing (paper
+    /// Section 7): a pipelined relay through an intermediate GPU occupies
+    /// every hop of the relay path simultaneously, which is exactly a
+    /// fluid flow over the concatenated route.
+    ///
+    /// # Panics
+    /// Panics if the route's endpoints do not match the buffer locations.
+    #[allow(clippy::too_many_arguments)] // mirrors memcpy's shape plus the route
+    pub fn memcpy_route(
+        &mut self,
+        stream: StreamId,
+        route: Route,
+        src: BufId,
+        src_off: u64,
+        dst: BufId,
+        dst_off: u64,
+        len: u64,
+        waits: &[OpId],
+        phase: Phase,
+    ) -> OpId {
+        assert_eq!(
+            route.src,
+            self.world.location(src).endpoint(),
+            "route source must match the source buffer"
+        );
+        assert_eq!(
+            route.dst,
+            self.world.location(dst).endpoint(),
+            "route destination must match the destination buffer"
+        );
+        self.push_op(
+            stream,
+            waits,
+            OpKind::Transfer {
+                route,
+                src: (src, src_off),
+                dst: (dst, dst_off),
+                len,
+            },
+            phase,
+        )
+    }
+
+    /// Enqueue an on-GPU k-way merge: the sorted runs described by
+    /// `inputs` (buffer, offset, len — all on the same GPU) merge into
+    /// `dst[..total]`. Modeled as a pairwise merge tree
+    /// (`⌈log₂ k⌉` bandwidth-bound passes), functionally executed with the
+    /// loser tree. Used by the radix-partitioned sort extension.
+    pub fn gpu_multiway_merge(
+        &mut self,
+        stream: StreamId,
+        inputs: Vec<(BufId, u64, u64)>,
+        dst: BufId,
+        waits: &[OpId],
+    ) -> OpId {
+        let gpu = match self.world.location(dst) {
+            Location::Gpu { index } => index,
+            Location::Host { .. } => panic!("gpu_multiway_merge requires device buffers"),
+        };
+        let model = self.platform().topology.gpu_model(gpu);
+        let total: u64 = inputs.iter().map(|&(_, _, l)| l).sum();
+        let passes = (inputs.len().max(2) as f64).log2().ceil() as u32;
+        let single = self.cost.gpu_merge(model, total * K::DATA_TYPE.key_bytes());
+        let duration = SimDuration(single.0 * u64::from(passes.max(1)));
+        self.push_op(
+            stream,
+            waits,
+            OpKind::Fixed {
+                duration,
+                effect: Effect::DeviceMultiwayMerge { inputs, dst },
+            },
+            Phase::Merge,
+        )
+    }
+
+    /// Enqueue an on-GPU sort of `data[range]` with auxiliary buffer `aux`.
+    pub fn gpu_sort(
+        &mut self,
+        stream: StreamId,
+        algo: GpuSortAlgo,
+        data: BufId,
+        range: (u64, u64),
+        aux: BufId,
+        waits: &[OpId],
+    ) -> OpId {
+        let gpu = match self.world.location(data) {
+            Location::Gpu { index } => index,
+            Location::Host { .. } => panic!("gpu_sort requires a device buffer"),
+        };
+        debug_assert_eq!(self.world.location(aux), Location::Gpu { index: gpu });
+        let model = self.platform().topology.gpu_model(gpu);
+        let duration = self
+            .cost
+            .gpu_sort(model, algo, K::DATA_TYPE, range.1 - range.0);
+        self.push_op(
+            stream,
+            waits,
+            OpKind::Fixed {
+                duration,
+                effect: Effect::DeviceSort {
+                    algo,
+                    data,
+                    range,
+                    aux,
+                },
+            },
+            Phase::Sort,
+        )
+    }
+
+    /// Enqueue a local pairwise merge: the sorted runs `src[..mid]` and
+    /// `src[mid..len]` merge into `dst[..len]` (the `thrust::merge`
+    /// pattern of P2P sort's merge phase).
+    pub fn gpu_merge_into(
+        &mut self,
+        stream: StreamId,
+        src: BufId,
+        mid: u64,
+        len: u64,
+        dst: BufId,
+        waits: &[OpId],
+    ) -> OpId {
+        let gpu = match self.world.location(src) {
+            Location::Gpu { index } => index,
+            Location::Host { .. } => panic!("gpu_merge_into requires device buffers"),
+        };
+        let model = self.platform().topology.gpu_model(gpu);
+        let duration = self.cost.gpu_merge(model, len * K::DATA_TYPE.key_bytes());
+        self.push_op(
+            stream,
+            waits,
+            OpKind::Fixed {
+                duration,
+                effect: Effect::DeviceMergeInto { src, mid, len, dst },
+            },
+            Phase::Merge,
+        )
+    }
+
+    /// Enqueue a fixed-duration no-effect task (pivot-selection latency,
+    /// modeled overheads).
+    pub fn delay(
+        &mut self,
+        stream: StreamId,
+        duration: SimDuration,
+        waits: &[OpId],
+        phase: Phase,
+    ) -> OpId {
+        self.push_op(
+            stream,
+            waits,
+            OpKind::Fixed {
+                duration,
+                effect: Effect::None,
+            },
+            phase,
+        )
+    }
+
+    /// Enqueue a CPU sort (PARADIS) of an entire host buffer.
+    pub fn cpu_sort(&mut self, stream: StreamId, data: BufId, waits: &[OpId]) -> OpId {
+        assert!(matches!(self.world.location(data), Location::Host { .. }));
+        let n = self.world.buffer(data).len;
+        let duration = self.cost.cpu_paradis(K::DATA_TYPE, n);
+        self.push_op(
+            stream,
+            waits,
+            OpKind::Fixed {
+                duration,
+                effect: Effect::HostSort { data },
+            },
+            Phase::Sort,
+        )
+    }
+
+    /// Enqueue a CPU multiway merge of `inputs` (buffer, offset, len) into
+    /// `output` starting at `out_off`. Modeled as a host-memory flow, so it
+    /// competes with concurrent CPU-GPU transfers for memory bandwidth —
+    /// the effect behind the paper's eager-merging result (Section 6.2).
+    pub fn cpu_multiway_merge(
+        &mut self,
+        stream: StreamId,
+        inputs: Vec<(BufId, u64, u64)>,
+        output: BufId,
+        out_off: u64,
+        waits: &[OpId],
+    ) -> OpId {
+        let socket = match self.world.location(output) {
+            Location::Host { socket } => socket,
+            Location::Gpu { .. } => panic!("multiway merge output must be in host memory"),
+        };
+        let k = inputs.len().max(2);
+        let lens: Vec<u64> = inputs.iter().map(|&(_, _, l)| l).collect();
+        let out_bytes: u64 = lens.iter().sum::<u64>() * K::DATA_TYPE.key_bytes();
+        let imbalance = self.cost.merge_imbalance_factor(&lens);
+        self.push_op(
+            stream,
+            waits,
+            OpKind::HostFlow {
+                socket,
+                // The merge reads + writes everything once.
+                bytes: 2 * out_bytes,
+                rate_cap: self.cost.cpu_merge_rate(k) * 2.0 / imbalance,
+                effect: Effect::HostMultiwayMerge {
+                    inputs,
+                    output: (output, out_off),
+                },
+            },
+            Phase::Merge,
+        )
+    }
+
+    // ---- running ----------------------------------------------------
+
+    /// Drive the simulation until every enqueued operation has completed.
+    /// Returns the simulated time.
+    ///
+    /// # Panics
+    /// Panics on a dependency deadlock (an op waits on something that can
+    /// never fire).
+    pub fn synchronize(&mut self) -> SimTime {
+        loop {
+            self.start_ready_ops();
+            // Next event: earliest fixed completion or flow completion.
+            let mut next: Option<SimTime> = None;
+            for op in &self.ops {
+                if let OpState::Running { ends: Some(t), .. } = op.state {
+                    if next.is_none_or(|n| t < n) {
+                        next = Some(t);
+                    }
+                }
+            }
+            if let Some((t, _)) = self.flows.next_completion() {
+                if next.is_none_or(|n| t < n) {
+                    next = Some(t);
+                }
+            }
+            let Some(t) = next else {
+                // Nothing running: either all done or deadlocked.
+                let stuck: Vec<usize> = self
+                    .ops
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, o)| !matches!(o.state, OpState::Done))
+                    .map(|(i, _)| i)
+                    .collect();
+                assert!(
+                    stuck.is_empty(),
+                    "deadlock: ops {stuck:?} can never become ready"
+                );
+                return self.flows.now();
+            };
+
+            let finished_flows = self.flows.advance_to(t);
+            // Complete flow-backed ops.
+            for fid in finished_flows {
+                let idx = self
+                    .ops
+                    .iter()
+                    .position(
+                        |o| matches!(o.state, OpState::Running { flow: Some(f), .. } if f == fid),
+                    )
+                    .expect("finished flow belongs to an op");
+                self.complete_op(idx, t);
+            }
+            // Complete fixed ops due now.
+            for idx in 0..self.ops.len() {
+                if let OpState::Running { ends: Some(e), .. } = self.ops[idx].state {
+                    if e <= t {
+                        self.complete_op(idx, t);
+                    }
+                }
+            }
+        }
+    }
+
+    fn push_op(&mut self, stream: StreamId, waits: &[OpId], kind: OpKind<K>, phase: Phase) -> OpId {
+        let name = match &kind {
+            OpKind::Transfer { .. } => "copy",
+            OpKind::LocalCopy { .. } => "local copy",
+            OpKind::Fixed { effect, .. } => effect.name(),
+            OpKind::HostFlow { effect, .. } => effect.name(),
+        };
+        let id = OpId(self.ops.len());
+        self.ops.push(Op {
+            stream,
+            name,
+            waits: waits.to_vec(),
+            kind: Some(kind),
+            state: OpState::Pending,
+            phase,
+            started: None,
+            finished: None,
+            staged: None,
+        });
+        self.streams[stream.0].ops.push(id);
+        id
+    }
+
+    fn start_ready_ops(&mut self) {
+        // Keep scanning until no stream head becomes ready (starting one op
+        // never *unblocks* another within the same instant except via
+        // zero-duration completion, handled by the outer loop).
+        loop {
+            let mut started_any = false;
+            for s in 0..self.streams.len() {
+                // Skip completed ops at the queue head.
+                while let Some(&op_id) = self.streams[s].ops.get(self.streams[s].next) {
+                    if matches!(self.ops[op_id.0].state, OpState::Done) {
+                        self.streams[s].next += 1;
+                    } else {
+                        break;
+                    }
+                }
+                // A stream runs one op at a time (CUDA stream semantics):
+                // the head may start only when Pending and its waits fired.
+                let Some(&op_id) = self.streams[s].ops.get(self.streams[s].next) else {
+                    continue;
+                };
+                if !matches!(self.ops[op_id.0].state, OpState::Pending) {
+                    continue; // already running
+                }
+                let ready = self.ops[op_id.0]
+                    .waits
+                    .iter()
+                    .all(|w| matches!(self.ops[w.0].state, OpState::Done));
+                if ready {
+                    self.start_op(op_id);
+                    started_any = true;
+                }
+            }
+            if !started_any {
+                return;
+            }
+        }
+    }
+
+    fn start_op(&mut self, id: OpId) {
+        let now = self.flows.now();
+        self.ops[id.0].started = Some(now);
+        // Copies stage their source bytes now (see `Op::staged`).
+        match self.ops[id.0].kind.as_ref().expect("op has a kind") {
+            OpKind::Transfer { src, len, .. } | OpKind::LocalCopy { src, len, .. } => {
+                let (src, len) = ((src.0, src.1), *len);
+                let snapshot = self.world.slice(src.0, src.1, len).to_vec();
+                self.ops[id.0].staged = Some(snapshot);
+            }
+            _ => {}
+        }
+        let kind = self.ops[id.0].kind.as_ref().expect("op has a kind");
+        let state = match kind {
+            OpKind::Transfer { route, len, .. } => {
+                let bytes = *len * K::DATA_TYPE.key_bytes();
+                if bytes == 0 {
+                    OpState::Running {
+                        flow: None,
+                        ends: Some(now),
+                    }
+                } else {
+                    let flow = self.flows.start(&route.clone(), bytes);
+                    OpState::Running {
+                        flow: Some(flow),
+                        ends: None,
+                    }
+                }
+            }
+            OpKind::LocalCopy { duration, .. } | OpKind::Fixed { duration, .. } => {
+                OpState::Running {
+                    flow: None,
+                    ends: Some(now + *duration),
+                }
+            }
+            OpKind::HostFlow {
+                socket,
+                bytes,
+                rate_cap,
+                ..
+            } => {
+                // The flow's byte count is *total* memory traffic (reads +
+                // writes), so it loads the read and write caps with weight
+                // 1/2 each (half the traffic goes each way) and the
+                // combined cap with weight 1.
+                let route = Route {
+                    src: msort_topology::Endpoint::HostMem { socket: *socket },
+                    dst: msort_topology::Endpoint::HostMem { socket: *socket },
+                    hops: Vec::new(),
+                };
+                let table = self.platform().constraint_table();
+                let mut constraints = table.route_constraints(&self.platform().topology, &route);
+                let mut seen_combined = false;
+                constraints.retain_mut(|(id, weight)| {
+                    use msort_topology::constraint::ConstraintKind as CK;
+                    match table.constraints()[id.0].kind {
+                        CK::MemRead { .. } | CK::MemWrite { .. } => {
+                            *weight = 0.5;
+                            true
+                        }
+                        CK::MemCombined { .. } => {
+                            let keep = !seen_combined;
+                            seen_combined = true;
+                            keep
+                        }
+                        _ => true,
+                    }
+                });
+                let request = FlowRequest {
+                    constraints,
+                    rate_cap: Some(*rate_cap),
+                };
+                let flow = self.flows.start_request(request, *bytes);
+                OpState::Running {
+                    flow: Some(flow),
+                    ends: None,
+                }
+            }
+        };
+        self.ops[id.0].state = state;
+    }
+
+    fn complete_op(&mut self, idx: usize, t: SimTime) {
+        self.ops[idx].state = OpState::Done;
+        self.ops[idx].finished = Some(t);
+        let kind = self.ops[idx].kind.take().expect("op completes once");
+        match kind {
+            OpKind::Transfer { dst, len, .. } | OpKind::LocalCopy { dst, len, .. } => {
+                let staged = self.ops[idx].staged.take().expect("copy staged its source");
+                let dst_off = self.world.physical(dst.1);
+                let l = self.world.physical(len);
+                self.world.data_mut(dst.0)[dst_off..dst_off + l].copy_from_slice(&staged[..l]);
+            }
+            OpKind::Fixed { effect, .. } | OpKind::HostFlow { effect, .. } => {
+                self.apply_effect(effect);
+            }
+        }
+    }
+
+    fn apply_effect(&mut self, effect: Effect<K>) {
+        match effect {
+            Effect::None | Effect::Marker(_) => {}
+            Effect::DeviceSort {
+                algo,
+                data,
+                range,
+                aux,
+            } => {
+                let lo = self.world.physical(range.0);
+                let hi = self.world.physical(range.1);
+                let (d, a) = self.world.two_mut(data, aux);
+                let n = hi - lo;
+                primitives::device_sort(algo, &mut d[lo..hi], &mut a[..n]);
+            }
+            Effect::DeviceMergeInto { src, mid, len, dst } => {
+                let m = self.world.physical(mid);
+                let l = self.world.physical(len);
+                let (s, d) = self.world.two_mut(src, dst);
+                primitives::device_merge_into(&s[..l], m, &mut d[..l]);
+            }
+            Effect::HostSort { data } => {
+                let d = self.world.data_mut(data);
+                msort_cpu::parallel_sort(d);
+            }
+            Effect::HostMultiwayMerge { inputs, output } => {
+                // Gather physical input windows, then merge into the output.
+                let runs: Vec<Vec<K>> = inputs
+                    .iter()
+                    .map(|&(b, off, len)| self.world.slice(b, off, len).to_vec())
+                    .collect();
+                let views: Vec<&[K]> = runs.iter().map(Vec::as_slice).collect();
+                let total: usize = views.iter().map(|r| r.len()).sum();
+                let out_off = self.world.physical(output.1);
+                let out = self.world.data_mut(output.0);
+                multiway_merge(&views, &mut out[out_off..out_off + total]);
+            }
+            Effect::DeviceMultiwayMerge { inputs, dst } => {
+                let runs: Vec<Vec<K>> = inputs
+                    .iter()
+                    .map(|&(b, off, len)| self.world.slice(b, off, len).to_vec())
+                    .collect();
+                let views: Vec<&[K]> = runs.iter().map(Vec::as_slice).collect();
+                let total: usize = views.iter().map(|r| r.len()).sum();
+                let out = self.world.data_mut(dst);
+                multiway_merge(&views, &mut out[..total]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msort_data::{generate, is_sorted, same_multiset, Distribution};
+    use msort_topology::Platform;
+
+    fn system(platform: &Platform) -> GpuSystem<'_, u32> {
+        GpuSystem::new(platform, Fidelity::Full)
+    }
+
+    #[test]
+    fn htod_sort_dtoh_roundtrip() {
+        let p = Platform::test_pcie(1);
+        let mut sys = system(&p);
+        let input: Vec<u32> = generate(Distribution::Uniform, 4096, 7);
+        let host = sys.world_mut().import_host(0, input.clone(), 4096);
+        let out = sys.world_mut().alloc_host(0, 4096);
+        let dev = sys.world_mut().alloc_gpu(0, 4096);
+        let aux = sys.world_mut().alloc_gpu(0, 4096);
+        let s = sys.stream();
+        let up = sys.memcpy(s, host, 0, dev, 0, 4096, &[], Phase::HtoD);
+        let sort = sys.gpu_sort(s, GpuSortAlgo::ThrustLike, dev, (0, 4096), aux, &[up]);
+        sys.memcpy(s, dev, 0, out, 0, 4096, &[sort], Phase::DtoH);
+        let end = sys.synchronize();
+        assert!(end > SimTime::ZERO);
+        let sorted = sys.world().slice(out, 0, 4096).to_vec();
+        assert!(is_sorted(&sorted));
+        assert!(same_multiset(&input, &sorted));
+    }
+
+    #[test]
+    fn stream_order_is_fifo() {
+        let p = Platform::test_pcie(1);
+        let mut sys = system(&p);
+        let a = sys.world_mut().import_host(0, vec![1u32; 1024], 1024);
+        let dev = sys.world_mut().alloc_gpu(0, 1024);
+        let s = sys.stream();
+        let op1 = sys.memcpy(s, a, 0, dev, 0, 1024, &[], Phase::HtoD);
+        let op2 = sys.memcpy(s, dev, 0, a, 0, 1024, &[], Phase::DtoH);
+        sys.synchronize();
+        let (s1, e1) = sys.op_span(op1).unwrap();
+        let (s2, _) = sys.op_span(op2).unwrap();
+        assert!(s1 < s2);
+        assert!(e1 <= s2, "op2 must not start before op1 completes");
+    }
+
+    #[test]
+    fn cross_stream_ops_overlap() {
+        let p = Platform::test_pcie(2);
+        let mut sys = system(&p);
+        let h = sys.world_mut().import_host(0, vec![3u32; 1 << 20], 1 << 20);
+        let d0 = sys.world_mut().alloc_gpu(0, 1 << 20);
+        let d1 = sys.world_mut().alloc_gpu(1, 1 << 20);
+        let s0 = sys.stream();
+        let s1 = sys.stream();
+        let a = sys.memcpy(s0, h, 0, d0, 0, 1 << 20, &[], Phase::HtoD);
+        let b = sys.memcpy(s1, h, 0, d1, 0, 1 << 20, &[], Phase::HtoD);
+        sys.synchronize();
+        let (sa, ea) = sys.op_span(a).unwrap();
+        let (sb, eb) = sys.op_span(b).unwrap();
+        assert_eq!(sa, sb, "independent streams start together");
+        // Independent 13 GB/s links: same duration.
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn waits_across_streams_are_honored() {
+        let p = Platform::test_pcie(2);
+        let mut sys = system(&p);
+        let h = sys.world_mut().import_host(0, vec![9u32; 4096], 4096);
+        let d0 = sys.world_mut().alloc_gpu(0, 4096);
+        let d1 = sys.world_mut().alloc_gpu(1, 4096);
+        let s0 = sys.stream();
+        let s1 = sys.stream();
+        let a = sys.memcpy(s0, h, 0, d0, 0, 4096, &[], Phase::HtoD);
+        let b = sys.memcpy(s1, h, 0, d1, 0, 4096, &[a], Phase::HtoD);
+        sys.synchronize();
+        let (_, ea) = sys.op_span(a).unwrap();
+        let (sb, _) = sys.op_span(b).unwrap();
+        assert!(sb >= ea);
+    }
+
+    #[test]
+    fn p2p_copy_moves_data() {
+        let p = Platform::dgx_a100();
+        let mut sys = system(&p);
+        let d0 = sys.world_mut().alloc_gpu(0, 1024);
+        let d5 = sys.world_mut().alloc_gpu(5, 1024);
+        // Put recognizable data on GPU 0 without a host transfer.
+        let h = sys
+            .world_mut()
+            .import_host(0, (0..1024u32).rev().collect(), 1024);
+        let s = sys.stream();
+        let up = sys.memcpy(s, h, 0, d0, 0, 1024, &[], Phase::HtoD);
+        sys.memcpy(s, d0, 0, d5, 0, 1024, &[up], Phase::Merge);
+        sys.synchronize();
+        assert_eq!(sys.world().slice(d5, 0, 3), &[1023, 1022, 1021]);
+    }
+
+    #[test]
+    fn dtod_local_copy_is_fast() {
+        let p = Platform::dgx_a100();
+        let mut sys = system(&p);
+        let d0 = sys.world_mut().alloc_gpu(0, 1 << 22);
+        let d0b = sys.world_mut().alloc_gpu(0, 1 << 22);
+        let s = sys.stream();
+        let local = sys.memcpy(s, d0, 0, d0b, 0, 1 << 22, &[], Phase::Merge);
+        sys.synchronize();
+        let (st, en) = sys.op_span(local).unwrap();
+        // 16 MiB at 840 GB/s: ~20 us.
+        let secs = (en - st).as_secs_f64();
+        assert!(secs < 1e-4, "{secs}");
+        assert!(secs > 0.0);
+    }
+
+    #[test]
+    fn cpu_multiway_merge_effect_and_duration() {
+        let p = Platform::dgx_a100();
+        let mut sys = system(&p);
+        let mut runs: Vec<u32> = Vec::new();
+        let a: Vec<u32> = (0..512).map(|x| x * 2).collect();
+        let b: Vec<u32> = (0..512).map(|x| x * 2 + 1).collect();
+        runs.extend_from_slice(&a);
+        runs.extend_from_slice(&b);
+        let src = sys.world_mut().import_host(0, runs, 1024);
+        let out = sys.world_mut().alloc_host(0, 1024);
+        let s = sys.stream();
+        sys.cpu_multiway_merge(s, vec![(src, 0, 512), (src, 512, 512)], out, 0, &[]);
+        let end = sys.synchronize();
+        assert!(end > SimTime::ZERO);
+        let merged = sys.world().slice(out, 0, 1024).to_vec();
+        assert!(is_sorted(&merged));
+        assert_eq!(merged[0], 0);
+        assert_eq!(merged[1023], 1023);
+    }
+
+    #[test]
+    fn cpu_sort_sorts_host_buffer() {
+        let p = Platform::ibm_ac922();
+        let mut sys = system(&p);
+        let input: Vec<u32> = generate(Distribution::ReverseSorted, 2048, 3);
+        let h = sys.world_mut().import_host(0, input.clone(), 2048);
+        let s = sys.stream();
+        sys.cpu_sort(s, h, &[]);
+        sys.synchronize();
+        let sorted = sys.world().slice(h, 0, 2048).to_vec();
+        assert!(is_sorted(&sorted));
+        assert!(same_multiset(&input, &sorted));
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn circular_wait_panics() {
+        let p = Platform::test_pcie(1);
+        let mut sys = system(&p);
+        let h = sys.world_mut().import_host(0, vec![1u32; 16], 16);
+        let d = sys.world_mut().alloc_gpu(0, 16);
+        let s0 = sys.stream();
+        let s1 = sys.stream();
+        // op_b waits on op_c which is behind op_b's... build a cross-stream
+        // cycle: b (s0) waits on c (s1); c waits on b.
+        let b_id = OpId(0);
+        let c = sys.memcpy(s1, h, 0, d, 0, 16, &[b_id], Phase::HtoD);
+        let _b = sys.memcpy(s0, h, 0, d, 0, 16, &[c], Phase::HtoD);
+        sys.synchronize();
+    }
+
+    #[test]
+    fn sampled_fidelity_sorts_sample() {
+        let p = Platform::test_pcie(1);
+        let mut sys: GpuSystem<'_, u32> = GpuSystem::new(&p, Fidelity::Sampled { scale: 4 });
+        let sample: Vec<u32> = generate(Distribution::Uniform, 256, 5);
+        let h = sys.world_mut().import_host(0, sample, 1024);
+        let d = sys.world_mut().alloc_gpu(0, 1024);
+        let aux = sys.world_mut().alloc_gpu(0, 1024);
+        let s = sys.stream();
+        let up = sys.memcpy(s, h, 0, d, 0, 1024, &[], Phase::HtoD);
+        let so = sys.gpu_sort(s, GpuSortAlgo::CubLike, d, (0, 1024), aux, &[up]);
+        sys.memcpy(s, d, 0, h, 0, 1024, &[so], Phase::DtoH);
+        sys.synchronize();
+        assert!(is_sorted(sys.world().slice(h, 0, 1024)));
+        assert_eq!(sys.world().buffer(h).data.len(), 256);
+    }
+
+    #[test]
+    fn timing_independent_of_fidelity() {
+        // The same workload at full and sampled fidelity must produce the
+        // same simulated duration (timing uses logical bytes only).
+        let p = Platform::ibm_ac922();
+        let mut end_times = Vec::new();
+        for fidelity in [Fidelity::Full, Fidelity::Sampled { scale: 16 }] {
+            let mut sys: GpuSystem<'_, u32> = GpuSystem::new(&p, fidelity);
+            let n: u64 = 1 << 20;
+            let phys = (n / fidelity.scale()) as usize;
+            let h = sys
+                .world_mut()
+                .import_host(0, generate(Distribution::Uniform, phys, 9), n);
+            let d = sys.world_mut().alloc_gpu(0, n);
+            let aux = sys.world_mut().alloc_gpu(0, n);
+            let s = sys.stream();
+            let up = sys.memcpy(s, h, 0, d, 0, n, &[], Phase::HtoD);
+            let so = sys.gpu_sort(s, GpuSortAlgo::ThrustLike, d, (0, n), aux, &[up]);
+            sys.memcpy(s, d, 0, h, 0, n, &[so], Phase::DtoH);
+            end_times.push(sys.synchronize());
+        }
+        assert_eq!(end_times[0], end_times[1]);
+    }
+}

@@ -1,0 +1,137 @@
+//! Execution timeline export.
+//!
+//! Every simulated run leaves a complete record of which operation ran
+//! when, on which stream. [`GpuSystem::timeline`] exposes it as data and
+//! [`chrome_trace`] renders it in the Chrome trace-event format, so a run
+//! can be inspected interactively in `chrome://tracing` / Perfetto — the
+//! closest thing the simulator has to `nsys` profiles of the real system.
+
+use crate::system::{GpuSystem, Phase};
+use msort_data::SortKey;
+use msort_sim::SimTime;
+use std::fmt::Write as _;
+
+/// One completed operation in the timeline.
+#[derive(Debug, Clone)]
+pub struct TimelineEntry {
+    /// Display name ("HtoD copy", "gpu sort", ...).
+    pub name: &'static str,
+    /// The phase the operation was tagged with.
+    pub phase: Phase,
+    /// Stream index the operation ran on.
+    pub stream: usize,
+    /// Start time.
+    pub start: SimTime,
+    /// End time.
+    pub end: SimTime,
+}
+
+impl Phase {
+    /// Short display label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::HtoD => "HtoD",
+            Phase::DtoH => "DtoH",
+            Phase::Sort => "sort",
+            Phase::Merge => "merge",
+            Phase::Other => "other",
+        }
+    }
+}
+
+/// Render a timeline in the Chrome trace-event JSON format
+/// (`chrome://tracing`, Perfetto). One "thread" per stream; durations in
+/// microseconds of simulated time.
+#[must_use]
+pub fn chrome_trace(entries: &[TimelineEntry]) -> String {
+    let mut out = String::from("[\n");
+    for (i, e) in entries.iter().enumerate() {
+        let ts = e.start.0 as f64 / 1e3; // ns -> us
+        let dur = (e.end.0 - e.start.0) as f64 / 1e3;
+        let _ = write!(
+            out,
+            "  {{\"name\": \"{} ({})\", \"cat\": \"{}\", \"ph\": \"X\", \
+             \"ts\": {ts:.3}, \"dur\": {dur:.3}, \"pid\": 0, \"tid\": {}}}",
+            e.name,
+            e.phase.label(),
+            e.phase.label(),
+            e.stream,
+        );
+        out.push_str(if i + 1 == entries.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
+impl<K: SortKey> GpuSystem<'_, K> {
+    /// The completed-operation timeline, ordered by start time.
+    #[must_use]
+    pub fn timeline(&self) -> Vec<TimelineEntry> {
+        let mut entries = self.timeline_entries();
+        entries.sort_by_key(|e| (e.start, e.stream));
+        entries
+    }
+
+    /// Convenience: the full run as a Chrome trace JSON string.
+    #[must_use]
+    pub fn chrome_trace(&self) -> String {
+        chrome_trace(&self.timeline())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::Fidelity;
+    use msort_sim::GpuSortAlgo;
+    use msort_topology::Platform;
+
+    #[test]
+    fn timeline_records_all_ops() {
+        let p = Platform::test_pcie(1);
+        let mut sys: GpuSystem<'_, u32> = GpuSystem::new(&p, Fidelity::Full);
+        let h = sys.world_mut().import_host(0, vec![3u32, 1, 2, 0], 4);
+        let d = sys.world_mut().alloc_gpu(0, 4);
+        let aux = sys.world_mut().alloc_gpu(0, 4);
+        let s = sys.stream();
+        let up = sys.memcpy(s, h, 0, d, 0, 4, &[], Phase::HtoD);
+        let so = sys.gpu_sort(s, GpuSortAlgo::ThrustLike, d, (0, 4), aux, &[up]);
+        sys.memcpy(s, d, 0, h, 0, 4, &[so], Phase::DtoH);
+        sys.synchronize();
+
+        let timeline = sys.timeline();
+        assert_eq!(timeline.len(), 3);
+        assert!(timeline.windows(2).all(|w| w[0].start <= w[1].start));
+        assert_eq!(timeline[0].phase, Phase::HtoD);
+        assert_eq!(timeline[1].phase, Phase::Sort);
+        assert_eq!(timeline[2].phase, Phase::DtoH);
+        for e in &timeline {
+            assert!(e.end >= e.start);
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_shape() {
+        let p = Platform::test_pcie(1);
+        let mut sys: GpuSystem<'_, u32> = GpuSystem::new(&p, Fidelity::Full);
+        let h = sys.world_mut().import_host(0, vec![1u32; 16], 16);
+        let d = sys.world_mut().alloc_gpu(0, 16);
+        let s = sys.stream();
+        sys.memcpy(s, h, 0, d, 0, 16, &[], Phase::HtoD);
+        sys.synchronize();
+        let json = sys.chrome_trace();
+        assert!(json.starts_with("[\n"));
+        assert!(json.trim_end().ends_with(']'));
+        assert!(json.contains("\"ph\": \"X\""));
+        assert!(json.contains("HtoD"));
+        // Exactly one event, so no trailing comma.
+        assert_eq!(json.matches("{\"name\"").count(), 1);
+        assert!(!json.contains("},\n]"));
+    }
+
+    #[test]
+    fn empty_timeline_renders() {
+        assert_eq!(chrome_trace(&[]), "[\n]\n");
+    }
+}

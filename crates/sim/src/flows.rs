@@ -1,0 +1,353 @@
+//! Fluid transfer engine.
+//!
+//! Concurrently active transfers are *fluid flows*: at every instant each
+//! flow progresses at the max-min fair rate computed by
+//! [`msort_topology::allocate_rates`] from the platform's constraint table.
+//! Rates change only when the flow set changes, so the engine advances in
+//! events: start a flow → re-allocate; earliest completion → advance the
+//! clock exactly there, retire the flow, re-allocate.
+//!
+//! The same engine drives both the paper's interconnect microbenchmarks
+//! (Figures 2–7 are literally "start these flows at t=0, report total bytes
+//! over the makespan") and, through the virtual GPU runtime, every copy of
+//! the sorting algorithms.
+
+use crate::time::{SimDuration, SimTime};
+use msort_topology::{allocate_rates, FlowRequest, Platform, Route};
+
+/// Handle to an active (or completed) flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowId(usize);
+
+#[derive(Debug)]
+struct ActiveFlow {
+    request: FlowRequest,
+    remaining: f64,
+    rate: f64,
+    done: bool,
+}
+
+/// The fluid transfer simulator for one platform.
+///
+/// Typical driving loop:
+/// ```
+/// use msort_sim::{FlowSim, SimTime};
+/// use msort_topology::{Platform, Endpoint};
+/// let platform = Platform::test_pcie(2);
+/// let mut sim = FlowSim::new(&platform);
+/// let r0 = sim.route(Endpoint::HOST0, Endpoint::gpu(0)).unwrap();
+/// let r1 = sim.route(Endpoint::HOST0, Endpoint::gpu(1)).unwrap();
+/// sim.start(&r0, 1 << 30);
+/// sim.start(&r1, 1 << 30);
+/// while let Some((t, _flow)) = sim.next_completion() {
+///     sim.advance_to(t);
+/// }
+/// assert!(sim.now() > SimTime::ZERO);
+/// ```
+#[derive(Debug)]
+pub struct FlowSim<'p> {
+    platform: &'p Platform,
+    flows: Vec<ActiveFlow>,
+    now: SimTime,
+}
+
+impl<'p> FlowSim<'p> {
+    /// Create an idle simulator at `t = 0`.
+    #[must_use]
+    pub fn new(platform: &'p Platform) -> Self {
+        Self {
+            platform,
+            flows: Vec::new(),
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The platform being simulated.
+    #[must_use]
+    pub fn platform(&self) -> &'p Platform {
+        self.platform
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Find a route on this platform (convenience wrapper).
+    #[must_use]
+    pub fn route(
+        &self,
+        src: msort_topology::Endpoint,
+        dst: msort_topology::Endpoint,
+    ) -> Option<Route> {
+        msort_topology::route::route(&self.platform.topology, src, dst)
+    }
+
+    /// Start a transfer of `bytes` along `route` at the current time.
+    pub fn start(&mut self, route: &Route, bytes: u64) -> FlowId {
+        self.start_request(self.platform.flow_request(route), bytes)
+    }
+
+    /// Start a transfer from an explicit allocator request (used for flows
+    /// with custom rate caps, e.g. modeled CPU merges contending for host
+    /// memory bandwidth).
+    pub fn start_request(&mut self, request: FlowRequest, bytes: u64) -> FlowId {
+        let id = FlowId(self.flows.len());
+        self.flows.push(ActiveFlow {
+            request,
+            remaining: bytes as f64,
+            rate: 0.0,
+            done: bytes == 0,
+        });
+        self.reallocate();
+        id
+    }
+
+    /// `true` once the flow has delivered all its bytes.
+    #[must_use]
+    pub fn is_done(&self, id: FlowId) -> bool {
+        self.flows[id.0].done
+    }
+
+    /// Current rate (bytes/s) of a flow; zero once completed.
+    #[must_use]
+    pub fn rate(&self, id: FlowId) -> f64 {
+        if self.flows[id.0].done {
+            0.0
+        } else {
+            self.flows[id.0].rate
+        }
+    }
+
+    /// Number of currently active (unfinished) flows.
+    #[must_use]
+    pub fn active_count(&self) -> usize {
+        self.flows.iter().filter(|f| !f.done).count()
+    }
+
+    /// Earliest upcoming flow completion `(time, flow)`, if any flow is
+    /// active.
+    #[must_use]
+    pub fn next_completion(&self) -> Option<(SimTime, FlowId)> {
+        let mut best: Option<(SimTime, FlowId)> = None;
+        for (i, f) in self.flows.iter().enumerate() {
+            if f.done {
+                continue;
+            }
+            assert!(
+                f.rate > 0.0,
+                "active flow {i} has zero rate: the allocator starved it"
+            );
+            let eta = self.now + SimDuration::for_bytes_at(f.remaining.ceil() as u64, f.rate);
+            if best.is_none_or(|(t, _)| eta < t) {
+                best = Some((eta, FlowId(i)));
+            }
+        }
+        best
+    }
+
+    /// Advance the clock to `t`, progressing all active flows linearly and
+    /// retiring the ones that finish. Returns the retired flow ids.
+    ///
+    /// # Panics
+    /// Panics if `t` is in the past.
+    pub fn advance_to(&mut self, t: SimTime) -> Vec<FlowId> {
+        let dt = t.since(self.now).as_secs_f64();
+        self.now = t;
+        let mut finished = Vec::new();
+        for (i, f) in self.flows.iter_mut().enumerate() {
+            if f.done {
+                continue;
+            }
+            f.remaining -= f.rate * dt;
+            // Sub-nanosecond residue is a completed flow: rates are exact
+            // between events, but `for_bytes_at` rounds up to whole ns.
+            if f.remaining <= f.rate * 1e-9 + 1e-6 {
+                f.remaining = 0.0;
+                f.done = true;
+                finished.push(FlowId(i));
+            }
+        }
+        if !finished.is_empty() {
+            self.reallocate();
+        }
+        finished
+    }
+
+    /// Run until every flow completes; returns the final time.
+    pub fn run_to_idle(&mut self) -> SimTime {
+        while let Some((t, _)) = self.next_completion() {
+            self.advance_to(t);
+        }
+        self.now
+    }
+
+    /// Drop all completed flows' bookkeeping (ids of retired flows become
+    /// invalid). Useful between independent experiment phases.
+    pub fn compact(&mut self) {
+        self.flows.retain(|f| !f.done);
+        // Indices shifted: only valid when no external FlowIds are held.
+        self.reallocate();
+    }
+
+    fn reallocate(&mut self) {
+        let active: Vec<usize> = (0..self.flows.len())
+            .filter(|&i| !self.flows[i].done)
+            .collect();
+        let requests: Vec<FlowRequest> = active
+            .iter()
+            .map(|&i| self.flows[i].request.clone())
+            .collect();
+        let rates = allocate_rates(self.platform.constraint_table(), &requests);
+        for (&i, &rate) in active.iter().zip(rates.iter()) {
+            assert!(
+                rate.is_finite(),
+                "flow {i} is unconstrained; give intra-device copies a rate cap"
+            );
+            self.flows[i].rate = rate;
+        }
+    }
+}
+
+/// Outcome of running a set of same-sized transfers to completion, as the
+/// paper's interconnect microbenchmarks report them.
+#[derive(Debug, Clone, Copy)]
+pub struct TransferReport {
+    /// Total bytes moved across all flows.
+    pub total_bytes: u64,
+    /// Time from first start to last completion.
+    pub makespan: SimDuration,
+}
+
+impl TransferReport {
+    /// Aggregate throughput in decimal GB/s — the figure-of-merit of the
+    /// paper's Figures 2–7 (total bytes over the slowest stream's time).
+    #[must_use]
+    pub fn throughput_gbps(&self) -> f64 {
+        self.total_bytes as f64 / self.makespan.as_secs_f64() / 1e9
+    }
+}
+
+/// Start one flow of `bytes` per route, all at `t = 0`, run to completion,
+/// and report aggregate throughput. This is exactly the measurement loop of
+/// the paper's transfer benchmarks.
+#[must_use]
+pub fn measure_concurrent(platform: &Platform, routes: &[Route], bytes: u64) -> TransferReport {
+    let mut sim = FlowSim::new(platform);
+    for r in routes {
+        sim.start(r, bytes);
+    }
+    let end = sim.run_to_idle();
+    TransferReport {
+        total_bytes: bytes * routes.len() as u64,
+        makespan: end.since(SimTime::ZERO),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msort_topology::{gbps, Endpoint, Platform};
+
+    const GIB: u64 = 1 << 30;
+
+    #[test]
+    fn single_flow_duration_matches_rate() {
+        let p = Platform::test_pcie(1);
+        let mut sim = FlowSim::new(&p);
+        let r = sim.route(Endpoint::HOST0, Endpoint::gpu(0)).unwrap();
+        sim.start(&r, 13_000_000_000); // 13 GB at 13 GB/s -> 1 s
+        let end = sim.run_to_idle();
+        assert!((end.as_secs_f64() - 1.0).abs() < 1e-6, "{end}");
+    }
+
+    #[test]
+    fn two_flows_on_shared_bottleneck_take_twice_as_long() {
+        let p = Platform::test_pcie(2);
+        // Both flows share the memory read cap? test_pcie read cap is 80,
+        // links 13 each: independent. Use the same GPU twice instead: the
+        // two flows share one 13 GB/s link.
+        let mut sim = FlowSim::new(&p);
+        let r = sim.route(Endpoint::HOST0, Endpoint::gpu(0)).unwrap();
+        sim.start(&r, 13_000_000_000);
+        sim.start(&r, 13_000_000_000);
+        let end = sim.run_to_idle();
+        assert!((end.as_secs_f64() - 2.0).abs() < 1e-5, "{end}");
+    }
+
+    #[test]
+    fn staggered_start_speeds_up_survivor() {
+        let p = Platform::test_pcie(1);
+        let mut sim = FlowSim::new(&p);
+        let r = sim.route(Endpoint::HOST0, Endpoint::gpu(0)).unwrap();
+        let a = sim.start(&r, 13_000_000_000);
+        let b = sim.start(&r, 6_500_000_000);
+        // Fair share 6.5 each: b finishes at t=1 having moved 6.5 GB;
+        // a then runs alone at 13 GB/s for its remaining 6.5 GB -> t=1.5.
+        let (t1, first) = sim.next_completion().unwrap();
+        assert_eq!(first, b);
+        sim.advance_to(t1);
+        assert!(sim.is_done(b));
+        assert!(!sim.is_done(a));
+        assert!((sim.rate(a) - gbps(13.0)).abs() < 1e3);
+        let end = sim.run_to_idle();
+        assert!((end.as_secs_f64() - 1.5).abs() < 1e-5, "{end}");
+    }
+
+    #[test]
+    fn zero_byte_flow_completes_immediately() {
+        let p = Platform::test_pcie(1);
+        let mut sim = FlowSim::new(&p);
+        let r = sim.route(Endpoint::HOST0, Endpoint::gpu(0)).unwrap();
+        let f = sim.start(&r, 0);
+        assert!(sim.is_done(f));
+        assert!(sim.next_completion().is_none());
+    }
+
+    #[test]
+    fn measure_concurrent_reports_aggregate() {
+        let p = Platform::test_pcie(2);
+        let r0 =
+            msort_topology::route::route(&p.topology, Endpoint::HOST0, Endpoint::gpu(0)).unwrap();
+        let r1 =
+            msort_topology::route::route(&p.topology, Endpoint::HOST0, Endpoint::gpu(1)).unwrap();
+        let rep = measure_concurrent(&p, &[r0, r1], 4 * GIB);
+        // Independent 13 GB/s links: aggregate ~26 GB/s.
+        assert!((rep.throughput_gbps() - 26.0).abs() < 0.3, "{rep:?}");
+    }
+
+    #[test]
+    fn compact_drops_finished_flows() {
+        let p = Platform::test_pcie(1);
+        let mut sim = FlowSim::new(&p);
+        let r = sim.route(Endpoint::HOST0, Endpoint::gpu(0)).unwrap();
+        sim.start(&r, GIB);
+        sim.run_to_idle();
+        assert_eq!(sim.active_count(), 0);
+        sim.compact();
+        // New flows after compaction behave normally.
+        let f = sim.start(&r, GIB);
+        assert!(!sim.is_done(f));
+        sim.run_to_idle();
+        assert!(sim.is_done(f));
+    }
+
+    #[test]
+    fn clock_is_monotonic_across_events() {
+        let p = Platform::test_pcie(2);
+        let mut sim = FlowSim::new(&p);
+        let r0 = sim.route(Endpoint::HOST0, Endpoint::gpu(0)).unwrap();
+        let r1 = sim
+            .route(Endpoint::gpu(1), Endpoint::HostMem { socket: 0 })
+            .unwrap();
+        sim.start(&r0, GIB);
+        sim.start(&r1, 3 * GIB);
+        let mut last = SimTime::ZERO;
+        while let Some((t, _)) = sim.next_completion() {
+            assert!(t >= last);
+            sim.advance_to(t);
+            last = t;
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Simulated time: integer nanoseconds.
+//!
+//! Using an integer clock (rather than `f64` seconds) keeps event ordering
+//! exact and the whole simulation bit-for-bit deterministic across runs and
+//! platforms, which the test suite relies on.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point on the simulated clock (nanoseconds since simulation start).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time (nanoseconds).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Seconds since the epoch as a float (for reporting only).
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Span from `earlier` to `self`.
+    ///
+    /// # Panics
+    /// Panics if `earlier` is after `self`.
+    #[must_use]
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("`earlier` must not be after `self`"),
+        )
+    }
+}
+
+impl SimDuration {
+    /// Zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from float seconds (saturating at zero; rounds to ns).
+    #[must_use]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        SimDuration((secs.max(0.0) * 1e9).round() as u64)
+    }
+
+    /// Construct from microseconds.
+    #[must_use]
+    pub fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    #[must_use]
+    pub fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// The span in float seconds.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The span in float milliseconds.
+    #[must_use]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Duration to move `bytes` at `rate` bytes/s (rounds up to whole ns so
+    /// a transfer never completes early).
+    #[must_use]
+    pub fn for_bytes_at(bytes: u64, rate: f64) -> Self {
+        assert!(rate > 0.0, "rate must be positive");
+        SimDuration(((bytes as f64 / rate) * 1e9).ceil() as u64)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 1_000_000 {
+            write!(f, "{:.1}us", self.0 as f64 / 1e3)
+        } else if self.0 < 1_000_000_000 {
+            write!(f, "{:.2}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO + SimDuration::from_millis(5);
+        assert_eq!(t.0, 5_000_000);
+        assert_eq!((t - SimTime::ZERO).as_millis_f64(), 5.0);
+        let mut t2 = t;
+        t2 += SimDuration::from_micros(1);
+        assert_eq!(t2.0, 5_001_000);
+    }
+
+    #[test]
+    fn bytes_at_rate_rounds_up() {
+        // 1 GB at 3 GB/s = 0.333...s: must round up.
+        let d = SimDuration::for_bytes_at(1_000_000_000, 3e9);
+        assert!(d.as_secs_f64() >= 1.0 / 3.0);
+        assert!(d.as_secs_f64() < 1.0 / 3.0 + 1e-6);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let d = SimDuration::from_secs_f64(1.25);
+        assert_eq!(d.0, 1_250_000_000);
+        assert_eq!(d.as_secs_f64(), 1.25);
+        assert_eq!(format!("{d}"), "1.250s");
+        assert_eq!(format!("{}", SimDuration::from_millis(36)), "36.00ms");
+        assert_eq!(format!("{}", SimDuration::from_micros(62)), "62.0us");
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be after")]
+    fn negative_span_panics() {
+        let _ = SimTime(5).since(SimTime(6));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime(1) < SimTime(2));
+        assert!(SimDuration::from_millis(1) < SimDuration::from_millis(2));
+    }
+}

@@ -1,0 +1,277 @@
+//! Weighted max-min fair rate allocation ("progressive filling").
+//!
+//! Given a set of flows, each loading a set of capacity constraints, the
+//! allocator raises all flow rates uniformly until some constraint
+//! saturates; flows crossing a saturated constraint are frozen at their
+//! current rate and filling continues for the rest. A flow may additionally
+//! carry an individual rate cap (used to model single-stream inefficiencies
+//! such as host-traversing P2P copies, which the paper measures well below
+//! the bottleneck link's capacity).
+//!
+//! This is the standard fluid model of bandwidth sharing: it reproduces the
+//! paper's contention effects (GPU pairs sharing a PCIe switch each get half
+//! the switch's rate; four P2P streams sharing the X-Bus collapse to a
+//! fraction of direct NVLink throughput) without simulating packets.
+
+use crate::constraint::{ConstraintId, ConstraintTable};
+
+/// One flow's demand: the constraints it loads and an optional rate cap.
+#[derive(Debug, Clone)]
+pub struct FlowRequest {
+    /// `(constraint, weight)` pairs; the flow consumes `weight × rate`
+    /// against each listed constraint.
+    pub constraints: Vec<(ConstraintId, f64)>,
+    /// Per-flow maximum rate (bytes/s), if any.
+    pub rate_cap: Option<f64>,
+}
+
+impl FlowRequest {
+    /// Flow with unit weights on `constraints` and no rate cap.
+    #[must_use]
+    pub fn new(constraints: Vec<(ConstraintId, f64)>) -> Self {
+        Self {
+            constraints,
+            rate_cap: None,
+        }
+    }
+
+    /// Attach a rate cap.
+    #[must_use]
+    pub fn with_cap(mut self, cap: f64) -> Self {
+        self.rate_cap = Some(cap);
+        self
+    }
+}
+
+/// Compute max-min fair rates (bytes/s) for `flows` under `table`.
+///
+/// Returns one rate per flow, in order. Flows with an empty constraint list
+/// and no cap are unconstrained; they receive `f64::INFINITY` (callers model
+/// such copies — e.g. intra-device — with explicit rate caps instead).
+#[must_use]
+pub fn allocate_rates(table: &ConstraintTable, flows: &[FlowRequest]) -> Vec<f64> {
+    let mut rates = vec![0.0f64; flows.len()];
+    if flows.is_empty() {
+        return rates;
+    }
+
+    let mut remaining: Vec<f64> = table.constraints().iter().map(|c| c.capacity).collect();
+    let mut frozen = vec![false; flows.len()];
+
+    loop {
+        // Total unfrozen weight per constraint.
+        let mut weight = vec![0.0f64; remaining.len()];
+        for (f, flow) in flows.iter().enumerate() {
+            if frozen[f] {
+                continue;
+            }
+            for &(c, w) in &flow.constraints {
+                weight[c.0] += w;
+            }
+        }
+
+        // The uniform rate increment every unfrozen flow can still take.
+        let mut delta = f64::INFINITY;
+        for (c, (&rem, &w)) in remaining.iter().zip(weight.iter()).enumerate() {
+            if w > 0.0 {
+                let _ = c;
+                delta = delta.min(rem / w);
+            }
+        }
+        for (f, flow) in flows.iter().enumerate() {
+            if frozen[f] {
+                continue;
+            }
+            if let Some(cap) = flow.rate_cap {
+                delta = delta.min(cap - rates[f]);
+            }
+        }
+        if !delta.is_finite() {
+            // Remaining flows are unconstrained.
+            for (f, rate) in rates.iter_mut().enumerate() {
+                if !frozen[f] {
+                    *rate = f64::INFINITY;
+                }
+            }
+            break;
+        }
+        let delta = delta.max(0.0);
+
+        // Apply the increment and its consumption.
+        for (f, flow) in flows.iter().enumerate() {
+            if frozen[f] {
+                continue;
+            }
+            rates[f] += delta;
+            for &(c, w) in &flow.constraints {
+                remaining[c.0] = (remaining[c.0] - delta * w).max(0.0);
+            }
+        }
+
+        // Freeze flows at their cap or on a saturated constraint.
+        let mut progressed = false;
+        for (f, flow) in flows.iter().enumerate() {
+            if frozen[f] {
+                continue;
+            }
+            let capped = flow
+                .rate_cap
+                .is_some_and(|cap| rates[f] >= cap - f64::EPSILON * cap.abs());
+            let saturated = flow
+                .constraints
+                .iter()
+                .any(|&(c, w)| w > 0.0 && remaining[c.0] <= saturation_epsilon(table.capacity(c)));
+            if capped || saturated {
+                frozen[f] = true;
+                progressed = true;
+            }
+        }
+        if frozen.iter().all(|&f| f) {
+            break;
+        }
+        if !progressed {
+            // Numerical corner: nothing froze but delta was ~0. Freeze all
+            // remaining flows to terminate; their rates are already max-min.
+            for f in frozen.iter_mut() {
+                *f = true;
+            }
+            break;
+        }
+    }
+    rates
+}
+
+/// Tolerance for deciding a constraint is saturated, relative to its size.
+fn saturation_epsilon(capacity: f64) -> f64 {
+    (capacity * 1e-9).max(1e-6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::ConstraintTable;
+    use crate::graph::{gbps, GpuModel, LinkKind, MemSpec, TopologyBuilder};
+    use crate::route::{route, Endpoint};
+
+    /// CPU0 with one PCIe link to each of two GPUs and a duplex cap.
+    fn topo_shared_mem() -> (crate::graph::Topology, ConstraintTable) {
+        let mut b = TopologyBuilder::new();
+        let c0 = b.cpu(
+            0,
+            MemSpec {
+                capacity_bytes: 1 << 34,
+                read_cap: gbps(20.0),
+                write_cap: gbps(15.0),
+                combined_cap: Some(gbps(24.0)),
+            },
+        );
+        let g0 = b.gpu(0, GpuModel::V100);
+        let g1 = b.gpu(1, GpuModel::V100);
+        b.link_duplex(c0, g0, LinkKind::Pcie3, gbps(13.0), gbps(20.0));
+        b.link_duplex(c0, g1, LinkKind::Pcie3, gbps(13.0), gbps(20.0));
+        let t = b.build();
+        let table = ConstraintTable::new(&t);
+        (t, table)
+    }
+
+    fn flow(
+        t: &crate::graph::Topology,
+        table: &ConstraintTable,
+        src: Endpoint,
+        dst: Endpoint,
+    ) -> FlowRequest {
+        let r = route(t, src, dst).unwrap();
+        FlowRequest::new(table.route_constraints(t, &r))
+    }
+
+    #[test]
+    fn single_flow_gets_bottleneck_rate() {
+        let (t, table) = topo_shared_mem();
+        let f = flow(&t, &table, Endpoint::HOST0, Endpoint::gpu(0));
+        let rates = allocate_rates(&table, &[f]);
+        assert!((rates[0] - gbps(13.0)).abs() < 1e6, "rate {}", rates[0]);
+    }
+
+    #[test]
+    fn two_parallel_flows_share_memory_read_cap() {
+        let (t, table) = topo_shared_mem();
+        let f0 = flow(&t, &table, Endpoint::HOST0, Endpoint::gpu(0));
+        let f1 = flow(&t, &table, Endpoint::HOST0, Endpoint::gpu(1));
+        let rates = allocate_rates(&table, &[f0, f1]);
+        // Each link allows 13, but the memory read cap of 20 splits evenly.
+        assert!((rates[0] - gbps(10.0)).abs() < 1e6);
+        assert!((rates[1] - gbps(10.0)).abs() < 1e6);
+    }
+
+    #[test]
+    fn bidirectional_flows_hit_duplex_cap() {
+        let (t, table) = topo_shared_mem();
+        let up = flow(&t, &table, Endpoint::HOST0, Endpoint::gpu(0));
+        let down = flow(&t, &table, Endpoint::gpu(0), Endpoint::HOST0);
+        let rates = allocate_rates(&table, &[up, down]);
+        // Duplex cap 20 shared evenly: 10 each (below per-dir 13).
+        assert!((rates[0] - gbps(10.0)).abs() < 1e6, "up {}", rates[0]);
+        assert!((rates[1] - gbps(10.0)).abs() < 1e6, "down {}", rates[1]);
+    }
+
+    #[test]
+    fn rate_cap_freezes_flow_and_releases_capacity() {
+        let (t, table) = topo_shared_mem();
+        let f0 = flow(&t, &table, Endpoint::HOST0, Endpoint::gpu(0)).with_cap(gbps(4.0));
+        let f1 = flow(&t, &table, Endpoint::HOST0, Endpoint::gpu(1));
+        let rates = allocate_rates(&table, &[f0, f1]);
+        assert!((rates[0] - gbps(4.0)).abs() < 1e6);
+        // f1 takes the rest of the 20 read cap, limited by its 13 link.
+        assert!((rates[1] - gbps(13.0)).abs() < 1e6, "f1 {}", rates[1]);
+    }
+
+    #[test]
+    fn max_min_is_pareto_and_feasible() {
+        let (t, table) = topo_shared_mem();
+        let flows = vec![
+            flow(&t, &table, Endpoint::HOST0, Endpoint::gpu(0)),
+            flow(&t, &table, Endpoint::HOST0, Endpoint::gpu(1)),
+            flow(&t, &table, Endpoint::gpu(0), Endpoint::HOST0),
+            flow(&t, &table, Endpoint::gpu(1), Endpoint::HOST0),
+        ];
+        let rates = allocate_rates(&table, &flows);
+        // Feasibility: per-constraint consumption within capacity.
+        let mut used = vec![0.0; table.constraints().len()];
+        for (f, fl) in flows.iter().enumerate() {
+            for &(c, w) in &fl.constraints {
+                used[c.0] += rates[f] * w;
+            }
+        }
+        for (u, c) in used.iter().zip(table.constraints()) {
+            assert!(*u <= c.capacity * 1.000001, "{u} > {}", c.capacity);
+        }
+        // Every flow crosses at least one saturated constraint (Pareto).
+        for (f, fl) in flows.iter().enumerate() {
+            let bottlenecked = fl
+                .constraints
+                .iter()
+                .any(|&(c, _)| used[c.0] >= table.capacity(c) * 0.999);
+            assert!(bottlenecked, "flow {f} has no bottleneck");
+        }
+    }
+
+    #[test]
+    fn empty_flow_list() {
+        let (_t, table) = topo_shared_mem();
+        assert!(allocate_rates(&table, &[]).is_empty());
+    }
+
+    #[test]
+    fn unconstrained_flow_is_infinite() {
+        let (_t, table) = topo_shared_mem();
+        let rates = allocate_rates(&table, &[FlowRequest::new(Vec::new())]);
+        assert!(rates[0].is_infinite());
+    }
+
+    #[test]
+    fn uncapped_and_capped_mix_terminates() {
+        let (_t, table) = topo_shared_mem();
+        let rates = allocate_rates(&table, &[FlowRequest::new(Vec::new()).with_cap(gbps(5.0))]);
+        assert!((rates[0] - gbps(5.0)).abs() < 1e6);
+    }
+}

@@ -1,0 +1,301 @@
+//! Capacity constraints derived from a topology.
+//!
+//! Every concurrently active transfer consumes capacity on a set of
+//! *constraints*:
+//!
+//! * one per **directed link** it traverses,
+//! * one per traversed link that has a **duplex aggregate** cap (both
+//!   directions together),
+//! * the source/destination **host-memory** read/write caps, and the
+//!   memory's combined cap when present.
+//!
+//! The [`ConstraintTable`] enumerates all constraints of a topology once;
+//! [`ConstraintTable::route_constraints`] maps a [`Route`] to the constraint
+//! indices it loads. The max-min allocator in [`crate::allocate`] then works
+//! purely on indices and capacities.
+
+use crate::graph::{LinkId, NodeKind, Topology};
+use crate::route::{Endpoint, Route};
+use serde::{Deserialize, Serialize};
+
+/// Index into a [`ConstraintTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConstraintId(pub usize);
+
+/// What a constraint models (for diagnostics and tests).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ConstraintKind {
+    /// Link `link` in the `a → b` direction.
+    LinkForward {
+        /// The link.
+        link: LinkId,
+    },
+    /// Link `link` in the `b → a` direction.
+    LinkBackward {
+        /// The link.
+        link: LinkId,
+    },
+    /// Duplex aggregate of `link` (both directions combined).
+    LinkDuplex {
+        /// The link.
+        link: LinkId,
+    },
+    /// Host memory read bandwidth of NUMA socket `socket`.
+    MemRead {
+        /// Socket index.
+        socket: usize,
+    },
+    /// Host memory write bandwidth of NUMA socket `socket`.
+    MemWrite {
+        /// Socket index.
+        socket: usize,
+    },
+    /// Combined host memory bandwidth of NUMA socket `socket`.
+    MemCombined {
+        /// Socket index.
+        socket: usize,
+    },
+}
+
+/// One capacity constraint.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Constraint {
+    /// What this constraint models.
+    pub kind: ConstraintKind,
+    /// Capacity in bytes/s.
+    pub capacity: f64,
+}
+
+/// All constraints of one topology, with fast route lookup.
+#[derive(Debug, Clone)]
+pub struct ConstraintTable {
+    constraints: Vec<Constraint>,
+    /// `link.0 -> (forward, backward, duplex)` constraint ids.
+    link_index: Vec<(ConstraintId, ConstraintId, Option<ConstraintId>)>,
+    /// `socket -> (read, write, combined)` constraint ids.
+    mem_index: Vec<(ConstraintId, ConstraintId, Option<ConstraintId>)>,
+}
+
+impl ConstraintTable {
+    /// Enumerate the constraints of `topo`.
+    #[must_use]
+    pub fn new(topo: &Topology) -> Self {
+        let mut constraints = Vec::new();
+        let mut push = |kind, capacity| {
+            let id = ConstraintId(constraints.len());
+            constraints.push(Constraint { kind, capacity });
+            id
+        };
+
+        let mut link_index = Vec::with_capacity(topo.links().len());
+        for (i, link) in topo.links().iter().enumerate() {
+            let link_id = LinkId(i);
+            let fwd = push(ConstraintKind::LinkForward { link: link_id }, link.cap_ab);
+            let bwd = push(ConstraintKind::LinkBackward { link: link_id }, link.cap_ba);
+            let dup = link
+                .cap_duplex
+                .map(|cap| push(ConstraintKind::LinkDuplex { link: link_id }, cap));
+            link_index.push((fwd, bwd, dup));
+        }
+
+        // Memory constraints indexed by socket; sockets are assumed dense
+        // from 0 (all paper platforms have sockets {0, 1}).
+        let mut mems: Vec<(usize, crate::graph::MemSpec)> = topo
+            .nodes()
+            .iter()
+            .filter_map(|n| match n.kind {
+                NodeKind::Cpu { socket, mem } => Some((socket, mem)),
+                _ => None,
+            })
+            .collect();
+        mems.sort_by_key(|&(s, _)| s);
+        let mut mem_index = Vec::with_capacity(mems.len());
+        for (socket, mem) in mems {
+            debug_assert_eq!(socket, mem_index.len(), "sockets must be dense from 0");
+            let read = push(ConstraintKind::MemRead { socket }, mem.read_cap);
+            let write = push(ConstraintKind::MemWrite { socket }, mem.write_cap);
+            let comb = mem
+                .combined_cap
+                .map(|cap| push(ConstraintKind::MemCombined { socket }, cap));
+            mem_index.push((read, write, comb));
+        }
+
+        Self {
+            constraints,
+            link_index,
+            mem_index,
+        }
+    }
+
+    /// All constraints.
+    #[must_use]
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Capacity of constraint `id`.
+    #[must_use]
+    pub fn capacity(&self, id: ConstraintId) -> f64 {
+        self.constraints[id.0].capacity
+    }
+
+    /// The constraint ids a transfer along `route` consumes, each with the
+    /// consumption weight per byte transferred (1.0 everywhere today; the
+    /// field exists so coherence-traffic overheads can be modeled per
+    /// constraint).
+    #[must_use]
+    pub fn route_constraints(&self, topo: &Topology, route: &Route) -> Vec<(ConstraintId, f64)> {
+        let mut out = Vec::with_capacity(route.hops.len() * 2 + 4);
+        for hop in &route.hops {
+            let link = topo.link(hop.link);
+            let (fwd, bwd, dup) = self.link_index[hop.link.0];
+            if hop.from == link.a {
+                out.push((fwd, 1.0));
+            } else {
+                out.push((bwd, 1.0));
+            }
+            if let Some(d) = dup {
+                out.push((d, 1.0));
+            }
+        }
+        if let Endpoint::HostMem { socket } = route.src {
+            let (read, _, comb) = self.mem_index[socket];
+            out.push((read, 1.0));
+            if let Some(c) = comb {
+                out.push((c, 1.0));
+            }
+        }
+        if let Endpoint::HostMem { socket } = route.dst {
+            let (_, write, comb) = self.mem_index[socket];
+            out.push((write, 1.0));
+            if let Some(c) = comb {
+                out.push((c, 1.0));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{gbps, GpuModel, LinkKind, MemSpec, TopologyBuilder};
+    use crate::route::route;
+
+    fn topo() -> Topology {
+        let mut b = TopologyBuilder::new();
+        let c0 = b.cpu(
+            0,
+            MemSpec {
+                capacity_bytes: 1 << 34,
+                read_cap: gbps(140.0),
+                write_cap: gbps(110.0),
+                combined_cap: Some(gbps(136.0)),
+            },
+        );
+        let g0 = b.gpu(0, GpuModel::V100);
+        let g1 = b.gpu(1, GpuModel::V100);
+        b.link_duplex(c0, g0, LinkKind::Pcie3, gbps(13.0), gbps(20.0));
+        b.link(c0, g1, LinkKind::NvLink2 { bricks: 3 }, gbps(72.0));
+        b.link(g0, g1, LinkKind::NvLink2 { bricks: 2 }, gbps(48.0));
+        b.build()
+    }
+
+    #[test]
+    fn table_enumerates_all_constraints() {
+        let t = topo();
+        let table = ConstraintTable::new(&t);
+        // 3 links × 2 directions + 1 duplex + mem (read + write + combined).
+        assert_eq!(table.constraints().len(), 3 * 2 + 1 + 3);
+    }
+
+    #[test]
+    fn htod_route_loads_read_and_forward() {
+        let t = topo();
+        let table = ConstraintTable::new(&t);
+        let r = route(&t, Endpoint::HOST0, Endpoint::gpu(0)).unwrap();
+        let cs = table.route_constraints(&t, &r);
+        let kinds: Vec<ConstraintKind> = cs
+            .iter()
+            .map(|&(id, _)| table.constraints()[id.0].kind)
+            .collect();
+        assert!(kinds.iter().any(|k| matches!(
+            k,
+            ConstraintKind::LinkForward { .. } | ConstraintKind::LinkBackward { .. }
+        )));
+        assert!(kinds
+            .iter()
+            .any(|k| matches!(k, ConstraintKind::LinkDuplex { .. })));
+        assert!(kinds
+            .iter()
+            .any(|k| matches!(k, ConstraintKind::MemRead { socket: 0 })));
+        assert!(kinds
+            .iter()
+            .any(|k| matches!(k, ConstraintKind::MemCombined { socket: 0 })));
+        assert!(!kinds
+            .iter()
+            .any(|k| matches!(k, ConstraintKind::MemWrite { .. })));
+    }
+
+    #[test]
+    fn dtoh_route_loads_write() {
+        let t = topo();
+        let table = ConstraintTable::new(&t);
+        let r = route(&t, Endpoint::gpu(0), Endpoint::HOST0).unwrap();
+        let cs = table.route_constraints(&t, &r);
+        let kinds: Vec<ConstraintKind> = cs
+            .iter()
+            .map(|&(id, _)| table.constraints()[id.0].kind)
+            .collect();
+        assert!(kinds
+            .iter()
+            .any(|k| matches!(k, ConstraintKind::MemWrite { socket: 0 })));
+    }
+
+    #[test]
+    fn opposite_directions_use_distinct_link_constraints() {
+        let t = topo();
+        let table = ConstraintTable::new(&t);
+        let fwd = route(&t, Endpoint::HOST0, Endpoint::gpu(1)).unwrap();
+        let bwd = route(&t, Endpoint::gpu(1), Endpoint::HOST0).unwrap();
+        let cf: Vec<_> = table
+            .route_constraints(&t, &fwd)
+            .into_iter()
+            .filter(|&(id, _)| {
+                matches!(
+                    table.constraints()[id.0].kind,
+                    ConstraintKind::LinkForward { .. } | ConstraintKind::LinkBackward { .. }
+                )
+            })
+            .collect();
+        let cb: Vec<_> = table
+            .route_constraints(&t, &bwd)
+            .into_iter()
+            .filter(|&(id, _)| {
+                matches!(
+                    table.constraints()[id.0].kind,
+                    ConstraintKind::LinkForward { .. } | ConstraintKind::LinkBackward { .. }
+                )
+            })
+            .collect();
+        assert_eq!(cf.len(), 1);
+        assert_eq!(cb.len(), 1);
+        assert_ne!(cf[0].0, cb[0].0);
+    }
+
+    #[test]
+    fn p2p_route_skips_memory_constraints() {
+        let t = topo();
+        let table = ConstraintTable::new(&t);
+        let r = route(&t, Endpoint::gpu(0), Endpoint::gpu(1)).unwrap();
+        let cs = table.route_constraints(&t, &r);
+        for (id, _) in cs {
+            assert!(matches!(
+                table.constraints()[id.0].kind,
+                ConstraintKind::LinkForward { .. }
+                    | ConstraintKind::LinkBackward { .. }
+                    | ConstraintKind::LinkDuplex { .. }
+            ));
+        }
+    }
+}

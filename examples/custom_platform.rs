@@ -1,0 +1,99 @@
+//! Build a *custom* platform with the topology builder and study how the
+//! interconnect decides which sorting algorithm wins — the question the
+//! paper answers for three real machines, answered here for a hypothetical
+//! one.
+//!
+//! The machine: one CPU socket, four GPUs on PCIe 5.0 (64 GB/s), and an
+//! optional all-to-all NVLink-style mesh we can switch on and off.
+//!
+//! ```text
+//! cargo run --release --example custom_platform
+//! ```
+
+use multi_gpu_sort::prelude::*;
+use multi_gpu_sort::topology::{LinkKind, MemSpec};
+
+/// A single-socket machine with 4 GPUs; `p2p_mesh` adds direct GPU-GPU
+/// links at `mesh_gbps`.
+fn build(p2p_mesh: bool, mesh_gbps: f64) -> Platform {
+    let mut b = TopologyBuilder::new();
+    let cpu = b.cpu(
+        0,
+        MemSpec {
+            capacity_bytes: 512 << 30,
+            read_cap: gbps(120.0),
+            write_cap: gbps(110.0),
+            combined_cap: Some(gbps(150.0)),
+        },
+    );
+    let gpus: Vec<_> = (0..4).map(|i| b.gpu(i, GpuModel::A100)).collect();
+    for &g in &gpus {
+        // PCIe 5.0-ish: 64 GB/s theoretical, ~50 effective, 80 duplex.
+        b.link_full(
+            cpu,
+            g,
+            LinkKind::Custom,
+            gbps(50.0),
+            gbps(50.0),
+            Some(gbps(80.0)),
+        );
+    }
+    if p2p_mesh {
+        for i in 0..4 {
+            for j in i + 1..4 {
+                b.link(
+                    gpus[i],
+                    gpus[j],
+                    LinkKind::NvLink2 { bricks: 2 },
+                    gbps(mesh_gbps),
+                );
+            }
+        }
+    }
+    Platform::custom(
+        b.build(),
+        multi_gpu_sort::topology::platforms::CpuModel::Custom,
+    )
+}
+
+fn main() {
+    let n: u64 = 1 << 24;
+    let input: Vec<u32> = generate(Distribution::Uniform, n as usize, 99);
+
+    println!("Hypothetical 4-GPU machine, PCIe 5.0 host links (50 GB/s effective)\n");
+    println!(
+        "{:<28} {:>12} {:>12} {:>9}",
+        "configuration", "P2P sort", "HET sort", "winner"
+    );
+
+    for (label, mesh) in [
+        ("no P2P mesh", None),
+        ("P2P mesh @ 25 GB/s", Some(25.0)),
+        ("P2P mesh @ 50 GB/s", Some(50.0)),
+        ("P2P mesh @ 150 GB/s", Some(150.0)),
+    ] {
+        let platform = build(mesh.is_some(), mesh.unwrap_or(0.0));
+        let mut a = input.clone();
+        let p2p = p2p_sort(&platform, &P2pConfig::new(4), &mut a, n);
+        let mut b_ = input.clone();
+        let het = het_sort(&platform, &HetConfig::new(4), &mut b_, n);
+        assert!(is_sorted(&a) && is_sorted(&b_));
+        let winner = if p2p.total < het.total { "P2P" } else { "HET" };
+        println!(
+            "{:<28} {:>12} {:>12} {:>9}",
+            label,
+            format!("{}", p2p.total),
+            format!("{}", het.total),
+            winner,
+        );
+    }
+
+    println!(
+        "\nTwo effects, both from the paper's Section 5.4/7 analysis: \
+         (1) P2P sort only pulls clearly ahead once the mesh bandwidth \
+         approaches host memory bandwidth; (2) a *slow* mesh is worse than \
+         no mesh at all — the copy engines route over the direct P2P link \
+         once it exists, even when bouncing through the host would be \
+         faster. Topology, not GPU count, decides the winner."
+    );
+}

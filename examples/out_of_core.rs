@@ -1,0 +1,65 @@
+//! Out-of-core sorting: HET sort on data exceeding the combined GPU
+//! memory (paper Section 6.2), comparing the 2n and 3n pipelines with and
+//! without eager merging at paper scale via sampled fidelity.
+//!
+//! ```text
+//! cargo run --release --example out_of_core
+//! ```
+
+use multi_gpu_sort::prelude::*;
+
+fn main() {
+    let platform = Platform::dgx_a100();
+    // 60B u32 keys = 240 GB, far beyond the 8x33 GB budget the paper uses.
+    let scale: u64 = 1 << 23;
+    let n: u64 = 60_000_000_000 / (scale * 8) * (scale * 8);
+    let budget: u64 = 33 << 30;
+    let physical = (n / scale) as usize;
+    let input: Vec<u32> = generate(Distribution::Uniform, physical, 7);
+
+    println!(
+        "sorting {:.0} B keys ({} GB) on the simulated DGX A100 (8 GPUs, {} GB usable per GPU)\n",
+        n as f64 / 1e9,
+        (n * 4) >> 30,
+        budget >> 30,
+    );
+    println!(
+        "sampled fidelity: 1 physical key per {scale} logical keys \
+         ({physical} keys really sorted; timing uses logical bytes)\n"
+    );
+
+    for approach in [LargeDataApproach::TwoN, LargeDataApproach::ThreeN] {
+        for eager in [false, true] {
+            let mut cfg = HetConfig::new(8)
+                .with_approach(approach)
+                .with_mem_budget(budget)
+                .sampled(scale);
+            if eager {
+                cfg = cfg.with_eager_merge();
+            }
+            let mut data = input.clone();
+            let report = het_sort(&platform, &cfg, &mut data, n);
+            assert!(is_sorted(&data));
+            println!(
+                "{:<10} total {:>8}   (GPU window: HtoD {} | sort {} | DtoH {};  final CPU merge {})",
+                format!("{}{}", approach.label(), if eager { "+EM" } else { "" }),
+                format!("{}", report.total),
+                report.phases.htod,
+                report.phases.sort,
+                report.phases.dtoh,
+                report.phases.merge,
+            );
+        }
+    }
+
+    // The CPU-only comparison of Figure 15b.
+    let mut data = input.clone();
+    let cpu = cpu_only_sort(&platform, Fidelity::Sampled { scale }, &mut data, n);
+    println!("\nPARADIS (CPU-only): {}", cpu.total);
+    println!(
+        "\nTakeaways (paper Section 6.2): 2n and 3n tie — overlapping copy \
+         and compute no longer pays because transfers, not the sort kernel, \
+         dominate; eager merging loses because its merges fight the \
+         transfers for host memory bandwidth and imbalance the final merge."
+    );
+}

@@ -1,0 +1,54 @@
+//! **multi-gpu-sort** — a from-scratch Rust reproduction of
+//! *Evaluating Multi-GPU Sorting with Modern Interconnects* (Maltenberger,
+//! Ilic, Tolovski, Rabl — SIGMOD 2022).
+//!
+//! The crate re-exports the whole workspace behind one facade:
+//!
+//! * [`data`] — sort keys (u32/i32/f32/u64/i64/f64 with order-preserving
+//!   radix images), the paper's data distributions, generators, validation;
+//! * [`topology`] — interconnect topology graphs, routing, max-min fair
+//!   bandwidth allocation, and the paper's three calibrated platforms
+//!   (IBM AC922, DELTA D22x, NVIDIA DGX A100);
+//! * [`sim`] — the discrete-event fluid-flow simulator and the calibrated
+//!   kernel/CPU cost models;
+//! * [`gpu`] — the virtual GPU runtime (devices, buffers, streams, copy
+//!   engines, device sort/merge primitives);
+//! * [`cpu`] — real CPU algorithms: PARADIS parallel in-place radix sort,
+//!   LSB/MSB radix sorts, loser-tree multiway merge, parallel multiway
+//!   merge;
+//! * [`core`] — the paper's contribution: **P2P sort** and **HET sort**
+//!   (with the 2n/3n large-data pipelines and eager merging), GPU-set
+//!   selection, baselines, and per-run reports.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use multi_gpu_sort::prelude::*;
+//!
+//! // Sort 1M uniform keys on a simulated DGX A100 with P2P sort (4 GPUs).
+//! let platform = Platform::dgx_a100();
+//! let mut keys: Vec<u32> = generate(Distribution::Uniform, 1 << 20, 42);
+//! let report = p2p_sort(&platform, &P2pConfig::new(4), &mut keys, 1 << 20);
+//! assert!(report.validated);
+//! assert!(is_sorted(&keys));
+//! println!("{}", report.summary());
+//! ```
+
+pub use msort_core as core;
+pub use msort_cpu as cpu;
+pub use msort_data as data;
+pub use msort_gpu as gpu;
+pub use msort_sim as sim;
+pub use msort_topology as topology;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use msort_core::{
+        cpu_only_sort, het_sort, p2p_sort, single_gpu_sort, HetConfig, LargeDataApproach,
+        P2pConfig, PhaseBreakdown, SortReport,
+    };
+    pub use msort_data::{generate, is_sorted, same_multiset, DataType, Distribution, SortKey};
+    pub use msort_gpu::{Fidelity, GpuSystem, Phase};
+    pub use msort_sim::{CostModel, FlowSim, GpuSortAlgo, SimDuration, SimTime};
+    pub use msort_topology::{gbps, Endpoint, GpuModel, Platform, PlatformId, TopologyBuilder};
+}
