@@ -1,107 +1,82 @@
-//! Criterion benchmarks of the *real* CPU sorting algorithms (wall clock
-//! on the machine running the bench, not simulated time).
+//! Benchmarks of the *real* CPU sorting algorithms (wall clock on the
+//! machine running the bench, not simulated time).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use msort_bench::Harness;
 use msort_cpu::{
     lsb_radix_sort, merge_path_sort, msb_radix_sort, paradis_sort, parallel_sort, ParadisConfig,
 };
 use msort_data::{generate, Distribution};
 use std::hint::black_box;
 
-fn bench_sorts(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cpu_sorts_u32");
+fn bench_sorts(h: &mut Harness) {
     for &n in &[1usize << 14, 1 << 17, 1 << 20] {
         let input: Vec<u32> = generate(Distribution::Uniform, n, 42);
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::new("lsb_radix", n), &input, |b, inp| {
-            b.iter(|| {
-                let mut v = inp.clone();
-                lsb_radix_sort(&mut v);
-                black_box(v)
-            });
+        h.bench_throughput(&format!("cpu_sorts_u32/lsb_radix/{n}"), n as u64, || {
+            let mut v = input.clone();
+            lsb_radix_sort(&mut v);
+            black_box(v)
         });
-        group.bench_with_input(BenchmarkId::new("msb_radix", n), &input, |b, inp| {
-            b.iter(|| {
-                let mut v = inp.clone();
-                msb_radix_sort(&mut v);
-                black_box(v)
-            });
+        h.bench_throughput(&format!("cpu_sorts_u32/msb_radix/{n}"), n as u64, || {
+            let mut v = input.clone();
+            msb_radix_sort(&mut v);
+            black_box(v)
         });
-        group.bench_with_input(BenchmarkId::new("merge_path", n), &input, |b, inp| {
-            b.iter(|| {
-                let mut v = inp.clone();
-                merge_path_sort(&mut v);
-                black_box(v)
-            });
+        h.bench_throughput(&format!("cpu_sorts_u32/merge_path/{n}"), n as u64, || {
+            let mut v = input.clone();
+            merge_path_sort(&mut v);
+            black_box(v)
         });
-        group.bench_with_input(BenchmarkId::new("paradis", n), &input, |b, inp| {
-            b.iter(|| {
-                let mut v = inp.clone();
-                paradis_sort(&mut v);
-                black_box(v)
-            });
+        h.bench_throughput(&format!("cpu_sorts_u32/paradis/{n}"), n as u64, || {
+            let mut v = input.clone();
+            paradis_sort(&mut v);
+            black_box(v)
         });
-        group.bench_with_input(BenchmarkId::new("std_unstable", n), &input, |b, inp| {
-            b.iter(|| {
-                let mut v = inp.clone();
-                v.sort_unstable();
-                black_box(v)
-            });
+        h.bench_throughput(&format!("cpu_sorts_u32/std_unstable/{n}"), n as u64, || {
+            let mut v = input.clone();
+            v.sort_unstable();
+            black_box(v)
         });
     }
-    group.finish();
 }
 
-fn bench_paradis_threads(c: &mut Criterion) {
-    let mut group = c.benchmark_group("paradis_threads");
+fn bench_paradis_threads(h: &mut Harness) {
     let n = 1usize << 19;
     let input: Vec<u64> = generate(Distribution::Uniform, n, 7);
-    group.throughput(Throughput::Elements(n as u64));
     for threads in [1usize, 2, 4] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(threads),
-            &threads,
-            |b, &threads| {
-                b.iter(|| {
-                    let mut v = input.clone();
-                    msort_cpu::paradis::paradis_sort_with(
-                        &mut v,
-                        ParadisConfig {
-                            threads,
-                            small_sort_threshold: 256,
-                        },
-                    );
-                    black_box(v)
-                });
-            },
-        );
+        h.bench_throughput(&format!("paradis_threads/{threads}"), n as u64, || {
+            let mut v = input.clone();
+            msort_cpu::paradis::paradis_sort_with(
+                &mut v,
+                ParadisConfig {
+                    threads,
+                    small_sort_threshold: 256,
+                },
+            );
+            black_box(v)
+        });
     }
-    group.finish();
 }
 
-fn bench_parallel_sort(c: &mut Criterion) {
-    let mut group = c.benchmark_group("parallel_sort_distributions");
+fn bench_parallel_sort(h: &mut Harness) {
     let n = 1usize << 18;
     for dist in Distribution::paper_set() {
         let input: Vec<u32> = generate(dist, n, 9);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(dist.label()),
-            &input,
-            |b, inp| {
-                b.iter(|| {
-                    let mut v = inp.clone();
-                    parallel_sort(&mut v);
-                    black_box(v)
-                });
+        h.bench_throughput(
+            &format!("parallel_sort_distributions/{}", dist.label()),
+            n as u64,
+            || {
+                let mut v = input.clone();
+                parallel_sort(&mut v);
+                black_box(v)
             },
         );
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_sorts, bench_paradis_threads, bench_parallel_sort
+fn main() {
+    let mut h = Harness::new("cpu_algorithms").sample_size(10);
+    bench_sorts(&mut h);
+    bench_paradis_threads(&mut h);
+    bench_parallel_sort(&mut h);
+    h.finish();
 }
-criterion_main!(benches);

@@ -1,8 +1,8 @@
-//! Criterion benchmarks of the fluid-flow engine and the max-min fair
-//! allocator — the inner loop of every simulated transfer (Figures 2-7
-//! run thousands of these allocations).
+//! Benchmarks of the fluid-flow engine and the max-min fair allocator —
+//! the inner loop of every simulated transfer (Figures 2-7 run thousands
+//! of these allocations).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msort_bench::Harness;
 use msort_sim::flows::measure_concurrent;
 use msort_sim::FlowSim;
 use msort_topology::{allocate_rates, Endpoint, Platform, Route};
@@ -23,8 +23,7 @@ fn all_routes(platform: &Platform) -> Vec<Route> {
     routes
 }
 
-fn bench_allocator(c: &mut Criterion) {
-    let mut group = c.benchmark_group("max_min_allocation");
+fn bench_allocator(h: &mut Harness) {
     for platform in [
         Platform::ibm_ac922(),
         Platform::delta_d22x(),
@@ -32,44 +31,38 @@ fn bench_allocator(c: &mut Criterion) {
     ] {
         let routes = all_routes(&platform);
         let flows: Vec<_> = routes.iter().map(|r| platform.flow_request(r)).collect();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{:?}", platform.id)),
-            &flows,
-            |b, flows| {
-                b.iter(|| black_box(allocate_rates(platform.constraint_table(), flows)));
-            },
-        );
+        h.bench(&format!("max_min_allocation/{:?}", platform.id), || {
+            black_box(allocate_rates(platform.constraint_table(), &flows))
+        });
     }
-    group.finish();
 }
 
-fn bench_fig4_style_measurement(c: &mut Criterion) {
+fn bench_fig4_style_measurement(h: &mut Harness) {
     let platform = Platform::dgx_a100();
     let routes = all_routes(&platform);
-    c.bench_function("fig4_all8_bidi_measurement", |b| {
-        b.iter(|| black_box(measure_concurrent(&platform, &routes, 4 << 30).throughput_gbps()));
+    h.bench("fig4_all8_bidi_measurement", || {
+        black_box(measure_concurrent(&platform, &routes, 4 << 30).throughput_gbps())
     });
 }
 
-fn bench_staggered_flows(c: &mut Criterion) {
+fn bench_staggered_flows(h: &mut Harness) {
     // Many flows arriving at staggered times: the worst case for rate
     // re-allocation frequency.
     let platform = Platform::dgx_a100();
     let routes = all_routes(&platform);
-    c.bench_function("staggered_16_flows", |b| {
-        b.iter(|| {
-            let mut sim = FlowSim::new(&platform);
-            for (i, r) in routes.iter().enumerate() {
-                sim.start(r, (1 << 28) + (i as u64) * (1 << 20));
-            }
-            black_box(sim.run_to_idle())
-        });
+    h.bench("staggered_16_flows", || {
+        let mut sim = FlowSim::new(&platform);
+        for (i, r) in routes.iter().enumerate() {
+            sim.start(r, (1 << 28) + (i as u64) * (1 << 20));
+        }
+        black_box(sim.run_to_idle())
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_allocator, bench_fig4_style_measurement, bench_staggered_flows
+fn main() {
+    let mut h = Harness::new("flow_allocator").sample_size(20);
+    bench_allocator(&mut h);
+    bench_fig4_style_measurement(&mut h);
+    bench_staggered_flows(&mut h);
+    h.finish();
 }
-criterion_main!(benches);

@@ -1,7 +1,7 @@
-//! Criterion benchmarks of the k-way merging primitives (the HET sort
-//! merge phase's building blocks).
+//! Benchmarks of the k-way merging primitives (the HET sort merge phase's
+//! building blocks).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use msort_bench::Harness;
 use msort_cpu::multiway::{multiway_merge, parallel_multiway_merge_with, ParallelMergeConfig};
 use msort_cpu::LoserTree;
 use msort_data::{generate, Distribution};
@@ -17,67 +17,54 @@ fn sorted_runs(k: usize, n_per: usize, seed: u64) -> Vec<Vec<u32>> {
         .collect()
 }
 
-fn bench_loser_tree(c: &mut Criterion) {
-    let mut group = c.benchmark_group("loser_tree_pop");
+fn bench_loser_tree(h: &mut Harness) {
     for &k in &[2usize, 4, 8, 16, 64] {
         let runs = sorted_runs(k, 1 << 14, 1);
         let views: Vec<&[u32]> = runs.iter().map(Vec::as_slice).collect();
         let total: u64 = views.iter().map(|r| r.len() as u64).sum();
-        group.throughput(Throughput::Elements(total));
-        group.bench_with_input(BenchmarkId::from_parameter(k), &views, |b, views| {
-            b.iter(|| {
-                let mut tree = LoserTree::new(views);
-                let mut sum = 0u64;
-                while let Some(x) = tree.pop() {
-                    sum += u64::from(x);
-                }
-                black_box(sum)
-            });
+        h.bench_throughput(&format!("loser_tree_pop/{k}"), total, || {
+            let mut tree = LoserTree::new(&views);
+            let mut sum = 0u64;
+            while let Some(x) = tree.pop() {
+                sum += u64::from(x);
+            }
+            black_box(sum)
         });
     }
-    group.finish();
 }
 
-fn bench_sequential_vs_parallel(c: &mut Criterion) {
-    let mut group = c.benchmark_group("multiway_merge");
+fn bench_sequential_vs_parallel(h: &mut Harness) {
     let k = 8;
     let runs = sorted_runs(k, 1 << 16, 3);
     let views: Vec<&[u32]> = runs.iter().map(Vec::as_slice).collect();
     let total: usize = views.iter().map(|r| r.len()).sum();
-    group.throughput(Throughput::Elements(total as u64));
-    group.bench_function("sequential_k8", |b| {
-        let mut out = vec![0u32; total];
-        b.iter(|| {
-            multiway_merge(&views, &mut out);
-            black_box(&mut out);
-        });
+    let mut out = vec![0u32; total];
+    h.bench_throughput("multiway_merge/sequential_k8", total as u64, || {
+        multiway_merge(&views, &mut out);
+        black_box(out.last().copied())
     });
     for threads in [2usize, 4] {
-        group.bench_with_input(
-            BenchmarkId::new("parallel_k8", threads),
-            &threads,
-            |b, &threads| {
-                let mut out = vec![0u32; total];
-                b.iter(|| {
-                    parallel_multiway_merge_with(
-                        &views,
-                        &mut out,
-                        ParallelMergeConfig {
-                            threads,
-                            sequential_threshold: 0,
-                        },
-                    );
-                    black_box(&mut out);
-                });
+        h.bench_throughput(
+            &format!("multiway_merge/parallel_k8/{threads}"),
+            total as u64,
+            || {
+                parallel_multiway_merge_with(
+                    &views,
+                    &mut out,
+                    ParallelMergeConfig {
+                        threads,
+                        sequential_threshold: 0,
+                    },
+                );
+                black_box(out.last().copied())
             },
         );
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_loser_tree, bench_sequential_vs_parallel
+fn main() {
+    let mut h = Harness::new("multiway_merge").sample_size(10);
+    bench_loser_tree(&mut h);
+    bench_sequential_vs_parallel(&mut h);
+    h.finish();
 }
-criterion_main!(benches);

@@ -1,35 +1,32 @@
-//! Criterion benchmarks of pivot selection (Algorithm 1) and
-//! multisequence selection — the O(log n) host-side steps whose
-//! negligible cost the paper asserts (0.03% of the total sort).
+//! Benchmarks of pivot selection (Algorithm 1) and multisequence
+//! selection — the O(log n) host-side steps whose negligible cost the
+//! paper asserts (0.03% of the total sort).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msort_bench::Harness;
 use msort_core::pivot::{select_pivot_slices, swap_plan};
 use msort_cpu::multiway::multisequence_select;
 use msort_data::{generate, Distribution};
 use std::hint::black_box;
 
-fn bench_pivot(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pivot_selection");
+fn bench_pivot(h: &mut Harness) {
     for &n in &[1usize << 12, 1 << 16, 1 << 20] {
         let mut a: Vec<u32> = generate(Distribution::Uniform, n, 1);
         let mut b: Vec<u32> = generate(Distribution::Uniform, n, 2);
         a.sort_unstable();
         b.sort_unstable();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &(a, b), |bench, (a, b)| {
-            bench.iter(|| black_box(select_pivot_slices(a, b)));
+        h.bench(&format!("pivot_selection/{n}"), || {
+            black_box(select_pivot_slices(&a, &b))
         });
     }
-    group.finish();
 }
 
-fn bench_swap_plan(c: &mut Criterion) {
-    c.bench_function("swap_plan_g8", |b| {
-        b.iter(|| black_box(swap_plan(4, 1 << 20, 3 * (1 << 20) + 12345)));
+fn bench_swap_plan(h: &mut Harness) {
+    h.bench("swap_plan_g8", || {
+        black_box(swap_plan(4, 1 << 20, 3 * (1 << 20) + 12345))
     });
 }
 
-fn bench_multiselect(c: &mut Criterion) {
-    let mut group = c.benchmark_group("multisequence_select");
+fn bench_multiselect(h: &mut Harness) {
     for &k in &[2usize, 8, 32] {
         let runs: Vec<Vec<u32>> = (0..k)
             .map(|i| {
@@ -40,16 +37,16 @@ fn bench_multiselect(c: &mut Criterion) {
             .collect();
         let views: Vec<&[u32]> = runs.iter().map(Vec::as_slice).collect();
         let total: usize = views.iter().map(|r| r.len()).sum();
-        group.bench_with_input(BenchmarkId::from_parameter(k), &views, |b, views| {
-            b.iter(|| black_box(multisequence_select(views, total / 2)));
+        h.bench(&format!("multisequence_select/{k}"), || {
+            black_box(multisequence_select(&views, total / 2))
         });
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_pivot, bench_swap_plan, bench_multiselect
+fn main() {
+    let mut h = Harness::new("pivot_selection").sample_size(20);
+    bench_pivot(&mut h);
+    bench_swap_plan(&mut h);
+    bench_multiselect(&mut h);
+    h.finish();
 }
-criterion_main!(benches);

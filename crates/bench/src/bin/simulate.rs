@@ -232,7 +232,10 @@ fn main() {
         std::process::exit(2);
     }
     if matches!(opts.algo.as_str(), "p2p") && !opts.gpus.is_power_of_two() {
-        eprintln!("--algo p2p needs a power-of-two GPU count (got {})", opts.gpus);
+        eprintln!(
+            "--algo p2p needs a power-of-two GPU count (got {})",
+            opts.gpus
+        );
         std::process::exit(2);
     }
     if opts.trace.is_some() {

@@ -143,10 +143,9 @@ mod tests {
         assert!(gap4 > 1.25, "{gap4:.3}");
         // The DGX's reverse-vs-uniform variance is smaller than the
         // AC922's (NVSwitch absorbs even worst-case swap volume).
-        let ac_spread =
-            val("P2P sort, reverse-sorted") / val("P2P sort, uniform");
-        let dgx_spread = val("DGX A100 P2P sort, reverse-sorted")
-            / val("DGX A100 P2P sort, uniform");
+        let ac_spread = val("P2P sort, reverse-sorted") / val("P2P sort, uniform");
+        let dgx_spread =
+            val("DGX A100 P2P sort, reverse-sorted") / val("DGX A100 P2P sort, uniform");
         assert!(
             dgx_spread < ac_spread,
             "DGX spread {dgx_spread:.3} !< AC922 spread {ac_spread:.3}"

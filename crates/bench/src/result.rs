@@ -1,10 +1,9 @@
 //! Experiment result rows and rendering.
 
-use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
 /// One row: a measurement point with the paper's value and ours.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     /// Label ("GPU {0,1} HtoD", "P2P sort, 2 GPUs, 4B keys", ...).
     pub label: String,
@@ -46,7 +45,7 @@ impl Row {
 }
 
 /// One table or figure's worth of rows.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentResult {
     /// Experiment id ("fig5", "table2", ...).
     pub id: String,

@@ -1,7 +1,6 @@
 //! Per-run reports: end-to-end duration, phase breakdowns, validation.
 
 use msort_sim::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// The four-phase breakdown of the paper's Figures 12–14.
 ///
@@ -9,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// the last GPU completes it), so the four durations sum to the end-to-end
 /// time. For pipelined large-data runs the phases overlap; the values are
 /// then busy-time unions and can sum to more than the total.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct PhaseBreakdown {
     /// Host-to-device copy time.
     pub htod: SimDuration,
@@ -30,7 +29,7 @@ impl PhaseBreakdown {
 }
 
 /// Outcome of one simulated sort run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SortReport {
     /// Algorithm label ("P2P sort", "HET sort", "PARADIS", ...).
     pub algorithm: String,
@@ -100,11 +99,12 @@ mod tests {
     }
 
     #[test]
-    fn report_is_serializable() {
-        // Experiment tooling serializes reports; pin the derived impls.
-        fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
-        assert_serde::<SortReport>();
-        assert_serde::<PhaseBreakdown>();
+    fn report_is_cloneable_and_printable() {
+        // Experiment tooling clones and debug-prints reports; pin the
+        // derived impls (serialization is hand-rolled in msort-bench).
+        fn assert_impls<T: Clone + std::fmt::Debug>() {}
+        assert_impls::<SortReport>();
+        assert_impls::<PhaseBreakdown>();
     }
 
     #[test]

@@ -197,13 +197,10 @@ mod tests {
 
     #[test]
     fn many_runs_random() {
-        use rand::{RngExt, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = msort_data::Rng::seed_from_u64(3);
         let runs: Vec<Vec<u32>> = (0..17)
             .map(|_| {
-                let mut v: Vec<u32> = (0..rng.random_range(0..200))
-                    .map(|_| rng.random())
-                    .collect();
+                let mut v: Vec<u32> = (0..rng.u32_in(0..200)).map(|_| rng.u32()).collect();
                 v.sort_unstable();
                 v
             })

@@ -64,7 +64,7 @@ pub fn parallel_multiway_merge_with<K: SortKey>(
         .map(|&rank| multisequence_select(runs, rank))
         .collect();
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut rest = out;
         for t in 0..threads {
             let part_len = boundaries[t + 1] - boundaries[t];
@@ -77,12 +77,11 @@ pub fn parallel_multiway_merge_with<K: SortKey>(
                 .zip(lo.iter().zip(hi.iter()))
                 .map(|(r, (&a, &b))| &r[a..b])
                 .collect();
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 super::multiway_merge(&windows, part);
             });
         }
-    })
-    .expect("merge worker panicked");
+    });
 
     // The tie-distribution in multisequence selection is greedy by run
     // index for every boundary, so equal keys land in consistent windows

@@ -51,11 +51,11 @@ pub fn parallel_lsb_radix_sort<K: SortKey>(data: &mut [K], threads: usize) {
         };
 
         // Per-thread histograms over stripes.
-        let histograms: Vec<Vec<usize>> = crossbeam::thread::scope(|scope| {
+        let histograms: Vec<Vec<usize>> = std::thread::scope(|scope| {
             let handles: Vec<_> = src
                 .chunks(stripe)
                 .map(|chunk| {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut hist = vec![0usize; BUCKETS];
                         for k in chunk {
                             hist[k.to_radix().digit(shift, DIGIT_BITS)] += 1;
@@ -68,8 +68,7 @@ pub fn parallel_lsb_radix_sort<K: SortKey>(data: &mut [K], threads: usize) {
                 .into_iter()
                 .map(|h| h.join().expect("histogram worker panicked"))
                 .collect()
-        })
-        .expect("histogram scope failed");
+        });
 
         // Skip constant-digit passes.
         let mut bucket_totals = vec![0usize; BUCKETS];
@@ -96,10 +95,10 @@ pub fn parallel_lsb_radix_sort<K: SortKey>(data: &mut [K], threads: usize) {
         debug_assert_eq!(acc, n);
 
         // Parallel scatter into disjoint regions.
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (chunk, mut my_offsets) in src.chunks(stripe).zip(offsets) {
                 let dst = dst_ptr;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for &key in chunk {
                         let d = key.to_radix().digit(shift, DIGIT_BITS);
                         // SAFETY: the (thread, bucket) output regions are
@@ -110,8 +109,7 @@ pub fn parallel_lsb_radix_sort<K: SortKey>(data: &mut [K], threads: usize) {
                     }
                 });
             }
-        })
-        .expect("scatter worker panicked");
+        });
 
         in_data = !in_data;
     }

@@ -111,12 +111,12 @@ fn recurse<K: SortKey>(data: &mut [K], shift: u32, threads: usize, small: usize)
         queues[w].push(s);
     }
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for queue in queues {
             // Sub-recursion runs single-threaded per bucket: the top-level
             // fan-out already saturates the pool (matching the PARADIS
             // paper's bucket-parallel recursion).
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for s in queue {
                     if s.len() > 1 {
                         recurse(s, next_shift, 1, small);
@@ -124,8 +124,7 @@ fn recurse<K: SortKey>(data: &mut [K], shift: u32, threads: usize, small: usize)
                 }
             });
         }
-    })
-    .expect("worker panicked");
+    });
 }
 
 /// One contiguous remainder range of a bucket awaiting permutation.
@@ -201,11 +200,11 @@ fn parallel_histogram<K: SortKey>(data: &[K], shift: u32, threads: usize) -> Vec
         return hist;
     }
     let stripe = data.len().div_ceil(threads);
-    let partials: Vec<Vec<usize>> = crossbeam::thread::scope(|scope| {
+    let partials: Vec<Vec<usize>> = std::thread::scope(|scope| {
         let handles: Vec<_> = data
             .chunks(stripe)
             .map(|chunk| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut hist = vec![0usize; BUCKETS];
                     for k in chunk {
                         hist[k.to_radix().digit(shift, DIGIT_BITS)] += 1;
@@ -218,8 +217,7 @@ fn parallel_histogram<K: SortKey>(data: &[K], shift: u32, threads: usize) -> Vec
             .into_iter()
             .map(|h| h.join().expect("histogram worker panicked"))
             .collect()
-    })
-    .expect("histogram scope failed");
+    });
 
     let mut hist = vec![0usize; BUCKETS];
     for partial in partials {
@@ -276,9 +274,9 @@ fn speculative_permute<K: SortKey>(
         return;
     }
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for mut stripes in per_worker {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 // SAFETY: worker stripes are pairwise disjoint index ranges
                 // of `data` (constructed above), so no two threads ever
                 // touch the same element; the scope joins before `data` is
@@ -286,8 +284,7 @@ fn speculative_permute<K: SortKey>(
                 unsafe { permute_stripes(shared, shift, &mut stripes) };
             });
         }
-    })
-    .expect("permute worker panicked");
+    });
 }
 
 /// Raw-pointer view of the data slice used to give scoped worker threads
@@ -398,9 +395,9 @@ fn repair<K: SortKey>(
         // Each worker repairs a disjoint set of buckets; bucket remainders
         // are pairwise disjoint index ranges of `data`.
         let chunk = BUCKETS.div_ceil(workers);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (ci, rems) in remainders.chunks_mut(chunk).enumerate() {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (off, rem) in rems.iter_mut().enumerate() {
                         // SAFETY: this worker exclusively owns these buckets'
                         // remainder ranges.
@@ -408,8 +405,7 @@ fn repair<K: SortKey>(
                     }
                 });
             }
-        })
-        .expect("repair worker panicked");
+        });
     }
     remainders.iter().map(|r| r.len()).sum()
 }

@@ -26,12 +26,11 @@ pub fn parallel_sort_with<K: SortKey>(data: &mut [K], threads: usize) {
 
     // Phase 1: sort one chunk per thread in place.
     let chunk_len = n.div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for chunk in data.chunks_mut(chunk_len) {
-            scope.spawn(move |_| chunk.sort_unstable_by(|a, b| a.total_cmp_key(b)));
+            scope.spawn(move || chunk.sort_unstable_by(|a, b| a.total_cmp_key(b)));
         }
-    })
-    .expect("sort worker panicked");
+    });
 
     // Phase 2: parallel multiway merge into a temporary, then copy back.
     let mut merged = vec![data[0]; n];

@@ -7,7 +7,7 @@
 //! where no P2P swap is ever necessary).
 
 /// Data distribution of the generated keys.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Distribution {
     /// Independent uniform keys over the full domain (paper default).
     Uniform,
@@ -23,7 +23,7 @@ pub enum Distribution {
     /// within a window of 100.
     NearlySorted,
     /// Zipf-like duplicate-heavy distribution with the given skew `s × 100`
-    /// (stored as integer permille to keep `Eq`-ish semantics and serde
+    /// (stored as integer permille to keep `Eq`-ish semantics and hashing
     /// simple); many duplicates make leftmost-pivot selection matter.
     ZipfDuplicates {
         /// Skew parameter multiplied by 1000 (e.g. `1200` means `s = 1.2`).

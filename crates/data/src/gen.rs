@@ -8,8 +8,7 @@
 
 use crate::dist::Distribution;
 use crate::keys::{RadixImage, SortKey};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use crate::rng::Rng;
 
 /// A seeded generator for one distribution.
 ///
@@ -52,7 +51,7 @@ impl DataGenerator {
     pub fn generate_extend<K: SortKey>(&self, n: usize, out: &mut Vec<K>) {
         let start = out.len();
         out.reserve(n);
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         match self.dist {
             Distribution::Uniform => {
                 for _ in 0..n {
@@ -107,22 +106,22 @@ pub fn generate_into<K: SortKey>(dist: Distribution, n: usize, seed: u64, out: &
     DataGenerator::new(dist, seed).generate_extend(n, out);
 }
 
-fn uniform_image<K: SortKey>(rng: &mut StdRng) -> K::Radix {
-    image_from_u64::<K>(rng.random::<u64>())
+fn uniform_image<K: SortKey>(rng: &mut Rng) -> K::Radix {
+    image_from_u64::<K>(rng.u64())
 }
 
 /// Gaussian over the image domain centered at the midpoint, clamped.
-fn normal_image<K: SortKey>(rng: &mut StdRng) -> K::Radix {
+fn normal_image<K: SortKey>(rng: &mut Rng) -> K::Radix {
     // Box-Muller on two uniforms; no external distribution crate needed.
-    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
-    let u2: f64 = rng.random::<f64>();
+    let u1: f64 = rng.f64().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.f64();
     let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
     let frac = (0.5 + z / 20.0).clamp(0.0, 1.0);
     value_at_fraction::<K>(frac)
 }
 
 /// Sorted uniform sample: draw i.i.d. uniforms and sort the image values.
-fn extend_uniform_sorted<K: SortKey>(n: usize, rng: &mut StdRng, out: &mut Vec<K>) {
+fn extend_uniform_sorted<K: SortKey>(n: usize, rng: &mut Rng, out: &mut Vec<K>) {
     let start = out.len();
     for _ in 0..n {
         out.push(K::from_radix(uniform_image::<K>(rng)));
@@ -131,16 +130,16 @@ fn extend_uniform_sorted<K: SortKey>(n: usize, rng: &mut StdRng, out: &mut Vec<K
 }
 
 /// Swap ~1% of positions with a partner within a window of 100 slots.
-fn perturb<K: SortKey>(data: &mut [K], rng: &mut StdRng) {
+fn perturb<K: SortKey>(data: &mut [K], rng: &mut Rng) {
     if data.len() < 2 {
         return;
     }
     let swaps = (data.len() / 100).max(1);
     for _ in 0..swaps {
-        let i = rng.random_range(0..data.len());
+        let i = rng.usize_in(0..data.len());
         let lo = i.saturating_sub(50);
         let hi = (i + 50).min(data.len() - 1);
-        let j = rng.random_range(lo..=hi);
+        let j = rng.usize_in_incl(lo, hi);
         data.swap(i, j);
     }
 }
@@ -181,8 +180,8 @@ impl ZipfSampler {
         Self { cdf }
     }
 
-    fn sample(&self, rng: &mut StdRng) -> usize {
-        let u: f64 = rng.random();
+    fn sample(&self, rng: &mut Rng) -> usize {
+        let u: f64 = rng.f64();
         match self
             .cdf
             .binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite"))

@@ -19,7 +19,7 @@ use std::fmt::Debug;
 
 /// Identifies a key type at runtime; used by experiment configs and the
 /// Section 6.3 data-type experiments.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
     /// 32-bit unsigned integer.
     U32,

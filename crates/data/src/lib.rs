@@ -18,12 +18,14 @@ pub mod dist;
 pub mod gen;
 pub mod keys;
 pub mod pairs;
+pub mod rng;
 pub mod validate;
 
 pub use dist::Distribution;
 pub use gen::{generate, generate_into, DataGenerator};
 pub use keys::{DataType, SortKey};
 pub use pairs::Pair;
+pub use rng::Rng;
 pub use validate::{is_sorted, same_multiset, validate_sort, SortValidation};
 
 /// Number of bytes in one gibibyte; used for reporting buffer sizes the way

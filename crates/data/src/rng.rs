@@ -1,0 +1,171 @@
+//! Minimal deterministic pseudo-random number generator.
+//!
+//! The build environment is fully offline, so instead of depending on the
+//! `rand` crate the workspace uses this self-contained generator: SplitMix64
+//! for seeding and xoshiro256++ for the stream — the same construction the
+//! `rand` ecosystem's small RNGs use. It is deterministic across platforms
+//! and plenty good statistically for workload generation and randomized
+//! tests (it is *not* cryptographic, and does not need to be).
+
+/// A seedable, deterministic 64-bit PRNG (xoshiro256++).
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Create a generator from a 64-bit seed. Identical seeds yield
+    /// identical streams on every platform.
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the full state, as
+        // recommended by the xoshiro authors (avoids all-zero states).
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Next 32 uniformly random bits.
+    pub fn u32(&mut self) -> u32 {
+        (self.u64() >> 32) as u32
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    pub fn f64(&mut self) -> f64 {
+        (self.u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0) is an empty range");
+        // Lemire-style rejection-free-enough reduction: widening multiply
+        // keeps the modulo bias below 2^-64 × bound — irrelevant for the
+        // bounds used here (≤ 2^32).
+        (((u128::from(self.u64())) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    pub fn usize_in(&mut self, range: std::ops::Range<usize>) -> usize {
+        assert!(range.start < range.end, "empty range");
+        range.start + self.below((range.end - range.start) as u64) as usize
+    }
+
+    /// Uniform `usize` in `[lo, hi]` (inclusive).
+    ///
+    /// # Panics
+    /// Panics if `hi < lo`.
+    pub fn usize_in_incl(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi, "empty range");
+        lo + self.below((hi - lo + 1) as u64) as usize
+    }
+
+    /// Uniform `u64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    pub fn u64_in(&mut self, range: std::ops::Range<u64>) -> u64 {
+        assert!(range.start < range.end, "empty range");
+        range.start + self.below(range.end - range.start)
+    }
+
+    /// Uniform `u32` in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    pub fn u32_in(&mut self, range: std::ops::Range<u32>) -> u32 {
+        self.u64_in(u64::from(range.start)..u64::from(range.end)) as u32
+    }
+
+    /// `true` with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        let mut c = Rng::seed_from_u64(43);
+        let va: Vec<u64> = (0..32).map(|_| a.u64()).collect();
+        let vb: Vec<u64> = (0..32).map(|_| b.u64()).collect();
+        let vc: Vec<u64> = (0..32).map(|_| c.u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Rng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let x = r.usize_in(3..17);
+            assert!((3..17).contains(&x));
+            let y = r.usize_in_incl(5, 5);
+            assert_eq!(y, 5);
+            let z = r.u32_in(0..1000);
+            assert!(z < 1000);
+        }
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut r = Rng::seed_from_u64(3);
+        let mut counts = [0usize; 8];
+        for _ in 0..80_000 {
+            counts[r.below(8) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut r = Rng::seed_from_u64(4);
+        let _ = r.usize_in(5..5);
+    }
+}

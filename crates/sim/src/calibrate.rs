@@ -32,10 +32,9 @@
 use crate::time::SimDuration;
 use msort_data::DataType;
 use msort_topology::{GpuModel, Platform, PlatformId};
-use serde::{Deserialize, Serialize};
 
 /// The single-GPU sorting primitives re-evaluated in the paper's Table 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GpuSortAlgo {
     /// `thrust::sort` (LSB radix with decoupled-lookback scan, ≥ 1.11.0).
     ThrustLike,
@@ -84,7 +83,7 @@ impl GpuSortAlgo {
 }
 
 /// Per-platform CPU-side constants.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct CpuCosts {
     /// Effective multiway-merge stream bandwidth: merging `b` output bytes
     /// costs `2 b / merge_bw` (read everything + write everything).
@@ -97,7 +96,7 @@ pub struct CpuCosts {
 }
 
 /// The complete cost model for one platform.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct CostModel {
     /// CPU-side constants.
     pub cpu: CpuCosts,

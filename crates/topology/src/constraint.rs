@@ -16,14 +16,13 @@
 
 use crate::graph::{LinkId, NodeKind, Topology};
 use crate::route::{Endpoint, Route};
-use serde::{Deserialize, Serialize};
 
 /// Index into a [`ConstraintTable`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ConstraintId(pub usize);
 
 /// What a constraint models (for diagnostics and tests).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ConstraintKind {
     /// Link `link` in the `a → b` direction.
     LinkForward {
@@ -58,7 +57,7 @@ pub enum ConstraintKind {
 }
 
 /// One capacity constraint.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Constraint {
     /// What this constraint models.
     pub kind: ConstraintKind,

@@ -9,8 +9,6 @@
 //! independent in practice (the paper measures e.g. PCIe 3.0 bidirectional
 //! copies at ~77–83% of twice the unidirectional rate).
 
-use serde::{Deserialize, Serialize};
-
 /// Convert a decimal GB/s figure (the unit used throughout the paper) to
 /// bytes per second.
 #[must_use]
@@ -19,16 +17,16 @@ pub fn gbps(gb_per_s: f64) -> f64 {
 }
 
 /// Index of a node in a [`Topology`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub usize);
 
 /// Index of a link in a [`Topology`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct LinkId(pub usize);
 
 /// GPU silicon generation; the kernel cost models in `msort-sim` are keyed
 /// by this.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GpuModel {
     /// NVIDIA Tesla V100 SXM2 (Volta), 32 GB HBM2 — IBM AC922 / DELTA D22x.
     V100,
@@ -82,7 +80,7 @@ impl GpuModel {
 /// 2b): parallel HtoD streams saturate at a *read* rate, DtoH streams at a
 /// lower *write* rate, and mixed bidirectional streams at a combined rate
 /// below read + write.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct MemSpec {
     /// Capacity in bytes of this NUMA node's DRAM.
     pub capacity_bytes: u64,
@@ -96,7 +94,7 @@ pub struct MemSpec {
 }
 
 /// What a node is.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub enum NodeKind {
     /// CPU socket `socket` with its NUMA-local memory.
     Cpu {
@@ -120,7 +118,7 @@ pub enum NodeKind {
 }
 
 /// A node with its display name.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Node {
     /// Human-readable name ("CPU 0", "GPU 3", ...).
     pub name: String,
@@ -129,7 +127,7 @@ pub struct Node {
 }
 
 /// Physical link technology; used for reporting and default routing costs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LinkKind {
     /// PCIe 3.0 x16 (16 GB/s per direction theoretical).
     Pcie3,
@@ -201,7 +199,7 @@ impl LinkKind {
 }
 
 /// An undirected link between two nodes.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Link {
     /// One endpoint.
     pub a: NodeId,
@@ -222,7 +220,7 @@ pub struct Link {
 }
 
 /// A multi-GPU system's interconnect graph.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Topology {
     nodes: Vec<Node>,
     links: Vec<Link>,

@@ -43,10 +43,9 @@ use crate::constraint::{ConstraintKind, ConstraintTable};
 use crate::graph::{gbps, GpuModel, LinkKind, MemSpec, Topology, TopologyBuilder};
 use crate::route::{Endpoint, Route};
 use crate::FlowRequest;
-use serde::{Deserialize, Serialize};
 
 /// Which system a [`Platform`] models.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PlatformId {
     /// IBM Power System AC922.
     IbmAc922,
@@ -82,7 +81,7 @@ impl PlatformId {
 }
 
 /// Host CPU silicon; keys the CPU-side cost models in `msort-sim`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CpuModel {
     /// 2× IBM POWER9, 16 cores @ 2.7 GHz each, SMT4.
     Power9,
@@ -120,7 +119,7 @@ impl CpuModel {
 
 /// Extra friction for P2P transfers that traverse the host side, which the
 /// paper measures to be slower than the bottleneck link would suggest.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct HostP2pPolicy {
     /// Per-flow rate cap (bytes/s) for host-traversing P2P streams.
     pub rate_cap: f64,

@@ -8,10 +8,9 @@
 //! PCIe, direct paths over host-traversing ones).
 
 use crate::graph::{LinkId, NodeId, NodeKind, Topology};
-use serde::{Deserialize, Serialize};
 
 /// One end of a transfer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Endpoint {
     /// Host memory attached to CPU `socket`.
     HostMem {
@@ -46,7 +45,7 @@ impl Endpoint {
 }
 
 /// A directed traversal of one link.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Hop {
     /// The link being traversed.
     pub link: LinkId,
@@ -57,7 +56,7 @@ pub struct Hop {
 }
 
 /// The path of a transfer from `src` to `dst`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Route {
     /// Source endpoint.
     pub src: Endpoint,

@@ -11,8 +11,8 @@
 //! cargo run --release --example db_index_build
 //! ```
 
+use multi_gpu_sort::data::Rng;
 use multi_gpu_sort::prelude::*;
-use rand::{RngExt, SeedableRng};
 
 /// Pack `(date, id)` into one sortable key: date in the high 20 bits.
 fn index_key(date: u32, id: u64) -> u64 {
@@ -29,10 +29,10 @@ fn main() {
     let days: u32 = 365;
 
     // Order stream: mostly-recent dates (a skewed OLTP-ish arrival order).
-    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mut rng = Rng::seed_from_u64(7);
     let mut keys: Vec<u64> = (0..rows)
         .map(|id| {
-            let day: u32 = days - (rng.random::<f64>().powi(3) * f64::from(days)) as u32;
+            let day: u32 = days - (rng.f64().powi(3) * f64::from(days)) as u32;
             index_key(day.min(days - 1), id)
         })
         .collect();
@@ -81,9 +81,9 @@ fn main() {
     // payload rides along and the cost models account for the 8-byte
     // elements.
     use multi_gpu_sort::data::Pair;
-    let mut rng2 = rand::rngs::StdRng::seed_from_u64(8);
+    let mut rng2 = Rng::seed_from_u64(8);
     let mut pairs: Vec<Pair<u32>> = (0..rows as u32)
-        .map(|row_id| Pair::new(rng2.random_range(0..days), row_id))
+        .map(|row_id| Pair::new(rng2.u32_in(0..days), row_id))
         .collect();
     let pair_report = p2p_sort(&platform, &P2pConfig::new(2), &mut pairs, rows);
     assert!(pair_report.validated);

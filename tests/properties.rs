@@ -1,65 +1,102 @@
-//! Property-based tests over the core invariants of the reproduction:
+//! Randomized-property tests over the core invariants of the reproduction:
 //! sorting correctness across arbitrary inputs and configurations, pivot
 //! selection laws, allocator feasibility, merge correctness.
+//!
+//! The build environment is offline, so instead of `proptest` these use
+//! deterministic seeded loops over the workspace's own [`Rng`]: every case
+//! is reproducible from its printed seed, and coverage is equivalent to the
+//! original property tests (dozens of randomized cases per invariant,
+//! including empty inputs and adversarial bit patterns).
 
 use multi_gpu_sort::core::pivot::{select_pivot_slices, swap_plan};
 use multi_gpu_sort::cpu::multiway::{multisequence_select, multiway_merge};
 use multi_gpu_sort::cpu::{lsb_radix_sort, merge_path_sort, msb_radix_sort, paradis_sort};
+use multi_gpu_sort::data::Rng;
 use multi_gpu_sort::prelude::*;
 use multi_gpu_sort::topology::{allocate_rates, ConstraintTable, FlowRequest};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Number of randomized cases per invariant (matches the proptest budget
+/// the original suite used).
+const CASES: u64 = 48;
 
-    // ---- CPU sorting algorithms vs. the standard library. ----
+fn random_vec_u32(rng: &mut Rng, max_len: usize) -> Vec<u32> {
+    let len = rng.usize_in(0..max_len);
+    (0..len).map(|_| rng.u32()).collect()
+}
 
-    #[test]
-    fn lsb_radix_matches_std(mut v in proptest::collection::vec(any::<u32>(), 0..2000)) {
+fn random_vec_u64(rng: &mut Rng, max_len: usize) -> Vec<u64> {
+    let len = rng.usize_in(0..max_len);
+    (0..len).map(|_| rng.u64()).collect()
+}
+
+// ---- CPU sorting algorithms vs. the standard library. ----
+
+#[test]
+fn lsb_radix_matches_std() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut v = random_vec_u32(&mut rng, 2000);
         let mut expected = v.clone();
         expected.sort_unstable();
         lsb_radix_sort(&mut v);
-        prop_assert_eq!(v, expected);
+        assert_eq!(v, expected, "seed {seed}");
     }
+}
 
-    #[test]
-    fn msb_radix_matches_std(mut v in proptest::collection::vec(any::<u64>(), 0..2000)) {
+#[test]
+fn msb_radix_matches_std() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(1000 + seed);
+        let mut v = random_vec_u64(&mut rng, 2000);
         let mut expected = v.clone();
         expected.sort_unstable();
         msb_radix_sort(&mut v);
-        prop_assert_eq!(v, expected);
+        assert_eq!(v, expected, "seed {seed}");
     }
+}
 
-    #[test]
-    fn merge_path_sort_matches_std(mut v in proptest::collection::vec(any::<i32>(), 0..2000)) {
+#[test]
+fn merge_path_sort_matches_std() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(2000 + seed);
+        let mut v: Vec<i32> = random_vec_u32(&mut rng, 2000)
+            .into_iter()
+            .map(|x| x as i32)
+            .collect();
         let mut expected = v.clone();
         expected.sort_unstable();
         merge_path_sort(&mut v);
-        prop_assert_eq!(v, expected);
+        assert_eq!(v, expected, "seed {seed}");
     }
+}
 
-    #[test]
-    fn paradis_matches_std_on_floats(
-        mut v in proptest::collection::vec(any::<u32>().prop_map(f32::from_bits), 0..3000)
-    ) {
+#[test]
+fn paradis_matches_std_on_floats() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(3000 + seed);
         // Arbitrary bit patterns: includes NaNs, infinities, -0.0.
+        let mut v: Vec<f32> = random_vec_u32(&mut rng, 3000)
+            .into_iter()
+            .map(f32::from_bits)
+            .collect();
         let mut expected = v.clone();
         expected.sort_unstable_by(|a, b| a.total_cmp_key(b));
         paradis_sort(&mut v);
-        prop_assert_eq!(v.len(), expected.len());
+        assert_eq!(v.len(), expected.len(), "seed {seed}");
         for (a, b) in v.iter().zip(&expected) {
-            prop_assert_eq!(a.to_radix(), b.to_radix());
+            assert_eq!(a.to_radix(), b.to_radix(), "seed {seed}");
         }
     }
+}
 
-    // ---- Multiway merge. ----
+// ---- Multiway merge. ----
 
-    #[test]
-    fn multiway_merge_matches_flat_sort(
-        runs in proptest::collection::vec(
-            proptest::collection::vec(any::<u32>(), 0..200), 1..9)
-    ) {
-        let mut runs = runs;
+#[test]
+fn multiway_merge_matches_flat_sort() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(4000 + seed);
+        let k = rng.usize_in(1..9);
+        let mut runs: Vec<Vec<u32>> = (0..k).map(|_| random_vec_u32(&mut rng, 200)).collect();
         let mut all: Vec<u32> = Vec::new();
         for r in &mut runs {
             r.sort_unstable();
@@ -69,49 +106,62 @@ proptest! {
         let mut out = vec![0u32; all.len()];
         multiway_merge(&views, &mut out);
         all.sort_unstable();
-        prop_assert_eq!(out, all);
+        assert_eq!(out, all, "seed {seed}");
     }
+}
 
-    #[test]
-    fn multisequence_select_is_a_valid_split(
-        runs in proptest::collection::vec(
-            proptest::collection::vec(any::<u32>(), 0..150), 1..6),
-        rank_frac in 0.0f64..=1.0
-    ) {
-        let runs: Vec<Vec<u32>> = runs.into_iter().map(|mut r| { r.sort_unstable(); r }).collect();
+#[test]
+fn multisequence_select_is_a_valid_split() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(5000 + seed);
+        let k = rng.usize_in(1..6);
+        let runs: Vec<Vec<u32>> = (0..k)
+            .map(|_| {
+                let mut r = random_vec_u32(&mut rng, 150);
+                r.sort_unstable();
+                r
+            })
+            .collect();
         let views: Vec<&[u32]> = runs.iter().map(Vec::as_slice).collect();
         let total: usize = views.iter().map(|v| v.len()).sum();
-        let rank = ((total as f64) * rank_frac) as usize;
+        let rank = ((total as f64) * rng.f64()) as usize;
         let splits = multisequence_select(&views, rank);
-        prop_assert_eq!(splits.iter().sum::<usize>(), rank);
-        let max_before = views.iter().zip(&splits)
-            .filter_map(|(r, &s)| r[..s].last().copied()).max();
-        let min_after = views.iter().zip(&splits)
-            .filter_map(|(r, &s)| r.get(s).copied()).min();
+        assert_eq!(splits.iter().sum::<usize>(), rank, "seed {seed}");
+        let max_before = views
+            .iter()
+            .zip(&splits)
+            .filter_map(|(r, &s)| r[..s].last().copied())
+            .max();
+        let min_after = views
+            .iter()
+            .zip(&splits)
+            .filter_map(|(r, &s)| r.get(s).copied())
+            .min();
         if let (Some(mb), Some(ma)) = (max_before, min_after) {
-            prop_assert!(mb <= ma);
+            assert!(mb <= ma, "seed {seed}");
         }
     }
+}
 
-    // ---- Pivot selection (Algorithm 1). ----
+// ---- Pivot selection (Algorithm 1). ----
 
-    #[test]
-    fn pivot_is_valid_and_leftmost(
-        mut a in proptest::collection::vec(any::<u32>(), 1..300),
-        seed in any::<u64>()
-    ) {
-        // Build two equal-size sorted arrays from one pool.
-        let n = a.len();
-        let mut b: Vec<u32> = generate(Distribution::Uniform, n, seed);
+#[test]
+fn pivot_is_valid_and_leftmost() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(6000 + seed);
+        let n = rng.usize_in(1..300);
+        // Build two equal-size sorted arrays from independent pools.
+        let mut a: Vec<u32> = (0..n).map(|_| rng.u32()).collect();
+        let mut b: Vec<u32> = generate(Distribution::Uniform, n, rng.u64());
         a.sort_unstable();
         b.sort_unstable();
         let p = select_pivot_slices(&a, &b);
-        prop_assert!(p <= n);
+        assert!(p <= n, "seed {seed}");
         // Validity: max of the new A side <= min of the new B side.
         let max_a = a[..n - p].iter().chain(b[..p].iter()).max().copied();
         let min_b = a[n - p..].iter().chain(b[p..].iter()).min().copied();
         if let (Some(ma), Some(mb)) = (max_a, min_b) {
-            prop_assert!(ma <= mb);
+            assert!(ma <= mb, "seed {seed}");
         }
         // Leftmost: p - 1 must be invalid (when p > 0).
         if p > 0 {
@@ -119,43 +169,52 @@ proptest! {
             let max_a = a[..n - q].iter().chain(b[..q].iter()).max().copied();
             let min_b = a[n - q..].iter().chain(b[q..].iter()).min().copied();
             if let (Some(ma), Some(mb)) = (max_a, min_b) {
-                prop_assert!(ma > mb, "p={p} not leftmost");
+                assert!(ma > mb, "seed {seed}: p={p} not leftmost");
             }
         }
     }
+}
 
-    #[test]
-    fn swap_plan_partitions_pivot(half in 1usize..5, chunk in 1usize..100, frac in 0.0f64..=1.0) {
-        let pivot = ((half * chunk) as f64 * frac) as usize;
+#[test]
+fn swap_plan_partitions_pivot() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(7000 + seed);
+        let half = rng.usize_in(1..5);
+        let chunk = rng.usize_in(1..100);
+        let pivot = ((half * chunk) as f64 * rng.f64()) as usize;
         let plan = swap_plan(half, chunk, pivot);
         let total: usize = plan.swaps.iter().map(|s| s.len).sum();
-        prop_assert_eq!(total, pivot);
+        assert_eq!(total, pivot, "seed {seed}");
         // Each chunk's kept + received == chunk size; at most one partial pair.
         let partials = plan.swaps.iter().filter(|s| s.len < chunk).count();
-        prop_assert!(partials <= 1);
+        assert!(partials <= 1, "seed {seed}");
         for c in 0..2 * half {
             let (kept, recv) = plan.chunk_exchange(c);
-            prop_assert_eq!(kept + recv, chunk);
+            assert_eq!(kept + recv, chunk, "seed {seed}");
         }
     }
+}
 
-    // ---- Max-min fair allocation. ----
+// ---- Max-min fair allocation. ----
 
-    #[test]
-    fn allocation_is_feasible_and_pareto(
-        n_flows in 1usize..7,
-        caps in proptest::collection::vec(1.0f64..100.0, 3),
-        seed in any::<u64>()
-    ) {
-        use multi_gpu_sort::topology::{MemSpec, LinkKind};
+#[test]
+fn allocation_is_feasible_and_pareto() {
+    use multi_gpu_sort::topology::{LinkKind, MemSpec};
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(8000 + seed);
+        let n_flows = rng.usize_in(1..7);
+        let caps: Vec<f64> = (0..3).map(|_| 1.0 + rng.f64() * 99.0).collect();
         // A tiny topology whose constraint capacities come from `caps`.
         let mut b = TopologyBuilder::new();
-        let cpu = b.cpu(0, MemSpec {
-            capacity_bytes: 1 << 30,
-            read_cap: gbps(caps[0]),
-            write_cap: gbps(caps[1]),
-            combined_cap: Some(gbps(caps[2])),
-        });
+        let cpu = b.cpu(
+            0,
+            MemSpec {
+                capacity_bytes: 1 << 30,
+                read_cap: gbps(caps[0]),
+                write_cap: gbps(caps[1]),
+                combined_cap: Some(gbps(caps[2])),
+            },
+        );
         let g0 = b.gpu(0, GpuModel::Custom);
         let g1 = b.gpu(1, GpuModel::Custom);
         b.link(cpu, g0, LinkKind::Pcie3, gbps(13.0));
@@ -166,12 +225,9 @@ proptest! {
         // Random flows between random endpoints.
         let endpoints = [Endpoint::HOST0, Endpoint::gpu(0), Endpoint::gpu(1)];
         let mut flows = Vec::new();
-        let mut s = seed;
         for _ in 0..n_flows {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let src = endpoints[(s >> 10) as usize % 3];
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let dst = endpoints[(s >> 10) as usize % 3];
+            let src = endpoints[rng.usize_in(0..3)];
+            let dst = endpoints[rng.usize_in(0..3)];
             if src == dst {
                 continue;
             }
@@ -182,59 +238,68 @@ proptest! {
         // Feasibility.
         let mut used = vec![0.0f64; table.constraints().len()];
         for (f, fl) in flows.iter().enumerate() {
-            prop_assert!(rates[f] >= 0.0);
-            prop_assert!(rates[f].is_finite());
-            for &(c, w) in &fl.constraints {
+            assert!(rates[f] >= 0.0, "seed {seed}");
+            assert!(rates[f].is_finite(), "seed {seed}");
+            for &(c, w) in fl.constraints.iter() {
                 used[c.0] += rates[f] * w;
             }
         }
         for (u, c) in used.iter().zip(table.constraints()) {
-            prop_assert!(*u <= c.capacity * 1.0001, "{u} > {}", c.capacity);
+            assert!(
+                *u <= c.capacity * 1.0001,
+                "seed {seed}: {u} > {}",
+                c.capacity
+            );
         }
         // Pareto: every flow crosses at least one ~saturated constraint.
         for fl in &flows {
-            let bottleneck = fl.constraints.iter()
+            let bottleneck = fl
+                .constraints
+                .iter()
                 .any(|&(c, _)| used[c.0] >= table.capacity(c) * 0.999);
-            prop_assert!(bottleneck);
+            assert!(bottleneck, "seed {seed}");
         }
     }
+}
 
-    // ---- End-to-end sorting as a property. ----
+// ---- End-to-end sorting as a property. ----
 
-    #[test]
-    fn p2p_sort_any_input(
-        raw in proptest::collection::vec(any::<u32>(), 0..512),
-        g_exp in 0u32..3
-    ) {
-        let g = 1usize << g_exp;
+#[test]
+fn p2p_sort_any_input() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(9000 + seed);
+        let raw = random_vec_u32(&mut rng, 512);
+        let g = 1usize << rng.usize_in(0..3);
         // Pad to a multiple of g.
         let mut input = raw;
-        while input.len() % (g * 2) != 0 {
+        while !input.len().is_multiple_of(g * 2) {
             input.push(0);
         }
         if input.is_empty() {
-            return Ok(());
+            continue;
         }
         let n = input.len() as u64;
         let platform = Platform::dgx_a100();
         let mut data = input.clone();
         let report = p2p_sort(&platform, &P2pConfig::new(g), &mut data, n);
-        prop_assert!(report.validated);
-        prop_assert!(same_multiset(&input, &data));
+        assert!(report.validated, "seed {seed}");
+        assert!(same_multiset(&input, &data), "seed {seed}");
     }
+}
 
-    #[test]
-    fn het_sort_any_input(
-        raw in proptest::collection::vec(any::<u64>(), 1..512),
-        budget_kib in 2u64..64
-    ) {
-        let input = raw;
+#[test]
+fn het_sort_any_input() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(10_000 + seed);
+        let len = rng.usize_in(1..512);
+        let input: Vec<u64> = (0..len).map(|_| rng.u64()).collect();
+        let budget_kib = rng.u64_in(2..64);
         let n = input.len() as u64;
         let platform = Platform::test_pcie(2);
         let cfg = HetConfig::new(2).with_mem_budget(budget_kib * 1024);
         let mut data = input.clone();
         let report = het_sort(&platform, &cfg, &mut data, n);
-        prop_assert!(report.validated);
-        prop_assert!(same_multiset(&input, &data));
+        assert!(report.validated, "seed {seed}");
+        assert!(same_multiset(&input, &data), "seed {seed}");
     }
 }
