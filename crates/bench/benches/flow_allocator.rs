@@ -3,7 +3,9 @@
 //! of these allocations).
 
 use msort_bench::Harness;
+use msort_gpu::{Fidelity, GpuSystem, Phase};
 use msort_sim::flows::measure_concurrent;
+use msort_sim::reference::ReferenceFlowSim;
 use msort_sim::FlowSim;
 use msort_topology::{allocate_rates, Endpoint, Platform, Route};
 use std::hint::black_box;
@@ -59,10 +61,114 @@ fn bench_staggered_flows(h: &mut Harness) {
     });
 }
 
+/// 256 flows arriving in staggered waves: 32 start upfront, and every
+/// completion triggers a new arrival until 256 have run — the executor's
+/// natural pattern (a drained stream immediately issues its next copy, so
+/// arrivals come in batches at completion times). This is the scenario the
+/// event-queue engine was built for: the original engine pays one full
+/// re-allocation per start and per completion batch plus a rescan of every
+/// flow ever started per event, while the event-queue engine coalesces
+/// each wave into a single allocation over just the active flows. Both
+/// engines run in the same binary so the speedup is directly comparable.
+fn bench_staggered_256(h: &mut Harness) {
+    const TOTAL: usize = 256;
+    const UPFRONT: usize = 32;
+    const BYTES: u64 = 1 << 24;
+    let platform = Platform::dgx_a100();
+    let routes = all_routes(&platform);
+
+    h.bench("staggered_256_flows/event_queue", || {
+        let mut sim = FlowSim::new(&platform);
+        let mut started = 0;
+        while started < UPFRONT {
+            sim.start(&routes[started % routes.len()], BYTES);
+            started += 1;
+        }
+        while let Some((t, _)) = sim.next_completion() {
+            let finished = sim.advance_to(t).len();
+            for _ in 0..finished {
+                if started < TOTAL {
+                    sim.start(&routes[started % routes.len()], BYTES);
+                    started += 1;
+                }
+            }
+        }
+        black_box(sim.now())
+    });
+
+    h.bench("staggered_256_flows/reference", || {
+        let mut sim = ReferenceFlowSim::new(&platform);
+        let mut started = 0;
+        while started < UPFRONT {
+            sim.start(&routes[started % routes.len()], BYTES);
+            started += 1;
+        }
+        while let Some((t, _)) = sim.next_completion() {
+            let finished = sim.advance_to(t).len();
+            for _ in 0..finished {
+                if started < TOTAL {
+                    sim.start(&routes[started % routes.len()], BYTES);
+                    started += 1;
+                }
+            }
+        }
+        black_box(sim.now())
+    });
+}
+
+/// End-to-end executor pressure: 512 small copies over 8 streams at full
+/// fidelity. Exercises the route cache (every copy routes between the same
+/// few endpoint pairs) and the executor/flow-engine interaction, not just
+/// the allocator in isolation.
+fn bench_gpu_system_many_memcpys(h: &mut Harness) {
+    let platform = Platform::dgx_a100();
+    h.bench("gpu_system_512_memcpys", || {
+        let mut sys: GpuSystem<u32> = GpuSystem::new(&platform, Fidelity::Full);
+        let keys_per_copy = 1u64 << 10;
+        let gpus = platform.gpu_count();
+        let host = sys.world_mut().alloc_host(0, keys_per_copy * 512);
+        let bufs: Vec<_> = (0..gpus)
+            .map(|g| sys.world_mut().alloc_gpu(g, keys_per_copy * 64))
+            .collect();
+        let streams: Vec<_> = (0..8).map(|_| sys.stream()).collect();
+        for i in 0..512u64 {
+            let s = streams[(i % 8) as usize];
+            let g = (i as usize) % gpus;
+            let slot = (i / 8) % 64;
+            if i.is_multiple_of(2) {
+                sys.memcpy(
+                    s,
+                    host,
+                    (i % 512) * keys_per_copy,
+                    bufs[g],
+                    slot * keys_per_copy,
+                    keys_per_copy,
+                    &[],
+                    Phase::HtoD,
+                );
+            } else {
+                sys.memcpy(
+                    s,
+                    bufs[g],
+                    slot * keys_per_copy,
+                    host,
+                    (i % 512) * keys_per_copy,
+                    keys_per_copy,
+                    &[],
+                    Phase::DtoH,
+                );
+            }
+        }
+        black_box(sys.synchronize())
+    });
+}
+
 fn main() {
     let mut h = Harness::new("flow_allocator").sample_size(20);
     bench_allocator(&mut h);
     bench_fig4_style_measurement(&mut h);
     bench_staggered_flows(&mut h);
+    bench_staggered_256(&mut h);
+    bench_gpu_system_many_memcpys(&mut h);
     h.finish();
 }

@@ -229,7 +229,7 @@ impl<K: SortKey> World<K> {
             return;
         }
         let (a, b) = split_two(&mut self.buffers, src.0, dst.0);
-        b.data[do_..do_ + l].copy_from_slice(&a.data[so..so + l]);
+        par_copy(&mut b.data[do_..do_ + l], &a.data[so..so + l]);
     }
 
     /// Mutable physical view of a whole buffer.
@@ -256,6 +256,29 @@ impl<K: SortKey> World<K> {
 }
 
 use msort_data::keys::RadixImage;
+
+/// Below this many bytes a plain `copy_from_slice` beats spawning threads.
+const PAR_COPY_MIN_BYTES: usize = 4 << 20;
+
+/// Copy `src` into `dst`, splitting large copies across threads. Full-
+/// fidelity runs at paper scale move gigabytes per staged host copy; a
+/// single-threaded memcpy there is the dominant *wall-clock* cost of the
+/// simulation (it never affects simulated time).
+pub(crate) fn par_copy<K: Copy + Send + Sync>(dst: &mut [K], src: &[K]) {
+    assert_eq!(dst.len(), src.len());
+    let bytes = std::mem::size_of_val(src);
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get().min(8));
+    if bytes < PAR_COPY_MIN_BYTES || threads < 2 {
+        dst.copy_from_slice(src);
+        return;
+    }
+    let chunk = dst.len().div_ceil(threads);
+    std::thread::scope(|s| {
+        for (d, sr) in dst.chunks_mut(chunk).zip(src.chunks(chunk)) {
+            s.spawn(move || d.copy_from_slice(sr));
+        }
+    });
+}
 
 /// Disjoint mutable access to two slots of a vec.
 fn split_two<T>(v: &mut [T], i: usize, j: usize) -> (&mut T, &mut T) {
@@ -336,6 +359,17 @@ mod tests {
         let b = w.import_host(0, vec![1u32, 2, 3, 4], 4);
         w.copy_range(b, 0, b, 2, 2);
         assert_eq!(w.slice(b, 0, 4), &[1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn par_copy_large_matches_serial() {
+        // 8 MiB: exercises the threaded path, not the small-copy fallback.
+        let src: Vec<u32> = (0..2u32 << 20)
+            .map(|i| i.wrapping_mul(0x9e37_79b9))
+            .collect();
+        let mut dst = vec![0u32; src.len()];
+        par_copy(&mut dst, &src);
+        assert_eq!(dst, src);
     }
 
     #[test]

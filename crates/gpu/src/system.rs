@@ -24,7 +24,8 @@ use crate::primitives;
 use msort_cpu::multiway::multiway_merge;
 use msort_data::SortKey;
 use msort_sim::{CostModel, FlowId, FlowSim, GpuSortAlgo, SimDuration, SimTime};
-use msort_topology::{FlowRequest, Platform, Route};
+use msort_topology::{Endpoint, FlowRequest, Platform, Route};
+use std::collections::HashMap;
 
 /// Handle to an enqueued operation; awaitable as an event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -161,6 +162,10 @@ pub struct GpuSystem<'p, K: SortKey> {
     ops: Vec<Op<K>>,
     /// Per stream: index of the next not-yet-started op in `order`.
     streams: Vec<StreamQueue>,
+    /// Shortest paths already computed, keyed by endpoint pair. A sort
+    /// enqueues thousands of copies over a handful of distinct pairs;
+    /// routing each once is enough (the topology is immutable).
+    route_cache: HashMap<(Endpoint, Endpoint), Route>,
 }
 
 struct StreamQueue {
@@ -178,6 +183,7 @@ impl<'p, K: SortKey> GpuSystem<'p, K> {
             world: World::new(&platform.topology, fidelity),
             ops: Vec::new(),
             streams: Vec::new(),
+            route_cache: HashMap::new(),
         }
     }
 
@@ -328,12 +334,7 @@ impl<'p, K: SortKey> GpuSystem<'p, K> {
             );
         }
 
-        let route = msort_topology::route::route(
-            &self.platform().topology,
-            src_loc.endpoint(),
-            dst_loc.endpoint(),
-        )
-        .unwrap_or_else(|| panic!("no route from {src_loc:?} to {dst_loc:?}"));
+        let route = self.cached_route(src_loc.endpoint(), dst_loc.endpoint());
         self.push_op(
             stream,
             waits,
@@ -345,6 +346,18 @@ impl<'p, K: SortKey> GpuSystem<'p, K> {
             },
             phase,
         )
+    }
+
+    /// Shortest path between two endpoints, computed once per pair and
+    /// served from the cache afterwards.
+    fn cached_route(&mut self, src: Endpoint, dst: Endpoint) -> Route {
+        if let Some(route) = self.route_cache.get(&(src, dst)) {
+            return route.clone();
+        }
+        let route = msort_topology::route::route(&self.platform().topology, src, dst)
+            .unwrap_or_else(|| panic!("no route from {src:?} to {dst:?}"));
+        self.route_cache.insert((src, dst), route.clone());
+        route
     }
 
     /// Enqueue a copy along an *explicit* route instead of the default
@@ -776,7 +789,10 @@ impl<'p, K: SortKey> GpuSystem<'p, K> {
                 let staged = self.ops[idx].staged.take().expect("copy staged its source");
                 let dst_off = self.world.physical(dst.1);
                 let l = self.world.physical(len);
-                self.world.data_mut(dst.0)[dst_off..dst_off + l].copy_from_slice(&staged[..l]);
+                crate::buffer::par_copy(
+                    &mut self.world.data_mut(dst.0)[dst_off..dst_off + l],
+                    &staged[..l],
+                );
             }
             OpKind::Fixed { effect, .. } | OpKind::HostFlow { effect, .. } => {
                 self.apply_effect(effect);

@@ -1,23 +1,65 @@
 //! Fluid transfer engine.
 //!
 //! Concurrently active transfers are *fluid flows*: at every instant each
-//! flow progresses at the max-min fair rate computed by
-//! [`msort_topology::allocate_rates`] from the platform's constraint table.
-//! Rates change only when the flow set changes, so the engine advances in
-//! events: start a flow → re-allocate; earliest completion → advance the
-//! clock exactly there, retire the flow, re-allocate.
+//! flow progresses at the max-min fair rate computed by the platform's
+//! constraint table. Rates change only when the flow set changes, so the
+//! engine advances in events: start a flow → re-allocate; earliest
+//! completion → advance the clock exactly there, retire the flow,
+//! re-allocate.
 //!
 //! The same engine drives both the paper's interconnect microbenchmarks
 //! (Figures 2–7 are literally "start these flows at t=0, report total bytes
 //! over the makespan") and, through the virtual GPU runtime, every copy of
 //! the sorting algorithms.
+//!
+//! # Engine internals
+//!
+//! * **Slab + free list.** Flows live in slots that are recycled after
+//!   [`FlowSim::compact`]; a long simulation no longer grows its flow table
+//!   without bound. [`FlowId`]s carry a generation counter, so a stale id
+//!   held across a `compact()` panics with a clear message instead of
+//!   silently aliasing an unrelated flow.
+//! * **Active list.** `active_order` keeps the unfinished flows in creation
+//!   order — the allocator sees requests in exactly the order the original
+//!   engine did (float summation order matters for bit-identical rates),
+//!   and per-event work scales with the number of *active* flows, not the
+//!   number ever started.
+//! * **Completion heap with epoch invalidation.** [`FlowSim::next_completion`]
+//!   keeps a min-heap of `(eta, creation-seq, slot)` entries. Any state
+//!   change that can move an eta (a re-allocation, or a clock advance —
+//!   the per-event `remaining -= rate·dt` decrement can shift the rounded
+//!   eta by a nanosecond) bumps an epoch counter; the heap rebuilds lazily
+//!   on the next query and is O(1) to peek until the epoch moves again.
+//!   The rebuild recomputes etas with exactly the original arithmetic, so
+//!   completion times are bit-identical to the reference engine
+//!   ([`crate::reference`]).
+//! * **Incremental allocation.** Re-allocation goes through a reusable
+//!   [`RateAllocator`] (scratch vectors owned across events, flows read by
+//!   reference from the slab — no per-event `FlowRequest` clones), runs
+//!   *lazily* at the first point rates become observable — so a burst of
+//!   starts and completions between two events costs one allocation, where
+//!   the original engine paid one per start and one per completion batch —
+//!   and is skipped entirely when the active request sequence is unchanged
+//!   since the last allocation (zero-byte starts, `compact()`): the
+//!   allocator is a pure function of that sequence, so the cached rates
+//!   are exact.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use crate::time::{SimDuration, SimTime};
-use msort_topology::{allocate_rates, FlowRequest, Platform, Route};
+use msort_topology::{FlowRequest, Platform, RateAllocator, Route};
 
 /// Handle to an active (or completed) flow.
+///
+/// Generation-checked: after [`FlowSim::compact`] retires a completed
+/// flow's slot, any further use of an id for that slot panics instead of
+/// silently reading whatever flow was recycled into it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct FlowId(usize);
+pub struct FlowId {
+    slot: u32,
+    generation: u32,
+}
 
 #[derive(Debug)]
 struct ActiveFlow {
@@ -25,6 +67,16 @@ struct ActiveFlow {
     remaining: f64,
     rate: f64,
     done: bool,
+    /// Monotonic creation number: orders allocator input and breaks
+    /// completion-time ties in creation order, exactly like the original
+    /// engine's first-smallest scan.
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Slot {
+    generation: u32,
+    flow: Option<ActiveFlow>,
 }
 
 /// The fluid transfer simulator for one platform.
@@ -47,8 +99,29 @@ struct ActiveFlow {
 #[derive(Debug)]
 pub struct FlowSim<'p> {
     platform: &'p Platform,
-    flows: Vec<ActiveFlow>,
+    slots: Vec<Slot>,
+    /// Slots available for reuse (freed by `compact`).
+    free: Vec<u32>,
+    /// Active (unfinished) slots in flow-creation order.
+    active_order: Vec<u32>,
     now: SimTime,
+    next_seq: u64,
+    /// Bumped whenever any active flow's `rate` or `remaining` may have
+    /// changed; the completion heap is stale while it trails this.
+    epoch: u64,
+    /// Epoch the completion heap was built at.
+    heap_epoch: u64,
+    /// Min-heap of `(eta, creation-seq, slot)` over the active flows.
+    heap: BinaryHeap<Reverse<(SimTime, u64, u32)>>,
+    /// Bumped whenever `active_order` membership changes; re-allocation is
+    /// skipped while it matches `allocated_at` (the active request
+    /// sequence — the allocator's entire input — is unchanged).
+    membership: u64,
+    /// `membership` stamp of the last executed allocation.
+    allocated_at: Option<u64>,
+    allocator: RateAllocator,
+    /// Scratch for allocator output (reused across events).
+    rates: Vec<f64>,
 }
 
 impl<'p> FlowSim<'p> {
@@ -57,8 +130,18 @@ impl<'p> FlowSim<'p> {
     pub fn new(platform: &'p Platform) -> Self {
         Self {
             platform,
-            flows: Vec::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            active_order: Vec::new(),
             now: SimTime::ZERO,
+            next_seq: 0,
+            epoch: 0,
+            heap_epoch: u64::MAX,
+            heap: BinaryHeap::new(),
+            membership: 0,
+            allocated_at: None,
+            allocator: RateAllocator::new(),
+            rates: Vec::new(),
         }
     }
 
@@ -72,6 +155,14 @@ impl<'p> FlowSim<'p> {
     #[must_use]
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Number of flow slots allocated (active, completed, and free). Stays
+    /// bounded by the peak concurrent flow count when `compact` is called
+    /// between phases.
+    #[must_use]
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
     }
 
     /// Find a route on this platform (convenience wrapper).
@@ -93,58 +184,188 @@ impl<'p> FlowSim<'p> {
     /// with custom rate caps, e.g. modeled CPU merges contending for host
     /// memory bandwidth).
     pub fn start_request(&mut self, request: FlowRequest, bytes: u64) -> FlowId {
-        let id = FlowId(self.flows.len());
-        self.flows.push(ActiveFlow {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let flow = ActiveFlow {
             request,
             remaining: bytes as f64,
             rate: 0.0,
             done: bytes == 0,
-        });
-        self.reallocate();
+            seq,
+        };
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize].flow = Some(flow);
+                s
+            }
+            None => {
+                self.slots.push(Slot {
+                    generation: 0,
+                    flow: Some(flow),
+                });
+                u32::try_from(self.slots.len() - 1).expect("slot count fits u32")
+            }
+        };
+        let id = FlowId {
+            slot,
+            generation: self.slots[slot as usize].generation,
+        };
+        if bytes > 0 {
+            self.active_order.push(slot);
+            self.membership += 1;
+        }
+        // No eager re-allocation: rates are computed lazily at the next
+        // point they are observable (an advance, an eta query, `rate()`),
+        // so a batch of starts costs one allocation, not one per start.
         id
     }
 
+    /// The flow behind `id`, with generation check.
+    fn flow(&self, id: FlowId) -> &ActiveFlow {
+        let slot = &self.slots[id.slot as usize];
+        assert!(
+            slot.generation == id.generation,
+            "stale FlowId: slot {} generation {} was retired by compact() \
+             (slot is now at generation {}); ids of completed flows do not \
+             survive compaction",
+            id.slot,
+            id.generation,
+            slot.generation
+        );
+        slot.flow
+            .as_ref()
+            .expect("generation-checked slot holds a flow")
+    }
+
     /// `true` once the flow has delivered all its bytes.
+    ///
+    /// # Panics
+    /// Panics if `id` was retired by [`FlowSim::compact`].
     #[must_use]
     pub fn is_done(&self, id: FlowId) -> bool {
-        self.flows[id.0].done
+        self.flow(id).done
     }
 
     /// Current rate (bytes/s) of a flow; zero once completed.
+    ///
+    /// # Panics
+    /// Panics if `id` was retired by [`FlowSim::compact`].
     #[must_use]
-    pub fn rate(&self, id: FlowId) -> f64 {
-        if self.flows[id.0].done {
+    pub fn rate(&mut self, id: FlowId) -> f64 {
+        self.ensure_rates();
+        let f = self.flow(id);
+        if f.done {
             0.0
         } else {
-            self.flows[id.0].rate
+            f.rate
         }
     }
 
     /// Number of currently active (unfinished) flows.
     #[must_use]
     pub fn active_count(&self) -> usize {
-        self.flows.iter().filter(|f| !f.done).count()
+        self.active_order.len()
     }
 
     /// Earliest upcoming flow completion `(time, flow)`, if any flow is
     /// active.
-    #[must_use]
-    pub fn next_completion(&self) -> Option<(SimTime, FlowId)> {
-        let mut best: Option<(SimTime, FlowId)> = None;
-        for (i, f) in self.flows.iter().enumerate() {
-            if f.done {
-                continue;
+    ///
+    /// O(1) while the engine state is unchanged since the last query; after
+    /// a start, advance, or re-allocation the completion heap rebuilds
+    /// lazily in one pass over the active flows.
+    pub fn next_completion(&mut self) -> Option<(SimTime, FlowId)> {
+        self.ensure_rates();
+        if self.heap_epoch != self.epoch {
+            self.rebuild_heap();
+        }
+        while let Some(&Reverse((eta, seq, slot))) = self.heap.peek() {
+            let live = self.slots[slot as usize]
+                .flow
+                .as_ref()
+                .is_some_and(|f| !f.done && f.seq == seq);
+            if live {
+                return Some((
+                    eta,
+                    FlowId {
+                        slot,
+                        generation: self.slots[slot as usize].generation,
+                    },
+                ));
             }
-            assert!(
-                f.rate > 0.0,
-                "active flow {i} has zero rate: the allocator starved it"
-            );
-            let eta = self.now + SimDuration::for_bytes_at(f.remaining.ceil() as u64, f.rate);
-            if best.is_none_or(|(t, _)| eta < t) {
-                best = Some((eta, FlowId(i)));
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Rebuild the completion heap from the active flows, recomputing every
+    /// eta with the original engine's arithmetic.
+    fn rebuild_heap(&mut self) {
+        // Cold path first: a zero-rate active flow means the allocator
+        // starved it — impossible for feasible constraint tables, so when
+        // it does happen, dump enough state to debug the table.
+        for &slot in &self.active_order {
+            let f = self.slots[slot as usize]
+                .flow
+                .as_ref()
+                .expect("active slot holds a flow");
+            if f.rate <= 0.0 {
+                panic!("{}", self.starvation_report(f));
             }
         }
-        best
+        let mut entries = std::mem::take(&mut self.heap).into_vec();
+        entries.clear();
+        for &slot in &self.active_order {
+            let f = self.slots[slot as usize]
+                .flow
+                .as_ref()
+                .expect("active slot holds a flow");
+            let eta = self.now + SimDuration::for_bytes_at(f.remaining.ceil() as u64, f.rate);
+            entries.push(Reverse((eta, f.seq, slot)));
+        }
+        self.heap = BinaryHeap::from(entries);
+        self.heap_epoch = self.epoch;
+    }
+
+    /// Diagnostic for an allocator-starved flow: the flow's own constraint
+    /// list plus the full constraint table with current consumption, with
+    /// saturated rows marked.
+    fn starvation_report(&self, starved: &ActiveFlow) -> String {
+        use std::fmt::Write as _;
+        let table = self.platform.constraint_table();
+        let mut msg = format!(
+            "active flow {} has zero rate: the allocator starved it\n\
+             flow: remaining {} B, rate cap {:?}, constraints:\n",
+            starved.seq, starved.remaining, starved.request.rate_cap
+        );
+        for &(c, w) in &starved.request.constraints {
+            let _ = writeln!(
+                msg,
+                "  {:?} weight {w} capacity {:.3e} B/s",
+                table.constraints()[c.0].kind,
+                table.capacity(c)
+            );
+        }
+        // Current consumption per constraint across all active flows.
+        let mut used = vec![0.0f64; table.constraints().len()];
+        for &slot in &self.active_order {
+            let f = self.slots[slot as usize].flow.as_ref().unwrap();
+            for &(c, w) in &f.request.constraints {
+                used[c.0] += f.rate * w;
+            }
+        }
+        msg.push_str("constraint table (* = saturated):\n");
+        for (i, c) in table.constraints().iter().enumerate() {
+            let saturated = used[i] >= c.capacity * 0.999;
+            let _ = writeln!(
+                msg,
+                "  {}[{i}] {:?}: used {:.3e} of {:.3e} B/s",
+                if saturated { "*" } else { " " },
+                c.kind,
+                used[i],
+                c.capacity
+            );
+        }
+        msg
     }
 
     /// Advance the clock to `t`, progressing all active flows linearly and
@@ -153,24 +374,41 @@ impl<'p> FlowSim<'p> {
     /// # Panics
     /// Panics if `t` is in the past.
     pub fn advance_to(&mut self, t: SimTime) -> Vec<FlowId> {
+        // Flows progress at the rates of the current active set; compute
+        // them now if starts/completions have accumulated since the last
+        // allocation.
+        self.ensure_rates();
         let dt = t.since(self.now).as_secs_f64();
         self.now = t;
         let mut finished = Vec::new();
-        for (i, f) in self.flows.iter_mut().enumerate() {
-            if f.done {
-                continue;
-            }
+        let mut kept = 0;
+        for k in 0..self.active_order.len() {
+            let slot = self.active_order[k];
+            let entry = &mut self.slots[slot as usize];
+            let f = entry.flow.as_mut().expect("active slot holds a flow");
             f.remaining -= f.rate * dt;
             // Sub-nanosecond residue is a completed flow: rates are exact
             // between events, but `for_bytes_at` rounds up to whole ns.
             if f.remaining <= f.rate * 1e-9 + 1e-6 {
                 f.remaining = 0.0;
                 f.done = true;
-                finished.push(FlowId(i));
+                finished.push(FlowId {
+                    slot,
+                    generation: entry.generation,
+                });
+            } else {
+                self.active_order[kept] = slot;
+                kept += 1;
             }
         }
+        self.active_order.truncate(kept);
+        if dt > 0.0 {
+            // The decrement above can move rounded etas by a nanosecond;
+            // force the heap to recompute them.
+            self.epoch += 1;
+        }
         if !finished.is_empty() {
-            self.reallocate();
+            self.membership += 1;
         }
         finished
     }
@@ -183,30 +421,70 @@ impl<'p> FlowSim<'p> {
         self.now
     }
 
-    /// Drop all completed flows' bookkeeping (ids of retired flows become
-    /// invalid). Useful between independent experiment phases.
+    /// Retire all completed flows' slots onto the free list for reuse. The
+    /// retired flows' [`FlowId`]s become stale: using one afterwards panics
+    /// (generation check) instead of silently reading a recycled slot.
+    /// Useful between independent experiment phases.
     pub fn compact(&mut self) {
-        self.flows.retain(|f| !f.done);
-        // Indices shifted: only valid when no external FlowIds are held.
-        self.reallocate();
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if slot.flow.as_ref().is_some_and(|f| f.done) {
+                slot.flow = None;
+                slot.generation += 1;
+                self.free
+                    .push(u32::try_from(i).expect("slot index fits u32"));
+            }
+        }
+        // Active membership is unchanged: the cached rates stay valid (the
+        // original engine recomputed identical rates here).
     }
 
-    fn reallocate(&mut self) {
-        let active: Vec<usize> = (0..self.flows.len())
-            .filter(|&i| !self.flows[i].done)
-            .collect();
-        let requests: Vec<FlowRequest> = active
-            .iter()
-            .map(|&i| self.flows[i].request.clone())
-            .collect();
-        let rates = allocate_rates(self.platform.constraint_table(), &requests);
-        for (&i, &rate) in active.iter().zip(rates.iter()) {
+    /// Bring the active flows' rates up to date, unless the active request
+    /// sequence is unchanged since the last allocation (then the cached
+    /// rates are already exact — the allocator is a pure function of that
+    /// sequence). Called lazily wherever rates become observable, so any
+    /// burst of starts/completions between two events costs exactly one
+    /// allocation.
+    fn ensure_rates(&mut self) {
+        if self.allocated_at == Some(self.membership) {
+            return;
+        }
+        {
+            let FlowSim {
+                platform,
+                slots,
+                active_order,
+                allocator,
+                rates,
+                ..
+            } = self;
+            allocator.allocate_with(
+                platform.constraint_table(),
+                active_order.len(),
+                |i| {
+                    &slots[active_order[i] as usize]
+                        .flow
+                        .as_ref()
+                        .expect("active slot holds a flow")
+                        .request
+                },
+                rates,
+            );
+        }
+        for (k, &slot) in self.active_order.iter().enumerate() {
+            let rate = self.rates[k];
+            let f = self.slots[slot as usize]
+                .flow
+                .as_mut()
+                .expect("active slot holds a flow");
             assert!(
                 rate.is_finite(),
-                "flow {i} is unconstrained; give intra-device copies a rate cap"
+                "flow {} is unconstrained; give intra-device copies a rate cap",
+                f.seq
             );
-            self.flows[i].rate = rate;
+            f.rate = rate;
         }
+        self.allocated_at = Some(self.membership);
+        self.epoch += 1;
     }
 }
 
@@ -306,6 +584,20 @@ mod tests {
     }
 
     #[test]
+    fn zero_byte_start_leaves_rates_untouched() {
+        // A zero-byte flow never enters the active set, so the allocation
+        // skip applies and the surviving flow's rate is unchanged.
+        let p = Platform::test_pcie(2);
+        let mut sim = FlowSim::new(&p);
+        let r = sim.route(Endpoint::HOST0, Endpoint::gpu(0)).unwrap();
+        let a = sim.start(&r, GIB);
+        let before = sim.rate(a);
+        let z = sim.start(&r, 0);
+        assert!(sim.is_done(z));
+        assert_eq!(sim.rate(a).to_bits(), before.to_bits());
+    }
+
+    #[test]
     fn measure_concurrent_reports_aggregate() {
         let p = Platform::test_pcie(2);
         let r0 =
@@ -334,6 +626,47 @@ mod tests {
     }
 
     #[test]
+    fn compact_reuses_slots() {
+        // Repeated phase-style usage (start, drain, compact) must not grow
+        // the slot table: retired slots go to the free list and come back.
+        let p = Platform::test_pcie(1);
+        let mut sim = FlowSim::new(&p);
+        let r = sim.route(Endpoint::HOST0, Endpoint::gpu(0)).unwrap();
+        for _ in 0..10 {
+            sim.start(&r, GIB);
+            sim.start(&r, GIB / 2);
+            sim.run_to_idle();
+            sim.compact();
+        }
+        assert_eq!(sim.slot_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale FlowId")]
+    fn stale_flow_id_panics_after_compact() {
+        let p = Platform::test_pcie(1);
+        let mut sim = FlowSim::new(&p);
+        let r = sim.route(Endpoint::HOST0, Endpoint::gpu(0)).unwrap();
+        let f = sim.start(&r, GIB);
+        sim.run_to_idle();
+        sim.compact();
+        // The slot was retired (and may be recycled): the old id must not
+        // silently read it.
+        let _ = sim.is_done(f);
+    }
+
+    #[test]
+    fn ids_of_completed_flows_stay_valid_until_compact() {
+        let p = Platform::test_pcie(1);
+        let mut sim = FlowSim::new(&p);
+        let r = sim.route(Endpoint::HOST0, Endpoint::gpu(0)).unwrap();
+        let f = sim.start(&r, GIB);
+        sim.run_to_idle();
+        assert!(sim.is_done(f));
+        assert_eq!(sim.rate(f), 0.0);
+    }
+
+    #[test]
     fn clock_is_monotonic_across_events() {
         let p = Platform::test_pcie(2);
         let mut sim = FlowSim::new(&p);
@@ -349,5 +682,20 @@ mod tests {
             sim.advance_to(t);
             last = t;
         }
+    }
+
+    #[test]
+    fn repeated_queries_are_stable() {
+        // next_completion is pure between state changes: repeated calls
+        // return the same event.
+        let p = Platform::test_pcie(2);
+        let mut sim = FlowSim::new(&p);
+        let r0 = sim.route(Endpoint::HOST0, Endpoint::gpu(0)).unwrap();
+        let r1 = sim.route(Endpoint::HOST0, Endpoint::gpu(1)).unwrap();
+        sim.start(&r0, GIB);
+        sim.start(&r1, 2 * GIB);
+        let first = sim.next_completion();
+        assert_eq!(first, sim.next_completion());
+        assert_eq!(first, sim.next_completion());
     }
 }

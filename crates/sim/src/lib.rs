@@ -34,6 +34,7 @@
 
 pub mod calibrate;
 pub mod flows;
+pub mod reference;
 pub mod time;
 
 pub use calibrate::{CostModel, GpuSortAlgo};

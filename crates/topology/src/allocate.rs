@@ -13,14 +13,15 @@
 //! the switch's rate; four P2P streams sharing the X-Bus collapse to a
 //! fraction of direct NVLink throughput) without simulating packets.
 
-use crate::constraint::{ConstraintId, ConstraintTable};
+use crate::constraint::{ConstraintTable, ConstraintVec};
 
 /// One flow's demand: the constraints it loads and an optional rate cap.
 #[derive(Debug, Clone)]
 pub struct FlowRequest {
     /// `(constraint, weight)` pairs; the flow consumes `weight × rate`
-    /// against each listed constraint.
-    pub constraints: Vec<(ConstraintId, f64)>,
+    /// against each listed constraint. Stored inline for every real route
+    /// (see [`ConstraintVec`]).
+    pub constraints: ConstraintVec,
     /// Per-flow maximum rate (bytes/s), if any.
     pub rate_cap: Option<f64>,
 }
@@ -28,9 +29,9 @@ pub struct FlowRequest {
 impl FlowRequest {
     /// Flow with unit weights on `constraints` and no rate cap.
     #[must_use]
-    pub fn new(constraints: Vec<(ConstraintId, f64)>) -> Self {
+    pub fn new(constraints: impl Into<ConstraintVec>) -> Self {
         Self {
-            constraints,
+            constraints: constraints.into(),
             rate_cap: None,
         }
     }
@@ -43,101 +44,156 @@ impl FlowRequest {
     }
 }
 
-/// Compute max-min fair rates (bytes/s) for `flows` under `table`.
+/// Reusable progressive-filling allocator owning its scratch state.
 ///
-/// Returns one rate per flow, in order. Flows with an empty constraint list
-/// and no cap are unconstrained; they receive `f64::INFINITY` (callers model
-/// such copies — e.g. intra-device — with explicit rate caps instead).
-#[must_use]
-pub fn allocate_rates(table: &ConstraintTable, flows: &[FlowRequest]) -> Vec<f64> {
-    let mut rates = vec![0.0f64; flows.len()];
-    if flows.is_empty() {
-        return rates;
+/// The allocation loop needs three per-call scratch vectors (per-constraint
+/// unfrozen weight, per-constraint remaining capacity, per-flow frozen
+/// flags). The free function [`allocate_rates`] allocates them afresh on
+/// every call, which is fine for one-shot use but shows up hard in the
+/// event loop of `msort-sim`, where every flow start and completion
+/// re-allocates. A `RateAllocator` keeps the scratch between calls, so a
+/// steady-state re-allocation performs no heap allocation at all, and takes
+/// flows by reference (through an index accessor) instead of requiring a
+/// contiguous cloned `Vec<FlowRequest>`.
+///
+/// [`RateAllocator::allocate_with`] is arithmetic-for-arithmetic identical
+/// to the original free-function loop: same iteration order, same float
+/// operation order, bit-identical results.
+#[derive(Debug, Default)]
+pub struct RateAllocator {
+    /// Per-constraint total unfrozen weight (rebuilt each filling round).
+    weight: Vec<f64>,
+    /// Per-constraint remaining capacity.
+    remaining: Vec<f64>,
+    /// Per-flow frozen flag.
+    frozen: Vec<bool>,
+}
+
+impl RateAllocator {
+    /// An allocator with empty scratch (grows on first use).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
     }
 
-    let mut remaining: Vec<f64> = table.constraints().iter().map(|c| c.capacity).collect();
-    let mut frozen = vec![false; flows.len()];
-
-    loop {
-        // Total unfrozen weight per constraint.
-        let mut weight = vec![0.0f64; remaining.len()];
-        for (f, flow) in flows.iter().enumerate() {
-            if frozen[f] {
-                continue;
-            }
-            for &(c, w) in &flow.constraints {
-                weight[c.0] += w;
-            }
+    /// Compute max-min fair rates (bytes/s) for the `n` flows returned by
+    /// `flow_at`, writing one rate per flow (in order) into `rates`.
+    ///
+    /// `flow_at(i)` must return the `i`-th flow for `i < n`; taking an
+    /// accessor rather than a slice lets callers keep their flows in
+    /// non-contiguous storage (e.g. a slab) without cloning per call.
+    ///
+    /// Flows with an empty constraint list and no cap are unconstrained;
+    /// they receive `f64::INFINITY` (callers model such copies — e.g.
+    /// intra-device — with explicit rate caps instead).
+    pub fn allocate_with<'f>(
+        &mut self,
+        table: &ConstraintTable,
+        n: usize,
+        flow_at: impl Fn(usize) -> &'f FlowRequest,
+        rates: &mut Vec<f64>,
+    ) {
+        rates.clear();
+        rates.resize(n, 0.0);
+        if n == 0 {
+            return;
         }
 
-        // The uniform rate increment every unfrozen flow can still take.
-        let mut delta = f64::INFINITY;
-        for (c, (&rem, &w)) in remaining.iter().zip(weight.iter()).enumerate() {
-            if w > 0.0 {
-                let _ = c;
-                delta = delta.min(rem / w);
-            }
-        }
-        for (f, flow) in flows.iter().enumerate() {
-            if frozen[f] {
-                continue;
-            }
-            if let Some(cap) = flow.rate_cap {
-                delta = delta.min(cap - rates[f]);
-            }
-        }
-        if !delta.is_finite() {
-            // Remaining flows are unconstrained.
-            for (f, rate) in rates.iter_mut().enumerate() {
-                if !frozen[f] {
-                    *rate = f64::INFINITY;
+        self.remaining.clear();
+        self.remaining
+            .extend(table.constraints().iter().map(|c| c.capacity));
+        self.frozen.clear();
+        self.frozen.resize(n, false);
+        self.weight.resize(self.remaining.len(), 0.0);
+
+        loop {
+            // Total unfrozen weight per constraint.
+            self.weight.fill(0.0);
+            for f in 0..n {
+                if self.frozen[f] {
+                    continue;
+                }
+                for &(c, w) in &flow_at(f).constraints {
+                    self.weight[c.0] += w;
                 }
             }
-            break;
-        }
-        let delta = delta.max(0.0);
 
-        // Apply the increment and its consumption.
-        for (f, flow) in flows.iter().enumerate() {
-            if frozen[f] {
-                continue;
+            // The uniform rate increment every unfrozen flow can still take.
+            let mut delta = f64::INFINITY;
+            for (&rem, &w) in self.remaining.iter().zip(self.weight.iter()) {
+                if w > 0.0 {
+                    delta = delta.min(rem / w);
+                }
             }
-            rates[f] += delta;
-            for &(c, w) in &flow.constraints {
-                remaining[c.0] = (remaining[c.0] - delta * w).max(0.0);
+            for (f, rate) in rates.iter().enumerate() {
+                if self.frozen[f] {
+                    continue;
+                }
+                if let Some(cap) = flow_at(f).rate_cap {
+                    delta = delta.min(cap - rate);
+                }
             }
-        }
+            if !delta.is_finite() {
+                // Remaining flows are unconstrained.
+                for (f, rate) in rates.iter_mut().enumerate() {
+                    if !self.frozen[f] {
+                        *rate = f64::INFINITY;
+                    }
+                }
+                return;
+            }
+            let delta = delta.max(0.0);
 
-        // Freeze flows at their cap or on a saturated constraint.
-        let mut progressed = false;
-        for (f, flow) in flows.iter().enumerate() {
-            if frozen[f] {
-                continue;
+            // Apply the increment and its consumption.
+            for (f, rate) in rates.iter_mut().enumerate() {
+                if self.frozen[f] {
+                    continue;
+                }
+                *rate += delta;
+                for &(c, w) in &flow_at(f).constraints {
+                    self.remaining[c.0] = (self.remaining[c.0] - delta * w).max(0.0);
+                }
             }
-            let capped = flow
-                .rate_cap
-                .is_some_and(|cap| rates[f] >= cap - f64::EPSILON * cap.abs());
-            let saturated = flow
-                .constraints
-                .iter()
-                .any(|&(c, w)| w > 0.0 && remaining[c.0] <= saturation_epsilon(table.capacity(c)));
-            if capped || saturated {
-                frozen[f] = true;
-                progressed = true;
+
+            // Freeze flows at their cap or on a saturated constraint.
+            let mut progressed = false;
+            for (f, &rate) in rates.iter().enumerate() {
+                if self.frozen[f] {
+                    continue;
+                }
+                let flow = flow_at(f);
+                let capped = flow
+                    .rate_cap
+                    .is_some_and(|cap| rate >= cap - f64::EPSILON * cap.abs());
+                let saturated = flow.constraints.iter().any(|&(c, w)| {
+                    w > 0.0 && self.remaining[c.0] <= saturation_epsilon(table.capacity(c))
+                });
+                if capped || saturated {
+                    self.frozen[f] = true;
+                    progressed = true;
+                }
             }
-        }
-        if frozen.iter().all(|&f| f) {
-            break;
-        }
-        if !progressed {
-            // Numerical corner: nothing froze but delta was ~0. Freeze all
-            // remaining flows to terminate; their rates are already max-min.
-            for f in frozen.iter_mut() {
-                *f = true;
+            if self.frozen.iter().all(|&f| f) {
+                return;
             }
-            break;
+            if !progressed {
+                // Numerical corner: nothing froze but delta was ~0. Stop;
+                // the rates are already max-min.
+                return;
+            }
         }
     }
+}
+
+/// Compute max-min fair rates (bytes/s) for `flows` under `table`.
+///
+/// Returns one rate per flow, in order. This is a convenience wrapper over
+/// [`RateAllocator`] for one-shot use; event loops should hold a
+/// `RateAllocator` and reuse its scratch.
+#[must_use]
+pub fn allocate_rates(table: &ConstraintTable, flows: &[FlowRequest]) -> Vec<f64> {
+    let mut rates = Vec::with_capacity(flows.len());
+    RateAllocator::new().allocate_with(table, flows.len(), |i| &flows[i], &mut rates);
     rates
 }
 

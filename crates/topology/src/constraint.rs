@@ -21,6 +21,176 @@ use crate::route::{Endpoint, Route};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ConstraintId(pub usize);
 
+/// Entries a [`ConstraintVec`] can hold without touching the heap.
+///
+/// Routes on the paper's platforms have at most four hops; each hop loads at
+/// most two link constraints (direction + duplex) and each host-memory
+/// endpoint at most two (read/write + combined), so 12 covers every real
+/// route with headroom.
+const CONSTRAINT_VEC_INLINE: usize = 12;
+
+/// A flow's `(constraint, weight)` list with inline (smallvec-style)
+/// storage.
+///
+/// Rate re-allocation runs on every flow start and completion, and the seed
+/// engine cloned each flow's constraint `Vec` per event. Storing the common
+/// short lists inline makes a [`crate::FlowRequest`] clone-free to read and
+/// cheap to build. Lists longer than [`CONSTRAINT_VEC_INLINE`] entries spill
+/// to a heap `Vec` transparently.
+#[derive(Clone)]
+pub struct ConstraintVec {
+    /// Inline storage; valid for `..len` when not spilled.
+    inline: [(ConstraintId, f64); CONSTRAINT_VEC_INLINE],
+    /// Entry count when inline; `usize::MAX` sentinel once spilled.
+    len: usize,
+    /// Heap storage once the list outgrows the inline buffer.
+    spill: Vec<(ConstraintId, f64)>,
+}
+
+impl ConstraintVec {
+    /// An empty list.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            inline: [(ConstraintId(0), 0.0); CONSTRAINT_VEC_INLINE],
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    const SPILLED: usize = usize::MAX;
+
+    /// Append an entry, spilling to the heap if the inline buffer is full.
+    pub fn push(&mut self, entry: (ConstraintId, f64)) {
+        if self.len == Self::SPILLED {
+            self.spill.push(entry);
+        } else if self.len < CONSTRAINT_VEC_INLINE {
+            self.inline[self.len] = entry;
+            self.len += 1;
+        } else {
+            self.spill.reserve(CONSTRAINT_VEC_INLINE + 1);
+            self.spill.extend_from_slice(&self.inline);
+            self.spill.push(entry);
+            self.len = Self::SPILLED;
+        }
+    }
+
+    /// The entries as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[(ConstraintId, f64)] {
+        if self.len == Self::SPILLED {
+            &self.spill
+        } else {
+            &self.inline[..self.len]
+        }
+    }
+
+    /// The entries as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [(ConstraintId, f64)] {
+        if self.len == Self::SPILLED {
+            &mut self.spill
+        } else {
+            &mut self.inline[..self.len]
+        }
+    }
+
+    /// Keep only the entries for which `keep` returns `true`, allowing the
+    /// closure to mutate each entry (mirrors `Vec::retain_mut`).
+    pub fn retain_mut(&mut self, mut keep: impl FnMut(&mut (ConstraintId, f64)) -> bool) {
+        if self.len == Self::SPILLED {
+            self.spill.retain_mut(keep);
+            return;
+        }
+        let mut kept = 0;
+        for i in 0..self.len {
+            let mut entry = self.inline[i];
+            if keep(&mut entry) {
+                self.inline[kept] = entry;
+                kept += 1;
+            }
+        }
+        self.len = kept;
+    }
+}
+
+impl Default for ConstraintVec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::ops::Deref for ConstraintVec {
+    type Target = [(ConstraintId, f64)];
+
+    fn deref(&self) -> &Self::Target {
+        self.as_slice()
+    }
+}
+
+impl std::ops::DerefMut for ConstraintVec {
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        self.as_mut_slice()
+    }
+}
+
+impl std::fmt::Debug for ConstraintVec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl From<Vec<(ConstraintId, f64)>> for ConstraintVec {
+    fn from(v: Vec<(ConstraintId, f64)>) -> Self {
+        let mut out = Self::new();
+        for entry in v {
+            out.push(entry);
+        }
+        out
+    }
+}
+
+impl FromIterator<(ConstraintId, f64)> for ConstraintVec {
+    fn from_iter<I: IntoIterator<Item = (ConstraintId, f64)>>(iter: I) -> Self {
+        let mut out = Self::new();
+        for entry in iter {
+            out.push(entry);
+        }
+        out
+    }
+}
+
+impl<'a> IntoIterator for &'a ConstraintVec {
+    type Item = &'a (ConstraintId, f64);
+    type IntoIter = std::slice::Iter<'a, (ConstraintId, f64)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a mut ConstraintVec {
+    type Item = &'a mut (ConstraintId, f64);
+    type IntoIter = std::slice::IterMut<'a, (ConstraintId, f64)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_mut_slice().iter_mut()
+    }
+}
+
+impl IntoIterator for ConstraintVec {
+    type Item = (ConstraintId, f64);
+    type IntoIter = std::vec::IntoIter<(ConstraintId, f64)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        let owned = if self.len == Self::SPILLED {
+            self.spill
+        } else {
+            self.inline[..self.len].to_vec()
+        };
+        owned.into_iter()
+    }
+}
+
 /// What a constraint models (for diagnostics and tests).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ConstraintKind {
@@ -142,9 +312,12 @@ impl ConstraintTable {
     /// consumption weight per byte transferred (1.0 everywhere today; the
     /// field exists so coherence-traffic overheads can be modeled per
     /// constraint).
+    ///
+    /// Returns a [`ConstraintVec`], which stores every real route's list
+    /// inline (no heap allocation).
     #[must_use]
-    pub fn route_constraints(&self, topo: &Topology, route: &Route) -> Vec<(ConstraintId, f64)> {
-        let mut out = Vec::with_capacity(route.hops.len() * 2 + 4);
+    pub fn route_constraints(&self, topo: &Topology, route: &Route) -> ConstraintVec {
+        let mut out = ConstraintVec::new();
         for hop in &route.hops {
             let link = topo.link(hop.link);
             let (fwd, bwd, dup) = self.link_index[hop.link.0];
@@ -280,6 +453,44 @@ mod tests {
         assert_eq!(cf.len(), 1);
         assert_eq!(cb.len(), 1);
         assert_ne!(cf[0].0, cb[0].0);
+    }
+
+    #[test]
+    fn constraint_vec_stays_inline_for_routes() {
+        let t = topo();
+        let table = ConstraintTable::new(&t);
+        let r = route(&t, Endpoint::HOST0, Endpoint::gpu(0)).unwrap();
+        let cs = table.route_constraints(&t, &r);
+        assert!(cs.len() <= super::CONSTRAINT_VEC_INLINE);
+        assert_eq!(cs.as_slice().len(), cs.len());
+    }
+
+    #[test]
+    fn constraint_vec_spills_and_round_trips() {
+        let mut v = ConstraintVec::new();
+        for i in 0..20 {
+            v.push((ConstraintId(i), i as f64));
+        }
+        assert_eq!(v.len(), 20);
+        assert_eq!(v[19], (ConstraintId(19), 19.0));
+        let collected: Vec<_> = v.clone().into_iter().collect();
+        assert_eq!(collected.len(), 20);
+        assert_eq!(collected[0], (ConstraintId(0), 0.0));
+        // retain_mut works across the spilled representation.
+        v.retain_mut(|(id, w)| {
+            *w += 1.0;
+            id.0 % 2 == 0
+        });
+        assert_eq!(v.len(), 10);
+        assert_eq!(v[1], (ConstraintId(2), 3.0));
+    }
+
+    #[test]
+    fn constraint_vec_retain_mut_inline() {
+        let mut v: ConstraintVec = (0..6).map(|i| (ConstraintId(i), 1.0)).collect();
+        v.retain_mut(|(id, _)| id.0 != 3);
+        assert_eq!(v.len(), 5);
+        assert!(v.iter().all(|&(id, _)| id.0 != 3));
     }
 
     #[test]

@@ -40,8 +40,8 @@ pub mod graph;
 pub mod platforms;
 pub mod route;
 
-pub use allocate::{allocate_rates, FlowRequest};
-pub use constraint::{ConstraintId, ConstraintTable};
+pub use allocate::{allocate_rates, FlowRequest, RateAllocator};
+pub use constraint::{ConstraintId, ConstraintTable, ConstraintVec};
 pub use graph::{
     gbps, GpuModel, Link, LinkId, LinkKind, MemSpec, Node, NodeId, NodeKind, Topology,
     TopologyBuilder, TopologyError,

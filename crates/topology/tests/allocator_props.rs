@@ -1,0 +1,173 @@
+//! Property tests for the weighted max-min allocator: on randomized
+//! topologies and flow sets, every allocation must be
+//!
+//! * **feasible** — per-constraint consumption never exceeds capacity
+//!   (beyond float tolerance);
+//! * **Pareto / max-min** — no flow's rate can be raised: each flow either
+//!   sits at its rate cap or crosses at least one saturated constraint
+//!   (progressive filling stops exactly when every flow is blocked);
+//! * **deterministic** — re-running the same input reproduces every rate
+//!   bit for bit.
+
+use msort_topology::platforms::CpuModel;
+use msort_topology::{
+    gbps, Endpoint, FlowRequest, GpuModel, LinkKind, MemSpec, Platform, TopologyBuilder,
+};
+
+/// splitmix64, same shape as the sim crate's differential test.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    /// Uniform in `[lo, hi)` GB/s.
+    fn cap(&mut self, lo: u64, hi: u64) -> f64 {
+        gbps((lo + self.below(hi - lo)) as f64)
+    }
+}
+
+/// A random connected platform: 1–2 CPU sockets, 2–4 GPUs each hanging off
+/// a socket, random capacities, a duplex cap on roughly half the links, and
+/// occasionally an extra GPU-GPU link.
+fn random_platform(rng: &mut Rng) -> Platform {
+    let sockets = 1 + rng.below(2) as usize;
+    let mut b = TopologyBuilder::new();
+    let mut cpus = Vec::new();
+    for s in 0..sockets {
+        let mem = MemSpec {
+            capacity_bytes: 64 << 30,
+            read_cap: rng.cap(40, 120),
+            write_cap: rng.cap(40, 120),
+            combined_cap: (rng.below(2) == 0).then(|| rng.cap(60, 160)),
+        };
+        cpus.push(b.cpu(s, mem));
+    }
+    if sockets == 2 {
+        b.link_duplex(
+            cpus[0],
+            cpus[1],
+            LinkKind::XBus,
+            rng.cap(30, 70),
+            rng.cap(40, 90),
+        );
+    }
+    let gpus_total = 2 + rng.below(3) as usize;
+    let mut gpus = Vec::new();
+    for g in 0..gpus_total {
+        let gpu = b.gpu(g, GpuModel::Custom);
+        let cpu = cpus[rng.below(sockets as u64) as usize];
+        if rng.below(2) == 0 {
+            b.link_duplex(cpu, gpu, LinkKind::Pcie3, rng.cap(10, 30), rng.cap(15, 40));
+        } else {
+            b.link(cpu, gpu, LinkKind::NvLink2 { bricks: 3 }, rng.cap(30, 80));
+        }
+        gpus.push(gpu);
+    }
+    if gpus_total >= 2 && rng.below(2) == 0 {
+        b.link(
+            gpus[0],
+            gpus[1],
+            LinkKind::NvLink2 { bricks: 2 },
+            rng.cap(20, 60),
+        );
+    }
+    Platform::custom(b.build(), CpuModel::Custom)
+}
+
+/// Random flow set over the platform's routable endpoint pairs; a few
+/// flows additionally get a random rate cap.
+fn random_flows(rng: &mut Rng, p: &Platform) -> Vec<FlowRequest> {
+    let mut endpoints = Vec::new();
+    for s in 0..p.topology.cpu_count() {
+        endpoints.push(Endpoint::HostMem { socket: s });
+    }
+    for g in 0..p.gpu_count() {
+        endpoints.push(Endpoint::gpu(g));
+    }
+    let n = 1 + rng.below(10) as usize;
+    let mut flows = Vec::new();
+    while flows.len() < n {
+        let a = endpoints[rng.below(endpoints.len() as u64) as usize];
+        let b = endpoints[rng.below(endpoints.len() as u64) as usize];
+        if a == b {
+            continue;
+        }
+        let Some(route) = msort_topology::route::route(&p.topology, a, b) else {
+            continue;
+        };
+        let mut req = p.flow_request(&route);
+        if rng.below(4) == 0 {
+            req.rate_cap = Some(rng.cap(1, 40));
+        }
+        flows.push(req);
+    }
+    flows
+}
+
+/// Mirror of the allocator's internal saturation tolerance (allocate.rs);
+/// the Pareto check must not be stricter than the allocator itself.
+fn saturation_epsilon(capacity: f64) -> f64 {
+    (capacity * 1e-9).max(1e-6)
+}
+
+#[test]
+fn allocations_are_feasible_pareto_and_deterministic() {
+    let mut rng = Rng(0xA110_CA7E);
+    for _case in 0..200 {
+        let p = random_platform(&mut rng);
+        let flows = random_flows(&mut rng, &p);
+        let table = p.constraint_table();
+        let rates = msort_topology::allocate_rates(table, &flows);
+        assert_eq!(rates.len(), flows.len());
+
+        // Feasibility: per-constraint consumption within capacity.
+        let mut used = vec![0.0f64; table.constraints().len()];
+        for (req, &rate) in flows.iter().zip(&rates) {
+            assert!(rate.is_finite() && rate >= 0.0, "rate {rate}");
+            for &(c, w) in &req.constraints {
+                used[c.0] += rate * w;
+            }
+        }
+        for (i, c) in table.constraints().iter().enumerate() {
+            assert!(
+                used[i] <= c.capacity * (1.0 + 1e-6) + 1e-3,
+                "constraint {i} ({:?}) over capacity: {} > {}",
+                c.kind,
+                used[i],
+                c.capacity
+            );
+        }
+
+        // Pareto: every flow is blocked — at its cap, or crossing a
+        // constraint the allocation saturated.
+        for (f, (req, &rate)) in flows.iter().zip(&rates).enumerate() {
+            let capped = req.rate_cap.is_some_and(|cap| rate >= cap * (1.0 - 1e-9));
+            let blocked = req.constraints.iter().any(|&(c, w)| {
+                w > 0.0
+                    && used[c.0] >= table.capacity(c) - 2.0 * saturation_epsilon(table.capacity(c))
+            });
+            assert!(
+                capped || blocked,
+                "flow {f} (rate {rate}) could still be raised: cap {:?}, \
+                 no saturated constraint on its route",
+                req.rate_cap
+            );
+        }
+
+        // Determinism: bit-identical on a re-run.
+        let again = msort_topology::allocate_rates(table, &flows);
+        for (a, b) in rates.iter().zip(&again) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}
