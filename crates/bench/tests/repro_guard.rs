@@ -1,0 +1,51 @@
+//! Regression guard over the cheap figure reproductions.
+//!
+//! EXPERIMENTS.md reports each section's mean absolute deviation from the
+//! paper's published numbers; this test re-runs the fast experiments
+//! in-process and pins each deviation to its current value plus one
+//! percentage point of headroom, so calibration drift breaks `cargo test`
+//! instead of silently degrading the document.
+
+use msort_bench::run_experiment;
+
+/// Assert every section of `name` stays within `bound` mean absolute
+/// deviation (percent).
+fn guard(name: &str, bound: f64) {
+    for result in run_experiment(name) {
+        let mad = result
+            .mean_abs_delta()
+            .unwrap_or_else(|| panic!("{name}/{} has no paper references", result.id));
+        assert!(
+            mad <= bound,
+            "{name}/{} drifted to {mad:.2}% mean absolute deviation \
+             (bound {bound}%)\n{}",
+            result.id,
+            result.to_markdown()
+        );
+    }
+}
+
+#[test]
+fn fig2_single_transfer_bandwidths() {
+    guard("fig2", 9.1);
+}
+
+#[test]
+fn fig3_parallel_transfer_bandwidths() {
+    guard("fig3", 2.2);
+}
+
+#[test]
+fn fig5_p2p_direct_bandwidths() {
+    guard("fig5", 1.7);
+}
+
+#[test]
+fn fig6_p2p_host_traversing_bandwidths() {
+    guard("fig6", 1.8);
+}
+
+#[test]
+fn table2_single_gpu_sort_times() {
+    guard("table2", 1.2);
+}

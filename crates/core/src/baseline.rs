@@ -43,6 +43,7 @@ pub fn cpu_only_sort<K: SortKey>(
         },
         validated: true,
         p2p_swapped_keys: 0,
+        rerouted_transfers: 0,
     }
 }
 

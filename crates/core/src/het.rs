@@ -24,7 +24,7 @@ use crate::gpuset::default_gpu_set;
 use crate::report::{PhaseBreakdown, SortReport};
 use msort_data::{is_sorted, SortKey};
 use msort_gpu::{BufId, Fidelity, GpuSystem, OpId, Phase, StreamId};
-use msort_sim::{GpuSortAlgo, SimDuration, SimTime};
+use msort_sim::{FaultPlan, GpuSortAlgo, SimDuration, SimTime};
 use msort_topology::Platform;
 
 /// Which large-data pipeline to use.
@@ -74,6 +74,8 @@ pub struct HetConfig {
     /// memory). The paper's 2n-vs-3n comparison fixes this to 33 GB so
     /// both pipelines get the same budget (Section 6.2).
     pub gpu_mem_budget: Option<u64>,
+    /// Scheduled link faults to inject (empty: pristine fabric).
+    pub faults: FaultPlan,
 }
 
 impl HetConfig {
@@ -87,6 +89,7 @@ impl HetConfig {
             approach: LargeDataApproach::TwoN,
             eager_merge: false,
             gpu_mem_budget: None,
+            faults: FaultPlan::new(),
         }
     }
 
@@ -115,6 +118,13 @@ impl HetConfig {
     #[must_use]
     pub fn with_mem_budget(mut self, bytes: u64) -> Self {
         self.gpu_mem_budget = Some(bytes);
+        self
+    }
+
+    /// Inject the given fault schedule.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 }
@@ -210,6 +220,7 @@ pub fn het_sort<K: SortKey>(
     let plan = ChunkPlan::compute(logical_len, g, max_chunk_keys, scale);
 
     let mut sys: GpuSystem<'_, K> = GpuSystem::new(platform, config.fidelity);
+    sys.schedule_faults(&config.faults);
     let input = std::mem::take(data);
     let host_in = sys.world_mut().import_host(0, input, logical_len);
     // Sorted sublists land here; the final merge writes to `host_out`.
@@ -389,6 +400,7 @@ fn run_pipeline<K: SortKey>(
             },
             validated: true,
             p2p_swapped_keys: 0,
+            rerouted_transfers: sys.rerouted_transfers(),
         };
     }
     let inputs: Vec<(BufId, u64, u64)> = if let Some(eager_buf) = eager_buf {
@@ -448,6 +460,7 @@ fn run_pipeline<K: SortKey>(
         },
         validated: true,
         p2p_swapped_keys: 0,
+        rerouted_transfers: sys.rerouted_transfers(),
     }
 }
 

@@ -19,7 +19,7 @@ use crate::pivot::{select_pivot, swap_plan, ConcatView, SwapPlan};
 use crate::report::{PhaseBreakdown, SortReport};
 use msort_data::{is_sorted, SortKey};
 use msort_gpu::{BufId, Fidelity, GpuSystem, OpId, Phase};
-use msort_sim::{GpuSortAlgo, SimTime};
+use msort_sim::{FaultPlan, GpuSortAlgo, SimTime};
 use msort_topology::{Endpoint, Platform, Route};
 
 /// Configuration for [`p2p_sort`].
@@ -40,6 +40,9 @@ pub struct P2pConfig {
     /// intermediate GPU instead if some relay offers a higher single-flow
     /// rate (e.g. over the DELTA D22x's NVLink ring).
     pub multi_hop: bool,
+    /// Scheduled link faults to inject (empty: pristine fabric, and the
+    /// simulation is bit-identical to a build without fault support).
+    pub faults: FaultPlan,
 }
 
 impl P2pConfig {
@@ -53,6 +56,7 @@ impl P2pConfig {
             algo: GpuSortAlgo::ThrustLike,
             fidelity: Fidelity::Full,
             multi_hop: false,
+            faults: FaultPlan::new(),
         }
     }
 
@@ -74,6 +78,13 @@ impl P2pConfig {
     #[must_use]
     pub fn with_multi_hop(mut self) -> Self {
         self.multi_hop = true;
+        self
+    }
+
+    /// Inject the given fault schedule.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 }
@@ -148,6 +159,7 @@ pub fn p2p_sort<K: SortKey>(
     let chunk = logical_len / g as u64;
 
     let mut sys: GpuSystem<'_, K> = GpuSystem::new(platform, config.fidelity);
+    sys.schedule_faults(&config.faults);
     let input = std::mem::take(data);
     let host_in = sys.world_mut().import_host(0, input, logical_len);
     let host_out = sys.world_mut().alloc_host(0, logical_len);
@@ -263,6 +275,7 @@ pub fn p2p_sort<K: SortKey>(
         },
         validated,
         p2p_swapped_keys: swapped_keys,
+        rerouted_transfers: sys.rerouted_transfers(),
     };
     debug_assert!(report.validated, "P2P sort produced unsorted output");
     report

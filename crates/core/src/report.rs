@@ -51,6 +51,10 @@ pub struct SortReport {
     /// Total keys that crossed P2P interconnects during merge (P2P sort
     /// only; drives the Section 6.3 distribution analysis).
     pub p2p_swapped_keys: u64,
+    /// Transfers routed around unhealthy links (host fallback or relay
+    /// after an injected link fault), counting planned detours and
+    /// mid-flight re-routes; 0 on a healthy fabric.
+    pub rerouted_transfers: u64,
 }
 
 impl SortReport {
@@ -119,6 +123,7 @@ mod tests {
             phases: PhaseBreakdown::default(),
             validated: true,
             p2p_swapped_keys: 123,
+            rerouted_transfers: 0,
         };
         assert!((r.mkeys_per_sec() - 20.0).abs() < 1e-9);
         assert!(r.summary().contains("P2P sort"));

@@ -30,7 +30,7 @@ use crate::report::{PhaseBreakdown, SortReport};
 use msort_cpu::multiway::multisequence_select;
 use msort_data::{is_sorted, SortKey};
 use msort_gpu::{BufId, Fidelity, GpuSystem, OpId, Phase};
-use msort_sim::{GpuSortAlgo, SimTime};
+use msort_sim::{FaultPlan, GpuSortAlgo, SimTime};
 use msort_topology::Platform;
 
 /// Configuration for [`rp_sort`].
@@ -43,6 +43,8 @@ pub struct RpConfig {
     pub algo: GpuSortAlgo,
     /// Simulation fidelity.
     pub fidelity: Fidelity,
+    /// Scheduled link faults to inject (empty: pristine fabric).
+    pub faults: FaultPlan,
 }
 
 impl RpConfig {
@@ -53,6 +55,7 @@ impl RpConfig {
             gpus,
             algo: GpuSortAlgo::ThrustLike,
             fidelity: Fidelity::Full,
+            faults: FaultPlan::new(),
         }
     }
 
@@ -60,6 +63,13 @@ impl RpConfig {
     #[must_use]
     pub fn sampled(mut self, scale: u64) -> Self {
         self.fidelity = Fidelity::Sampled { scale };
+        self
+    }
+
+    /// Inject the given fault schedule.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 }
@@ -93,6 +103,7 @@ pub fn rp_sort<K: SortKey>(
     let chunk = logical_len / g as u64;
 
     let mut sys: GpuSystem<'_, K> = GpuSystem::new(platform, config.fidelity);
+    sys.schedule_faults(&config.faults);
     let input = std::mem::take(data);
     let host_in = sys.world_mut().import_host(0, input, logical_len);
     let host_out = sys.world_mut().alloc_host(0, logical_len);
@@ -244,6 +255,7 @@ pub fn rp_sort<K: SortKey>(
         },
         validated,
         p2p_swapped_keys: exchanged_keys,
+        rerouted_transfers: sys.rerouted_transfers(),
     };
     debug_assert!(report.validated, "RP sort produced unsorted output");
     report

@@ -23,9 +23,17 @@ use crate::buffer::{BufId, Fidelity, Location, World};
 use crate::primitives;
 use msort_cpu::multiway::multiway_merge;
 use msort_data::SortKey;
-use msort_sim::{CostModel, FlowId, FlowSim, GpuSortAlgo, SimDuration, SimTime};
-use msort_topology::{Endpoint, FlowRequest, Platform, Route};
+use msort_sim::{CostModel, FaultPlan, FlowId, FlowSim, GpuSortAlgo, SimDuration, SimTime};
+use msort_topology::{Endpoint, FlowRequest, LinkId, Platform, Route};
 use std::collections::HashMap;
+
+/// How many times one transfer may be interrupted by link failures before
+/// the run is declared unrecoverable.
+const MAX_TRANSFER_RETRIES: u32 = 8;
+
+/// Simulated-time backoff before the first re-issue of an interrupted
+/// transfer (the driver's fault-detection latency); doubles per attempt.
+const RETRY_BACKOFF: SimDuration = SimDuration(10_000);
 
 /// Handle to an enqueued operation; awaitable as an event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -135,6 +143,12 @@ enum OpState {
         flow: Option<FlowId>,
         ends: Option<SimTime>,
     },
+    /// A transfer interrupted by a link failure (or blocked on a fully
+    /// unroutable fabric), waiting until `at` to re-resolve its route and
+    /// re-issue its remaining bytes.
+    Retrying {
+        at: SimTime,
+    },
     Done,
 }
 
@@ -152,6 +166,11 @@ struct Op<K> {
     /// overwritten mid-transfer (the 3n-approach's in-place data-transfer
     /// swap, Figure 10) must not corrupt the outgoing bytes.
     staged: Option<Vec<K>>,
+    /// Times this transfer was interrupted by a link failure.
+    attempts: u32,
+    /// Bytes still undelivered after an interruption; `None` before the
+    /// first interruption (the full logical size applies).
+    pending_bytes: Option<u64>,
 }
 
 /// The virtual multi-GPU system: platform + cost model + world + executor.
@@ -164,8 +183,19 @@ pub struct GpuSystem<'p, K: SortKey> {
     streams: Vec<StreamQueue>,
     /// Shortest paths already computed, keyed by endpoint pair. A sort
     /// enqueues thousands of copies over a handful of distinct pairs;
-    /// routing each once is enough (the topology is immutable).
-    route_cache: HashMap<(Endpoint, Endpoint), Route>,
+    /// routing each once is enough while the fabric's health generation
+    /// (`route_cache_gen`) is unchanged — any link state change flushes
+    /// the cache. The flag records whether the route is a detour from the
+    /// pristine-fabric default (i.e. it routes around unhealthy links).
+    route_cache: HashMap<(Endpoint, Endpoint), (Route, bool)>,
+    /// Health generation the route cache was built at.
+    route_cache_gen: u64,
+    /// Transfers routed around unhealthy links: planned detours (the
+    /// default path was unhealthy at plan time) plus mid-flight re-routes
+    /// of interrupted copies.
+    rerouted: u64,
+    /// Transfer re-issues after link-failure interruptions.
+    retries: u64,
 }
 
 struct StreamQueue {
@@ -184,7 +214,30 @@ impl<'p, K: SortKey> GpuSystem<'p, K> {
             ops: Vec::new(),
             streams: Vec::new(),
             route_cache: HashMap::new(),
+            route_cache_gen: 0,
+            rerouted: 0,
+            retries: 0,
         }
+    }
+
+    /// Install a fault schedule on the underlying flow engine. A no-op for
+    /// empty plans.
+    pub fn schedule_faults(&mut self, plan: &FaultPlan) {
+        self.flows.schedule_faults(plan);
+    }
+
+    /// Transfers that routed around unhealthy links (host fallback or
+    /// multi-hop relay after a link fault) — planned detours plus
+    /// mid-flight re-routes. 0 on a healthy fabric.
+    #[must_use]
+    pub fn rerouted_transfers(&self) -> u64 {
+        self.rerouted
+    }
+
+    /// Transfer re-issues after link-failure interruptions.
+    #[must_use]
+    pub fn transfer_retries(&self) -> u64 {
+        self.retries
     }
 
     /// The platform being simulated.
@@ -349,15 +402,71 @@ impl<'p, K: SortKey> GpuSystem<'p, K> {
     }
 
     /// Shortest path between two endpoints, computed once per pair and
-    /// served from the cache afterwards.
+    /// served from the cache afterwards. The cache is flushed whenever the
+    /// fabric's health generation moves (a fault fired or a link was
+    /// restored), so routes never outlive the link states they assumed.
     fn cached_route(&mut self, src: Endpoint, dst: Endpoint) -> Route {
-        if let Some(route) = self.route_cache.get(&(src, dst)) {
+        let generation = self.flows.health_generation();
+        if generation != self.route_cache_gen {
+            self.route_cache.clear();
+            self.route_cache_gen = generation;
+        }
+        if let Some((route, detour)) = self.route_cache.get(&(src, dst)) {
+            self.rerouted += u64::from(*detour);
             return route.clone();
         }
-        let route = msort_topology::route::route(&self.platform().topology, src, dst)
+        // Prefer a currently healthy route. When the fabric has no path at
+        // all right now, fall back to the pristine shortest path: the op
+        // will wait in `Retrying` until a scheduled restore re-opens one.
+        let pristine = msort_topology::route::route(&self.platform().topology, src, dst);
+        let route = self
+            .resolve_route(src, dst)
+            .or_else(|| pristine.clone())
             .unwrap_or_else(|| panic!("no route from {src:?} to {dst:?}"));
-        self.route_cache.insert((src, dst), route.clone());
+        let detour = generation != 0 && pristine.as_ref() != Some(&route);
+        self.rerouted += u64::from(detour);
+        self.route_cache.insert((src, dst), (route.clone(), detour));
         route
+    }
+
+    /// Best route from `src` to `dst` over the *currently healthy* links.
+    ///
+    /// On a pristine fabric this is exactly the default shortest path. Once
+    /// a fault has fired, GPU-to-GPU copies additionally consider relaying
+    /// through each intermediate GPU (the multi-hop extension's routing)
+    /// and pick the candidate with the highest single-flow rate under the
+    /// health-adjusted capacities — so a severed NVLink falls back to the
+    /// best of "another NVLink path" and "through the host".
+    fn resolve_route(&self, src: Endpoint, dst: Endpoint) -> Option<Route> {
+        let platform = self.platform();
+        let topo = &platform.topology;
+        let usable = |l: LinkId| self.flows.link_usable(l);
+        let direct = msort_topology::route::route_with(topo, src, dst, usable);
+        if self.flows.health_generation() == 0 {
+            return direct;
+        }
+        if !matches!(
+            (src, dst),
+            (Endpoint::GpuMem { .. }, Endpoint::GpuMem { .. })
+        ) {
+            return direct;
+        }
+        let table = self.flows.constraint_table();
+        let score =
+            |r: &Route| msort_topology::allocate_rates(table, &[platform.flow_request(r)])[0];
+        let mut best: Option<(Route, f64)> = direct.map(|r| {
+            let s = score(&r);
+            (r, s)
+        });
+        for via in 0..topo.gpu_count() {
+            if let Some(r) = msort_topology::route::route_via_with(topo, src, dst, via, usable) {
+                let s = score(&r);
+                if best.as_ref().is_none_or(|&(_, b)| s > b) {
+                    best = Some((r, s));
+                }
+            }
+        }
+        best.map(|(r, _)| r)
     }
 
     /// Enqueue a copy along an *explicit* route instead of the default
@@ -583,11 +692,18 @@ impl<'p, K: SortKey> GpuSystem<'p, K> {
     /// never fire).
     pub fn synchronize(&mut self) -> SimTime {
         loop {
+            self.reissue_due_retries();
             self.start_ready_ops();
-            // Next event: earliest fixed completion or flow completion.
+            // Next event: earliest fixed completion, flow completion, or
+            // pending retry.
             let mut next: Option<SimTime> = None;
             for op in &self.ops {
-                if let OpState::Running { ends: Some(t), .. } = op.state {
+                let candidate = match op.state {
+                    OpState::Running { ends: Some(t), .. } => Some(t),
+                    OpState::Retrying { at } => Some(at),
+                    _ => None,
+                };
+                if let Some(t) = candidate {
                     if next.is_none_or(|n| t < n) {
                         next = Some(t);
                     }
@@ -598,7 +714,7 @@ impl<'p, K: SortKey> GpuSystem<'p, K> {
                     next = Some(t);
                 }
             }
-            let Some(t) = next else {
+            let Some(mut t) = next else {
                 // Nothing running: either all done or deadlocked.
                 let stuck: Vec<usize> = self
                     .ops
@@ -613,8 +729,18 @@ impl<'p, K: SortKey> GpuSystem<'p, K> {
                 );
                 return self.flows.now();
             };
+            // Never step past a scheduled fault in one advance: completion
+            // times predicted under pre-fault rates are only valid up to it.
+            if let Some(tf) = self.flows.next_fault_at() {
+                if tf < t {
+                    t = tf;
+                }
+            }
 
             let finished_flows = self.flows.advance_to(t);
+            // Transfers whose flow a link failure truncated go into backoff
+            // before completing anything (their flows are *not* finished).
+            self.handle_interrupted_flows();
             // Complete flow-backed ops.
             for fid in finished_flows {
                 let idx = self
@@ -637,6 +763,48 @@ impl<'p, K: SortKey> GpuSystem<'p, K> {
         }
     }
 
+    /// Put every op whose flow was truncated by a link failure into
+    /// exponential (simulated-time) backoff; the re-issue happens in
+    /// [`GpuSystem::reissue_due_retries`] once the backoff expires.
+    fn handle_interrupted_flows(&mut self) {
+        let now = self.flows.now();
+        for (fid, remaining) in self.flows.take_interrupted() {
+            let idx = self
+                .ops
+                .iter()
+                .position(|o| matches!(o.state, OpState::Running { flow: Some(f), .. } if f == fid))
+                .expect("interrupted flow belongs to an op");
+            let attempts = {
+                let op = &mut self.ops[idx];
+                op.attempts += 1;
+                op.attempts
+            };
+            if attempts > MAX_TRANSFER_RETRIES {
+                panic!(
+                    "transfer op {idx} was interrupted {attempts} times; giving up\nlink health:\n{}",
+                    self.flows
+                        .health()
+                        .map_or_else(String::new, |h| h.describe(&self.platform().topology))
+                );
+            }
+            let backoff = SimDuration(RETRY_BACKOFF.0 << (attempts - 1));
+            let op = &mut self.ops[idx];
+            op.pending_bytes = Some(remaining);
+            op.state = OpState::Retrying { at: now + backoff };
+            self.retries += 1;
+        }
+    }
+
+    /// Re-issue every retrying transfer whose backoff has expired.
+    fn reissue_due_retries(&mut self) {
+        let now = self.flows.now();
+        for idx in 0..self.ops.len() {
+            if matches!(self.ops[idx].state, OpState::Retrying { at } if at <= now) {
+                self.launch_transfer(idx);
+            }
+        }
+    }
+
     fn push_op(&mut self, stream: StreamId, waits: &[OpId], kind: OpKind<K>, phase: Phase) -> OpId {
         let name = match &kind {
             OpKind::Transfer { .. } => "copy",
@@ -655,6 +823,8 @@ impl<'p, K: SortKey> GpuSystem<'p, K> {
             started: None,
             finished: None,
             staged: None,
+            attempts: 0,
+            pending_bytes: None,
         });
         self.streams[stream.0].ops.push(id);
         id
@@ -710,23 +880,13 @@ impl<'p, K: SortKey> GpuSystem<'p, K> {
             }
             _ => {}
         }
+        if matches!(self.ops[id.0].kind, Some(OpKind::Transfer { .. })) {
+            self.launch_transfer(id.0);
+            return;
+        }
         let kind = self.ops[id.0].kind.as_ref().expect("op has a kind");
         let state = match kind {
-            OpKind::Transfer { route, len, .. } => {
-                let bytes = *len * K::DATA_TYPE.key_bytes();
-                if bytes == 0 {
-                    OpState::Running {
-                        flow: None,
-                        ends: Some(now),
-                    }
-                } else {
-                    let flow = self.flows.start(&route.clone(), bytes);
-                    OpState::Running {
-                        flow: Some(flow),
-                        ends: None,
-                    }
-                }
-            }
+            OpKind::Transfer { .. } => unreachable!("transfers launch above"),
             OpKind::LocalCopy { duration, .. } | OpKind::Fixed { duration, .. } => {
                 OpState::Running {
                     flow: None,
@@ -778,6 +938,56 @@ impl<'p, K: SortKey> GpuSystem<'p, K> {
             }
         };
         self.ops[id.0].state = state;
+    }
+
+    /// Start (or re-start after an interruption) the flow backing a
+    /// transfer op. If the op's planned route crosses a failed link, the
+    /// route is re-resolved over the healthy fabric first; if no path
+    /// exists at all, the op parks in `Retrying` until the next scheduled
+    /// fault event (a restore may re-open one).
+    fn launch_transfer(&mut self, idx: usize) {
+        let now = self.flows.now();
+        let (route, len) = match self.ops[idx].kind.as_ref().expect("op has a kind") {
+            OpKind::Transfer { route, len, .. } => (route.clone(), *len),
+            _ => unreachable!("launch_transfer drives transfer ops only"),
+        };
+        let bytes = self.ops[idx]
+            .pending_bytes
+            .unwrap_or(len * K::DATA_TYPE.key_bytes());
+        if bytes == 0 {
+            self.ops[idx].state = OpState::Running {
+                flow: None,
+                ends: Some(now),
+            };
+            return;
+        }
+        let route = if self.flows.route_usable(&route) {
+            route
+        } else if let Some(r) = self.resolve_route(route.src, route.dst) {
+            self.rerouted += 1;
+            if let Some(OpKind::Transfer { route: stored, .. }) = self.ops[idx].kind.as_mut() {
+                *stored = r.clone();
+            }
+            r
+        } else {
+            // No usable path right now. A scheduled restore may re-open one;
+            // park until the next fault event and try again then.
+            let Some(at) = self.flows.next_fault_at() else {
+                panic!(
+                    "transfer op {idx} has no usable route and no scheduled restore\nlink health:\n{}",
+                    self.flows
+                        .health()
+                        .map_or_else(String::new, |h| h.describe(&self.platform().topology))
+                );
+            };
+            self.ops[idx].state = OpState::Retrying { at };
+            return;
+        };
+        let flow = self.flows.start(&route, bytes);
+        self.ops[idx].state = OpState::Running {
+            flow: Some(flow),
+            ends: None,
+        };
     }
 
     fn complete_op(&mut self, idx: usize, t: SimTime) {
@@ -1033,6 +1243,108 @@ mod tests {
         sys.synchronize();
         assert!(is_sorted(sys.world().slice(h, 0, 1024)));
         assert_eq!(sys.world().buffer(h).data.len(), 256);
+    }
+
+    #[test]
+    fn link_down_mid_transfer_retries_after_restore() {
+        // One GPU on a single PCIe uplink: kill the only link mid-copy, the
+        // transfer must park (no alternative route) and finish after the
+        // scheduled restore with the data intact.
+        let p = Platform::test_pcie(1);
+        let mut sys = system(&p);
+        let n: u64 = 1 << 20;
+        let input: Vec<u32> = generate(Distribution::Uniform, n as usize, 11);
+        let h = sys.world_mut().import_host(0, input.clone(), n);
+        let d = sys.world_mut().alloc_gpu(0, n);
+        let topo = &p.topology;
+        let link = topo.link_between(topo.cpu(0), topo.gpu(0)).unwrap();
+        let plan = FaultPlan::new()
+            .link_down(SimTime(50_000), link)
+            .link_restore(SimTime(400_000), link);
+        sys.schedule_faults(&plan);
+        let s = sys.stream();
+        sys.memcpy(s, h, 0, d, 0, n, &[], Phase::HtoD);
+        let end = sys.synchronize();
+        assert!(sys.transfer_retries() >= 1, "the copy must be interrupted");
+        assert_eq!(sys.rerouted_transfers(), 0, "only one possible route");
+        assert!(end > SimTime(400_000), "must finish after the restore");
+        assert_eq!(sys.world().slice(d, 0, n), &input[..]);
+    }
+
+    #[test]
+    fn nvlink_failure_reroutes_p2p_copy() {
+        // DELTA's 0--2 NVLink dies while a 0->2 P2P copy is in flight: the
+        // retry must come back on a different (relay or host) route and
+        // still deliver the bytes.
+        let p = Platform::delta_d22x();
+        let mut sys = system(&p);
+        let n: u64 = 1 << 20;
+        let input: Vec<u32> = generate(Distribution::Uniform, n as usize, 13);
+        let h = sys.world_mut().import_host(0, input.clone(), n);
+        let d0 = sys.world_mut().alloc_gpu(0, n);
+        let d2 = sys.world_mut().alloc_gpu(2, n);
+        let topo = &p.topology;
+        let link = topo.link_between(topo.gpu(0), topo.gpu(2)).unwrap();
+        let s = sys.stream();
+        let up = sys.memcpy(s, h, 0, d0, 0, n, &[], Phase::HtoD);
+        sys.synchronize();
+        // Kill the link a third of the way into the P2P copy.
+        let start = sys.now();
+        sys.schedule_faults(&FaultPlan::new().link_down(SimTime(start.0 + 30_000), link));
+        sys.memcpy(s, d0, 0, d2, 0, n, &[up], Phase::Merge);
+        sys.synchronize();
+        assert!(sys.transfer_retries() >= 1, "the copy must be interrupted");
+        assert!(
+            sys.rerouted_transfers() >= 1,
+            "the retry must take a different route"
+        );
+        assert_eq!(sys.world().slice(d2, 0, n), &input[..]);
+    }
+
+    #[test]
+    fn degraded_link_slows_transfer_down() {
+        let n: u64 = 1 << 20;
+        let mut ends = Vec::new();
+        for degrade in [false, true] {
+            let p = Platform::test_pcie(1);
+            let mut sys: GpuSystem<'_, u32> = GpuSystem::new(&p, Fidelity::Full);
+            let h = sys.world_mut().import_host(0, vec![5u32; n as usize], n);
+            let d = sys.world_mut().alloc_gpu(0, n);
+            if degrade {
+                let link = p
+                    .topology
+                    .link_between(p.topology.cpu(0), p.topology.gpu(0));
+                sys.schedule_faults(&FaultPlan::new().link_degrade(SimTime(1), link.unwrap(), 0.5));
+            }
+            let s = sys.stream();
+            sys.memcpy(s, h, 0, d, 0, n, &[], Phase::HtoD);
+            ends.push(sys.synchronize());
+            assert_eq!(sys.world().slice(d, 0, 4), &[5, 5, 5, 5]);
+        }
+        assert!(
+            ends[1] > ends[0],
+            "half capacity must not be faster: {ends:?}"
+        );
+    }
+
+    #[test]
+    fn empty_fault_plan_changes_nothing() {
+        let mut ends = Vec::new();
+        for schedule in [false, true] {
+            let p = Platform::dgx_a100();
+            let mut sys: GpuSystem<'_, u32> = GpuSystem::new(&p, Fidelity::Full);
+            let h = sys.world_mut().import_host(0, vec![7u32; 4096], 4096);
+            let d = sys.world_mut().alloc_gpu(0, 4096);
+            if schedule {
+                sys.schedule_faults(&FaultPlan::new());
+            }
+            let s = sys.stream();
+            sys.memcpy(s, h, 0, d, 0, 4096, &[], Phase::HtoD);
+            ends.push(sys.synchronize());
+            assert_eq!(sys.transfer_retries(), 0);
+            assert_eq!(sys.rerouted_transfers(), 0);
+        }
+        assert_eq!(ends[0], ends[1]);
     }
 
     #[test]

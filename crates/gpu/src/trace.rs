@@ -38,6 +38,20 @@ impl Phase {
             Phase::Other => "other",
         }
     }
+
+    /// Inverse of [`Phase::label`] (tooling that filters traces by the
+    /// `cat` field parses labels back).
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "HtoD" => Some(Phase::HtoD),
+            "DtoH" => Some(Phase::DtoH),
+            "sort" => Some(Phase::Sort),
+            "merge" => Some(Phase::Merge),
+            "other" => Some(Phase::Other),
+            _ => None,
+        }
+    }
 }
 
 /// Render a timeline in the Chrome trace-event JSON format
@@ -133,5 +147,190 @@ mod tests {
     #[test]
     fn empty_timeline_renders() {
         assert_eq!(chrome_trace(&[]), "[\n]\n");
+    }
+
+    // ---- minimal JSON validity checker ------------------------------
+    //
+    // The build is offline (no serde_json), so trace output is certified
+    // by a small recursive-descent recognizer of RFC 8259 JSON. It
+    // accepts exactly one top-level value surrounded by whitespace.
+
+    fn json_valid(s: &str) -> bool {
+        let b = s.as_bytes();
+        match json_value(b, 0) {
+            Some(i) => b[i..].iter().all(u8::is_ascii_whitespace),
+            None => false,
+        }
+    }
+
+    fn json_ws(b: &[u8], mut i: usize) -> usize {
+        while i < b.len() && b[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        i
+    }
+
+    fn json_value(b: &[u8], i: usize) -> Option<usize> {
+        let i = json_ws(b, i);
+        match b.get(i)? {
+            b'{' => json_seq(b, i, b'}', true),
+            b'[' => json_seq(b, i, b']', false),
+            b'"' => json_string(b, i),
+            b't' => b[i..].starts_with(b"true").then_some(i + 4),
+            b'f' => b[i..].starts_with(b"false").then_some(i + 5),
+            b'n' => b[i..].starts_with(b"null").then_some(i + 4),
+            _ => json_number(b, i),
+        }
+    }
+
+    /// Object (`want_keys`) or array body after the opening bracket.
+    fn json_seq(b: &[u8], i: usize, close: u8, want_keys: bool) -> Option<usize> {
+        let mut i = json_ws(b, i + 1);
+        if b.get(i) == Some(&close) {
+            return Some(i + 1);
+        }
+        loop {
+            if want_keys {
+                i = json_string(b, json_ws(b, i))?;
+                i = json_ws(b, i);
+                if b.get(i) != Some(&b':') {
+                    return None;
+                }
+                i += 1;
+            }
+            i = json_value(b, i)?;
+            i = json_ws(b, i);
+            match b.get(i)? {
+                b',' => i += 1,
+                c if *c == close => return Some(i + 1),
+                _ => return None,
+            }
+        }
+    }
+
+    fn json_string(b: &[u8], i: usize) -> Option<usize> {
+        if b.get(i) != Some(&b'"') {
+            return None;
+        }
+        let mut i = i + 1;
+        loop {
+            match b.get(i)? {
+                b'"' => return Some(i + 1),
+                b'\\' => i += 2,
+                c if *c < 0x20 => return None,
+                _ => i += 1,
+            }
+        }
+    }
+
+    fn json_number(b: &[u8], mut i: usize) -> Option<usize> {
+        let start = i;
+        if b.get(i) == Some(&b'-') {
+            i += 1;
+        }
+        let digits = |b: &[u8], mut i: usize| {
+            let s = i;
+            while i < b.len() && b[i].is_ascii_digit() {
+                i += 1;
+            }
+            (i > s).then_some(i)
+        };
+        i = digits(b, i)?;
+        if b.get(i) == Some(&b'.') {
+            i = digits(b, i + 1)?;
+        }
+        if matches!(b.get(i), Some(b'e' | b'E')) {
+            i += 1;
+            if matches!(b.get(i), Some(b'+' | b'-')) {
+                i += 1;
+            }
+            i = digits(b, i)?;
+        }
+        (i > start).then_some(i)
+    }
+
+    #[test]
+    fn json_checker_sanity() {
+        assert!(json_valid("[]"));
+        assert!(json_valid(r#"{"a": [1, -2.5e3, "x\"y", true, null]}"#));
+        assert!(!json_valid("[1,]"));
+        assert!(!json_valid("{\"a\" 1}"));
+        assert!(!json_valid("[1] trailing"));
+        assert!(!json_valid("{'a': 1}"));
+    }
+
+    /// A multi-stream workload whose timeline the remaining tests verify.
+    fn traced_system(p: &Platform) -> GpuSystem<'_, u32> {
+        let mut sys: GpuSystem<'_, u32> = GpuSystem::new(p, Fidelity::Full);
+        let n: u64 = 1 << 12;
+        let h = sys
+            .world_mut()
+            .import_host(0, (0..n as u32).rev().collect(), n);
+        let d0 = sys.world_mut().alloc_gpu(0, n);
+        let a0 = sys.world_mut().alloc_gpu(0, n);
+        let d1 = sys.world_mut().alloc_gpu(1, n);
+        let s0 = sys.stream();
+        let s1 = sys.stream();
+        let up0 = sys.memcpy(s0, h, 0, d0, 0, n, &[], Phase::HtoD);
+        let so = sys.gpu_sort(s0, GpuSortAlgo::ThrustLike, d0, (0, n), a0, &[up0]);
+        sys.memcpy(s1, h, 0, d1, 0, n, &[], Phase::HtoD);
+        sys.memcpy(s1, d0, 0, d1, 0, n, &[so], Phase::Merge);
+        sys.memcpy(s0, d0, 0, h, 0, n, &[so], Phase::DtoH);
+        sys.synchronize();
+        sys
+    }
+
+    #[test]
+    fn chrome_trace_parses_as_json() {
+        let p = Platform::test_pcie(2);
+        let sys = traced_system(&p);
+        let json = sys.chrome_trace();
+        assert!(
+            json_valid(&json),
+            "chrome_trace emitted invalid JSON:\n{json}"
+        );
+        assert!(json_valid(&chrome_trace(&[])));
+    }
+
+    #[test]
+    fn per_stream_entries_monotonic_and_non_overlapping() {
+        let p = Platform::test_pcie(2);
+        let sys = traced_system(&p);
+        let timeline = sys.timeline();
+        assert!(timeline.len() >= 5);
+        // Globally ordered by start time.
+        assert!(timeline.windows(2).all(|w| w[0].start <= w[1].start));
+        // Within one stream ops are serial: ordered and non-overlapping.
+        let streams: std::collections::BTreeSet<usize> =
+            timeline.iter().map(|e| e.stream).collect();
+        for s in streams {
+            let ops: Vec<&TimelineEntry> = timeline.iter().filter(|e| e.stream == s).collect();
+            for w in ops.windows(2) {
+                assert!(
+                    w[0].end <= w[1].start,
+                    "stream {s}: '{}' [{}, {}] overlaps '{}' [{}, {}]",
+                    w[0].name,
+                    w[0].start,
+                    w[0].end,
+                    w[1].name,
+                    w[1].start,
+                    w[1].end,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn phase_labels_round_trip() {
+        for phase in [
+            Phase::HtoD,
+            Phase::DtoH,
+            Phase::Sort,
+            Phase::Merge,
+            Phase::Other,
+        ] {
+            assert_eq!(Phase::from_label(phase.label()), Some(phase));
+        }
+        assert_eq!(Phase::from_label("bogus"), None);
     }
 }

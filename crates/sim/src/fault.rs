@@ -1,0 +1,287 @@
+//! Scheduled fault injection: link failures, degradations, and restores.
+//!
+//! A [`FaultPlan`] is a time-sorted list of [`FaultEvent`]s built before a
+//! simulation runs (or generated from a seed by
+//! [`FaultPlan::randomized`]). [`crate::FlowSim::schedule_faults`] installs
+//! the plan; the engine then treats each fault time as an event: the clock
+//! advances exactly to it, the link's [`LinkState`] changes, the
+//! health-adjusted constraint table is rebuilt, in-flight flows over a
+//! downed link are truncated and reported through
+//! [`crate::FlowSim::take_interrupted`], and every surviving flow's rate is
+//! re-allocated under the new capacities.
+//!
+//! An empty plan installs nothing: the engine's state and arithmetic remain
+//! bit-identical to a fault-free build (the golden differential test pins
+//! this down).
+
+use crate::time::{SimDuration, SimTime};
+use msort_topology::route::route_with;
+use msort_topology::{Endpoint, LinkId, Platform};
+
+/// One scheduled change to a link's health.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultEvent {
+    /// Link fails at `at`: in-flight flows over it are interrupted and
+    /// routing skips it until a restore.
+    LinkDown {
+        /// Simulated time the fault fires.
+        at: SimTime,
+        /// The failing link.
+        link: LinkId,
+    },
+    /// Link capacity drops to `factor` × calibrated at `at`. In-flight
+    /// flows keep their route; their rates re-allocate under the reduced
+    /// capacity. Degrading a downed link brings it back at reduced
+    /// capacity.
+    LinkDegrade {
+        /// Simulated time the fault fires.
+        at: SimTime,
+        /// The degrading link.
+        link: LinkId,
+        /// Remaining capacity fraction, in `(0, 1)`.
+        factor: f64,
+    },
+    /// Link returns to full calibrated capacity at `at`.
+    LinkRestore {
+        /// Simulated time the restore fires.
+        at: SimTime,
+        /// The recovering link.
+        link: LinkId,
+    },
+}
+
+impl FaultEvent {
+    /// When the event fires.
+    #[must_use]
+    pub fn at(&self) -> SimTime {
+        match *self {
+            FaultEvent::LinkDown { at, .. }
+            | FaultEvent::LinkDegrade { at, .. }
+            | FaultEvent::LinkRestore { at, .. } => at,
+        }
+    }
+
+    /// The link the event targets.
+    #[must_use]
+    pub fn link(&self) -> LinkId {
+        match *self {
+            FaultEvent::LinkDown { link, .. }
+            | FaultEvent::LinkDegrade { link, .. }
+            | FaultEvent::LinkRestore { link, .. } => link,
+        }
+    }
+}
+
+/// A time-sorted schedule of fault events.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (scheduling it is a no-op).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `true` when no events are scheduled.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The events, sorted by firing time (stable for equal times).
+    #[must_use]
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    fn push(mut self, ev: FaultEvent) -> Self {
+        self.events.push(ev);
+        self.events.sort_by_key(FaultEvent::at);
+        self
+    }
+
+    /// Schedule a link failure.
+    #[must_use]
+    pub fn link_down(self, at: SimTime, link: LinkId) -> Self {
+        self.push(FaultEvent::LinkDown { at, link })
+    }
+
+    /// Schedule a capacity degradation to `factor` × calibrated.
+    ///
+    /// # Panics
+    /// Panics unless `0 < factor < 1`.
+    #[must_use]
+    pub fn link_degrade(self, at: SimTime, link: LinkId, factor: f64) -> Self {
+        assert!(
+            factor > 0.0 && factor < 1.0,
+            "degradation factor must be in (0, 1), got {factor}"
+        );
+        self.push(FaultEvent::LinkDegrade { at, link, factor })
+    }
+
+    /// Schedule a restore to full capacity.
+    #[must_use]
+    pub fn link_restore(self, at: SimTime, link: LinkId) -> Self {
+        self.push(FaultEvent::LinkRestore { at, link })
+    }
+
+    /// Generate a seeded random plan over `platform`'s links within
+    /// `[0, horizon]`.
+    ///
+    /// Pure function of `(platform, seed, horizon)` — a failing chaos run
+    /// is replayed exactly by re-running with the printed seed. Link
+    /// *failures* are only scheduled when every endpoint pair remains
+    /// reachable with the link (and all previously failed, conservatively
+    /// never-restored links) removed, so the sort under test can always
+    /// make progress; links whose removal would disconnect an endpoint are
+    /// degraded instead.
+    #[must_use]
+    pub fn randomized(platform: &Platform, seed: u64, horizon: SimDuration) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let topo = &platform.topology;
+        let n_links = topo.links().len();
+        let n_events = 1 + (rng.next() % 4) as usize;
+        // Fault times ascending so the down-set is tracked chronologically.
+        let mut times: Vec<SimTime> = (0..n_events)
+            .map(|_| SimTime(rng.next() % horizon.0.max(1)))
+            .collect();
+        times.sort_unstable();
+
+        let mut plan = FaultPlan::new();
+        let mut down = vec![false; n_links];
+        for at in times {
+            let link = LinkId((rng.next() % n_links as u64) as usize);
+            let want_down = rng.next().is_multiple_of(3);
+            if want_down && !down[link.0] && safe_to_kill(platform, &down, link) {
+                down[link.0] = true;
+                plan = plan.link_down(at, link);
+                if rng.next().is_multiple_of(2) {
+                    // Restore at a later random time (possibly past the
+                    // horizon, i.e. effectively never). The link stays in
+                    // the down-set for subsequent kill-safety checks:
+                    // reachability never relies on a restore firing.
+                    let back = SimTime(at.0 + 1 + rng.next() % horizon.0.max(1));
+                    plan = plan.link_restore(back, link);
+                }
+            } else {
+                // 5%..=95% of calibrated capacity.
+                let factor = 0.05 + 0.9 * (rng.next() % 1024) as f64 / 1024.0;
+                plan = plan.link_degrade(at, link, factor);
+            }
+        }
+        plan
+    }
+}
+
+/// `true` when removing `candidate` on top of the already-failed links
+/// leaves every (host socket | GPU) endpoint pair routable.
+fn safe_to_kill(platform: &Platform, down: &[bool], candidate: LinkId) -> bool {
+    let topo = &platform.topology;
+    let usable = |l: LinkId| !down[l.0] && l != candidate;
+    let mut endpoints: Vec<Endpoint> = (0..topo.cpu_count())
+        .map(|s| Endpoint::HostMem { socket: s })
+        .collect();
+    endpoints.extend((0..topo.gpu_count()).map(Endpoint::gpu));
+    for (i, &a) in endpoints.iter().enumerate() {
+        for &b in &endpoints[i + 1..] {
+            if route_with(topo, a, b, usable).is_none() {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The same tiny deterministic generator the differential test uses.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sorts_by_time() {
+        let plan = FaultPlan::new()
+            .link_down(SimTime(300), LinkId(1))
+            .link_degrade(SimTime(100), LinkId(0), 0.5)
+            .link_restore(SimTime(200), LinkId(1));
+        let ats: Vec<u64> = plan.events().iter().map(|e| e.at().0).collect();
+        assert_eq!(ats, vec![100, 200, 300]);
+    }
+
+    #[test]
+    #[should_panic(expected = "degradation factor")]
+    fn degrade_factor_must_be_fractional() {
+        let _ = FaultPlan::new().link_degrade(SimTime(0), LinkId(0), 1.5);
+    }
+
+    #[test]
+    fn randomized_is_deterministic() {
+        let p = Platform::delta_d22x();
+        let h = SimDuration::from_millis(100);
+        let a = FaultPlan::randomized(&p, 42, h);
+        let b = FaultPlan::randomized(&p, 42, h);
+        assert_eq!(a.events(), b.events());
+        let c = FaultPlan::randomized(&p, 43, h);
+        // Different seeds essentially never agree event-for-event.
+        assert!(a.events() != c.events() || a.events().len() != c.events().len());
+    }
+
+    #[test]
+    fn randomized_never_disconnects_endpoints() {
+        for seed in 0..64 {
+            for p in [
+                Platform::ibm_ac922(),
+                Platform::delta_d22x(),
+                Platform::dgx_a100(),
+                Platform::test_pcie(2),
+            ] {
+                let plan = FaultPlan::randomized(&p, seed, SimDuration::from_millis(50));
+                let mut down = vec![false; p.topology.links().len()];
+                for ev in plan.events() {
+                    if let FaultEvent::LinkDown { link, .. } = ev {
+                        assert!(
+                            safe_to_kill(&p, &down, *link),
+                            "seed {seed} on {} kills an unsafe link",
+                            p.topology.node(p.topology.link(*link).a).name
+                        );
+                        down[link.0] = true;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn test_pcie_plans_never_kill() {
+        // Every test_pcie link is a lone host uplink: killing any of them
+        // disconnects a GPU, so randomized plans must only degrade there.
+        for seed in 0..32 {
+            let p = Platform::test_pcie(2);
+            let plan = FaultPlan::randomized(&p, seed, SimDuration::from_millis(10));
+            assert!(
+                plan.events()
+                    .iter()
+                    .all(|e| !matches!(e, FaultEvent::LinkDown { .. })),
+                "seed {seed}"
+            );
+        }
+    }
+}

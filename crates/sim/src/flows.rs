@@ -47,8 +47,11 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use crate::fault::{FaultEvent, FaultPlan};
 use crate::time::{SimDuration, SimTime};
-use msort_topology::{FlowRequest, Platform, RateAllocator, Route};
+use msort_topology::{
+    ConstraintTable, FabricHealth, FlowRequest, LinkId, LinkState, Platform, RateAllocator, Route,
+};
 
 /// Handle to an active (or completed) flow.
 ///
@@ -122,6 +125,21 @@ pub struct FlowSim<'p> {
     allocator: RateAllocator,
     /// Scratch for allocator output (reused across events).
     rates: Vec<f64>,
+    /// Scheduled fault events, sorted by firing time; `fault_cursor` is the
+    /// index of the next unfired event. Both stay empty/zero for fault-free
+    /// simulations.
+    faults: Vec<FaultEvent>,
+    fault_cursor: usize,
+    /// Link health, created lazily when the first fault fires. `None` means
+    /// pristine: the allocator reads the platform's canonical table and
+    /// every code path is bit-identical to a build without fault support.
+    health: Option<FabricHealth>,
+    /// Health-adjusted constraint table (same shape as the platform's, with
+    /// scaled capacities). Present exactly when `health` is.
+    fault_table: Option<ConstraintTable>,
+    /// Flows truncated by a `LinkDown`, with their undelivered bytes, not
+    /// yet collected via [`FlowSim::take_interrupted`].
+    interrupted: Vec<(FlowId, u64)>,
 }
 
 impl<'p> FlowSim<'p> {
@@ -142,6 +160,11 @@ impl<'p> FlowSim<'p> {
             allocated_at: None,
             allocator: RateAllocator::new(),
             rates: Vec::new(),
+            faults: Vec::new(),
+            fault_cursor: 0,
+            health: None,
+            fault_table: None,
+            interrupted: Vec::new(),
         }
     }
 
@@ -174,6 +197,135 @@ impl<'p> FlowSim<'p> {
     ) -> Option<Route> {
         msort_topology::route::route(&self.platform.topology, src, dst)
     }
+
+    // ---- fault injection --------------------------------------------
+
+    /// Install a fault schedule. A no-op for empty plans: no health state
+    /// is created and the engine stays bit-identical to a fault-free run.
+    /// Events at or before the current time fire on the next advance.
+    ///
+    /// # Panics
+    /// Panics if called after a scheduled fault has already fired (merge
+    /// the plans up front instead).
+    pub fn schedule_faults(&mut self, plan: &FaultPlan) {
+        if plan.is_empty() {
+            return;
+        }
+        assert_eq!(
+            self.fault_cursor, 0,
+            "fault plans must be installed before the first fault fires"
+        );
+        self.faults.extend_from_slice(plan.events());
+        self.faults.sort_by_key(FaultEvent::at);
+    }
+
+    /// When the next scheduled fault fires, if any remain. Event-loop
+    /// drivers must not advance past this time in one step: rates computed
+    /// before a fault are only valid up to it.
+    #[must_use]
+    pub fn next_fault_at(&self) -> Option<SimTime> {
+        self.faults.get(self.fault_cursor).map(FaultEvent::at)
+    }
+
+    /// Link health, present once a fault has fired.
+    #[must_use]
+    pub fn health(&self) -> Option<&FabricHealth> {
+        self.health.as_ref()
+    }
+
+    /// Health generation for cache invalidation: 0 while pristine, bumped
+    /// on every link state change.
+    #[must_use]
+    pub fn health_generation(&self) -> u64 {
+        self.health.as_ref().map_or(0, FabricHealth::generation)
+    }
+
+    /// `true` while `link` can carry traffic.
+    #[must_use]
+    pub fn link_usable(&self, link: LinkId) -> bool {
+        self.health.as_ref().is_none_or(|h| h.is_usable(link))
+    }
+
+    /// `true` while every hop of `route` can carry traffic.
+    #[must_use]
+    pub fn route_usable(&self, route: &Route) -> bool {
+        self.health.as_ref().is_none_or(|h| h.route_usable(route))
+    }
+
+    /// The constraint table rates are currently allocated against: the
+    /// health-adjusted clone once a fault has fired, the platform's
+    /// canonical table before.
+    #[must_use]
+    pub fn constraint_table(&self) -> &ConstraintTable {
+        self.fault_table
+            .as_ref()
+            .unwrap_or_else(|| self.platform.constraint_table())
+    }
+
+    /// Drain the flows truncated by `LinkDown` events since the last call,
+    /// each with its undelivered byte count. The flows read as `done` (they
+    /// will never progress further); the caller re-issues the remaining
+    /// bytes over a surviving route.
+    pub fn take_interrupted(&mut self) -> Vec<(FlowId, u64)> {
+        std::mem::take(&mut self.interrupted)
+    }
+
+    /// Change one link's health state: update the adjusted constraint
+    /// table and, on a failure, truncate every in-flight flow whose route
+    /// loads the link.
+    fn apply_fault(&mut self, ev: FaultEvent) {
+        let health = self
+            .health
+            .get_or_insert_with(|| FabricHealth::new(&self.platform.topology));
+        let state = match ev {
+            FaultEvent::LinkDown { .. } => LinkState::Down,
+            FaultEvent::LinkDegrade { factor, .. } => LinkState::Degraded { factor },
+            FaultEvent::LinkRestore { .. } => LinkState::Up,
+        };
+        health.set(ev.link(), state);
+        let base = self.platform.constraint_table();
+        let table = self.fault_table.get_or_insert_with(|| base.clone());
+        health.apply(base, table);
+
+        if matches!(ev, FaultEvent::LinkDown { .. }) {
+            // Truncate in-flight flows over the failed link: they stop
+            // delivering at the fault instant and surface through
+            // `take_interrupted` with their unfinished bytes.
+            let (fwd, bwd, dup) = base.link_constraint_ids(ev.link());
+            let mut kept = 0;
+            for k in 0..self.active_order.len() {
+                let slot = self.active_order[k];
+                let entry = &mut self.slots[slot as usize];
+                let f = entry.flow.as_mut().expect("active slot holds a flow");
+                let hit = f
+                    .request
+                    .constraints
+                    .iter()
+                    .any(|&(c, _)| c == fwd || c == bwd || Some(c) == dup);
+                if hit {
+                    self.interrupted.push((
+                        FlowId {
+                            slot,
+                            generation: entry.generation,
+                        },
+                        f.remaining.ceil() as u64,
+                    ));
+                    f.remaining = 0.0;
+                    f.done = true;
+                } else {
+                    self.active_order[kept] = slot;
+                    kept += 1;
+                }
+            }
+            self.active_order.truncate(kept);
+        }
+        // Capacities (and possibly membership) changed: the cached rates
+        // are stale. `membership` is the allocator-input stamp, so bumping
+        // it forces the next `ensure_rates` to re-run.
+        self.membership += 1;
+    }
+
+    // ---- flow lifecycle ---------------------------------------------
 
     /// Start a transfer of `bytes` along `route` at the current time.
     pub fn start(&mut self, route: &Route, bytes: u64) -> FlowId {
@@ -331,7 +483,7 @@ impl<'p> FlowSim<'p> {
     /// saturated rows marked.
     fn starvation_report(&self, starved: &ActiveFlow) -> String {
         use std::fmt::Write as _;
-        let table = self.platform.constraint_table();
+        let table = self.constraint_table();
         let mut msg = format!(
             "active flow {} has zero rate: the allocator starved it\n\
              flow: remaining {} B, rate cap {:?}, constraints:\n",
@@ -365,22 +517,57 @@ impl<'p> FlowSim<'p> {
                 c.capacity
             );
         }
+        // Link health separates a degraded-fabric allocation failure (a
+        // flow routed over a dead link) from a genuine modeling bug.
+        msg.push_str("link health:\n");
+        match &self.health {
+            None => msg.push_str("  (no faults scheduled; all links healthy)\n"),
+            Some(h) => msg.push_str(&h.describe(&self.platform.topology)),
+        }
         msg
     }
 
     /// Advance the clock to `t`, progressing all active flows linearly and
     /// retiring the ones that finish. Returns the retired flow ids.
     ///
+    /// Scheduled faults with firing times in `(now, t]` apply in order:
+    /// the clock advances exactly to each fault, the fault fires (rates
+    /// re-allocate, downed-link flows truncate), and the advance resumes
+    /// under the new capacities. Callers driving an event loop should
+    /// still clamp their steps to [`FlowSim::next_fault_at`] — completion
+    /// times predicted *before* a fault are not events *after* it, so a
+    /// flow that speeds up mid-step would otherwise retire late.
+    ///
     /// # Panics
     /// Panics if `t` is in the past.
     pub fn advance_to(&mut self, t: SimTime) -> Vec<FlowId> {
+        if self.fault_cursor < self.faults.len() {
+            let mut finished = Vec::new();
+            while self.fault_cursor < self.faults.len() && self.faults[self.fault_cursor].at() <= t
+            {
+                let ev = self.faults[self.fault_cursor];
+                self.fault_cursor += 1;
+                if ev.at() > self.now {
+                    self.advance_plain(ev.at(), &mut finished);
+                }
+                self.apply_fault(ev);
+            }
+            self.advance_plain(t, &mut finished);
+            return finished;
+        }
+        let mut finished = Vec::new();
+        self.advance_plain(t, &mut finished);
+        finished
+    }
+
+    /// The fault-free advance: exactly the original engine's arithmetic.
+    fn advance_plain(&mut self, t: SimTime, finished: &mut Vec<FlowId>) {
         // Flows progress at the rates of the current active set; compute
         // them now if starts/completions have accumulated since the last
         // allocation.
         self.ensure_rates();
         let dt = t.since(self.now).as_secs_f64();
         self.now = t;
-        let mut finished = Vec::new();
         let mut kept = 0;
         for k in 0..self.active_order.len() {
             let slot = self.active_order[k];
@@ -410,12 +597,17 @@ impl<'p> FlowSim<'p> {
         if !finished.is_empty() {
             self.membership += 1;
         }
-        finished
     }
 
-    /// Run until every flow completes; returns the final time.
+    /// Run until every flow completes; returns the final time. Steps are
+    /// clamped to scheduled fault times so completions predicted before a
+    /// fault never overshoot it.
     pub fn run_to_idle(&mut self) -> SimTime {
         while let Some((t, _)) = self.next_completion() {
+            let t = match self.next_fault_at() {
+                Some(tf) if tf < t => tf,
+                _ => t,
+            };
             self.advance_to(t);
         }
         self.now
@@ -455,10 +647,17 @@ impl<'p> FlowSim<'p> {
                 active_order,
                 allocator,
                 rates,
+                fault_table,
                 ..
             } = self;
+            // Pristine runs read the platform's canonical table through the
+            // same expression as before any fault support existed; only a
+            // fired fault swaps in the health-adjusted clone.
+            let table = fault_table
+                .as_ref()
+                .unwrap_or_else(|| platform.constraint_table());
             allocator.allocate_with(
-                platform.constraint_table(),
+                table,
                 active_order.len(),
                 |i| {
                     &slots[active_order[i] as usize]
@@ -682,6 +881,109 @@ mod tests {
             sim.advance_to(t);
             last = t;
         }
+    }
+
+    #[test]
+    fn empty_fault_plan_is_a_no_op() {
+        let p = Platform::test_pcie(1);
+        let mut sim = FlowSim::new(&p);
+        sim.schedule_faults(&crate::FaultPlan::new());
+        assert_eq!(sim.health_generation(), 0);
+        assert!(sim.health().is_none());
+        assert!(sim.next_fault_at().is_none());
+    }
+
+    #[test]
+    fn degrade_slows_inflight_flow() {
+        // 13 GB at 13 GB/s completes at t=1s fault-free. Degrading the
+        // link to 50% at t=0.5s leaves 6.5 GB at 6.5 GB/s: t=1.5s.
+        let p = Platform::test_pcie(1);
+        let mut sim = FlowSim::new(&p);
+        let r = sim.route(Endpoint::HOST0, Endpoint::gpu(0)).unwrap();
+        let link = r.hops[0].link;
+        sim.schedule_faults(&crate::FaultPlan::new().link_degrade(SimTime(500_000_000), link, 0.5));
+        sim.start(&r, 13_000_000_000);
+        let end = sim.run_to_idle();
+        assert!((end.as_secs_f64() - 1.5).abs() < 1e-6, "{end}");
+        assert_eq!(sim.health_generation(), 1);
+    }
+
+    #[test]
+    fn restore_brings_capacity_back() {
+        // Degraded to 50% for [0.5s, 1.0s]: 0.5s at 13, 0.5s at 6.5, then
+        // 13 again -> 13·0.5 + 6.5·0.5 = 9.75 GB done at t=1, remaining
+        // 3.25 GB at 13 GB/s -> total 1.25s.
+        let p = Platform::test_pcie(1);
+        let mut sim = FlowSim::new(&p);
+        let r = sim.route(Endpoint::HOST0, Endpoint::gpu(0)).unwrap();
+        let link = r.hops[0].link;
+        sim.schedule_faults(
+            &crate::FaultPlan::new()
+                .link_degrade(SimTime(500_000_000), link, 0.5)
+                .link_restore(SimTime(1_000_000_000), link),
+        );
+        sim.start(&r, 13_000_000_000);
+        let end = sim.run_to_idle();
+        assert!((end.as_secs_f64() - 1.25).abs() < 1e-6, "{end}");
+    }
+
+    #[test]
+    fn link_down_truncates_and_reports_interrupted() {
+        let p = Platform::test_pcie(1);
+        let mut sim = FlowSim::new(&p);
+        let r = sim.route(Endpoint::HOST0, Endpoint::gpu(0)).unwrap();
+        let link = r.hops[0].link;
+        sim.schedule_faults(&crate::FaultPlan::new().link_down(SimTime(250_000_000), link));
+        let f = sim.start(&r, 13_000_000_000);
+        // The flow can never complete; the advance stops at the fault.
+        sim.advance_to(SimTime(250_000_000));
+        let interrupted = sim.take_interrupted();
+        assert_eq!(interrupted.len(), 1);
+        let (fid, remaining) = interrupted[0];
+        assert_eq!(fid, f);
+        // 0.25 s at 13 GB/s delivered 3.25 GB of 13 GB.
+        assert_eq!(remaining, 9_750_000_000);
+        assert!(sim.is_done(f));
+        assert_eq!(sim.active_count(), 0);
+        assert!(sim.next_completion().is_none());
+        assert!(!sim.link_usable(link));
+        assert!(!sim.route_usable(&r));
+        // A second drain returns nothing.
+        assert!(sim.take_interrupted().is_empty());
+    }
+
+    #[test]
+    fn unaffected_flow_survives_another_links_failure() {
+        let p = Platform::test_pcie(2);
+        let mut sim = FlowSim::new(&p);
+        let r0 = sim.route(Endpoint::HOST0, Endpoint::gpu(0)).unwrap();
+        let r1 = sim.route(Endpoint::HOST0, Endpoint::gpu(1)).unwrap();
+        sim.schedule_faults(
+            &crate::FaultPlan::new().link_down(SimTime(100_000_000), r1.hops[0].link),
+        );
+        let a = sim.start(&r0, 13_000_000_000);
+        let b = sim.start(&r1, 13_000_000_000);
+        let end = sim.run_to_idle();
+        assert!(sim.is_done(a));
+        // The survivor still takes its full fault-free second.
+        assert!((end.as_secs_f64() - 1.0).abs() < 1e-6, "{end}");
+        let interrupted = sim.take_interrupted();
+        assert_eq!(interrupted.len(), 1);
+        assert_eq!(interrupted[0].0, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "link health")]
+    fn starting_over_a_dead_link_panics_with_health_report() {
+        let p = Platform::test_pcie(1);
+        let mut sim = FlowSim::new(&p);
+        let r = sim.route(Endpoint::HOST0, Endpoint::gpu(0)).unwrap();
+        sim.schedule_faults(&crate::FaultPlan::new().link_down(SimTime(1), r.hops[0].link));
+        sim.advance_to(SimTime(1));
+        // The caller failed to re-route: zero capacity starves the flow
+        // and the diagnostic names the downed link.
+        sim.start(&r, 1 << 20);
+        let _ = sim.next_completion();
     }
 
     #[test]

@@ -33,10 +33,12 @@
 //! ```
 
 pub mod calibrate;
+pub mod fault;
 pub mod flows;
 pub mod reference;
 pub mod time;
 
 pub use calibrate::{CostModel, GpuSortAlgo};
+pub use fault::{FaultEvent, FaultPlan};
 pub use flows::{FlowId, FlowSim};
 pub use time::{SimDuration, SimTime};

@@ -308,6 +308,36 @@ impl ConstraintTable {
         self.constraints[id.0].capacity
     }
 
+    /// Overwrite the capacity of constraint `id` (link health scaling).
+    pub fn set_capacity(&mut self, id: ConstraintId, capacity: f64) {
+        self.constraints[id.0].capacity = capacity;
+    }
+
+    /// The `(forward, backward, duplex)` constraint ids of `link`.
+    #[must_use]
+    pub fn link_constraint_ids(
+        &self,
+        link: LinkId,
+    ) -> (ConstraintId, ConstraintId, Option<ConstraintId>) {
+        self.link_index[link.0]
+    }
+
+    /// Copy every constraint capacity from `base` (same topology). Used to
+    /// reset a health-adjusted table before re-applying link states.
+    ///
+    /// # Panics
+    /// Panics if the tables were built from different topologies.
+    pub fn copy_capacities_from(&mut self, base: &ConstraintTable) {
+        assert_eq!(
+            self.constraints.len(),
+            base.constraints.len(),
+            "capacity copy requires tables of the same topology"
+        );
+        for (c, b) in self.constraints.iter_mut().zip(base.constraints.iter()) {
+            c.capacity = b.capacity;
+        }
+    }
+
     /// The constraint ids a transfer along `route` consumes, each with the
     /// consumption weight per byte transferred (1.0 everywhere today; the
     /// field exists so coherence-traffic overheads can be modeled per

@@ -259,6 +259,16 @@ impl Topology {
         &self.adjacency[id.0]
     }
 
+    /// The link directly connecting `a` and `b` (either orientation), if
+    /// one exists. Used by fault plans to name a link by its endpoints.
+    #[must_use]
+    pub fn link_between(&self, a: NodeId, b: NodeId) -> Option<LinkId> {
+        self.adjacency[a.0]
+            .iter()
+            .find(|&&(_, n)| n == b)
+            .map(|&(l, _)| l)
+    }
+
     /// The node id of GPU `index`.
     ///
     /// # Panics

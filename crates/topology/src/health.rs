@@ -1,0 +1,275 @@
+//! Dynamic link health: the mutable overlay over the static topology.
+//!
+//! The topology graph itself stays immutable (routes, constraint ids and
+//! node ids never change); what faults change is each link's *state*:
+//! fully up, degraded to a fraction of its calibrated capacity, or down.
+//! [`FabricHealth`] tracks one [`LinkState`] per link plus a monotonically
+//! increasing generation counter, so downstream caches (the executor's
+//! per-endpoint route cache, a health-adjusted [`ConstraintTable`]) can
+//! detect staleness with one integer compare.
+//!
+//! Capacities are never edited in place in a platform's canonical table;
+//! [`FabricHealth::apply`] writes the scaled capacities into a *separate*
+//! table clone, leaving the pristine table — and therefore every fault-free
+//! simulation — bit-identical to the unfaulted build.
+
+use crate::constraint::ConstraintTable;
+use crate::graph::{LinkId, Topology};
+use crate::route::Route;
+
+/// Operational state of one link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LinkState {
+    /// Fully operational at calibrated capacity.
+    Up,
+    /// Operational at `factor` × calibrated capacity (`0 < factor < 1`).
+    Degraded {
+        /// Remaining capacity fraction.
+        factor: f64,
+    },
+    /// Failed: carries no traffic and is skipped by routing.
+    Down,
+}
+
+impl LinkState {
+    /// `true` while the link can carry traffic (up or degraded).
+    #[must_use]
+    pub fn is_usable(self) -> bool {
+        !matches!(self, LinkState::Down)
+    }
+
+    /// The capacity multiplier this state applies (1.0 up, 0.0 down).
+    #[must_use]
+    pub fn factor(self) -> f64 {
+        match self {
+            LinkState::Up => 1.0,
+            LinkState::Degraded { factor } => factor,
+            LinkState::Down => 0.0,
+        }
+    }
+}
+
+/// Mutable health of every link in a topology.
+#[derive(Debug, Clone)]
+pub struct FabricHealth {
+    states: Vec<LinkState>,
+    /// Bumped on every state change; starts at 0 (pristine). Cache owners
+    /// compare their stored generation against this to detect staleness.
+    generation: u64,
+}
+
+impl FabricHealth {
+    /// All links up, generation 0.
+    #[must_use]
+    pub fn new(topo: &Topology) -> Self {
+        Self {
+            states: vec![LinkState::Up; topo.links().len()],
+            generation: 0,
+        }
+    }
+
+    /// Current state of `link`.
+    #[must_use]
+    pub fn state(&self, link: LinkId) -> LinkState {
+        self.states[link.0]
+    }
+
+    /// Set the state of `link`, bumping the generation.
+    pub fn set(&mut self, link: LinkId, state: LinkState) {
+        if let LinkState::Degraded { factor } = state {
+            assert!(
+                factor > 0.0 && factor < 1.0,
+                "degradation factor must be in (0, 1), got {factor}"
+            );
+        }
+        self.states[link.0] = state;
+        self.generation += 1;
+    }
+
+    /// The staleness counter: 0 only while no state was ever changed.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// `true` while every link is fully up.
+    #[must_use]
+    pub fn all_up(&self) -> bool {
+        self.states.iter().all(|&s| s == LinkState::Up)
+    }
+
+    /// `true` while `link` can carry traffic.
+    #[must_use]
+    pub fn is_usable(&self, link: LinkId) -> bool {
+        self.states[link.0].is_usable()
+    }
+
+    /// `true` while every hop of `route` can carry traffic.
+    #[must_use]
+    pub fn route_usable(&self, route: &Route) -> bool {
+        route.hops.iter().all(|h| self.is_usable(h.link))
+    }
+
+    /// Write health-scaled capacities into `table`: every capacity is reset
+    /// from `base` (the pristine table) and each non-up link's forward,
+    /// backward and duplex constraints are scaled by its state's factor
+    /// (down links get capacity 0, so a flow mistakenly left on one would
+    /// starve loudly instead of progressing silently).
+    pub fn apply(&self, base: &ConstraintTable, table: &mut ConstraintTable) {
+        table.copy_capacities_from(base);
+        for (i, state) in self.states.iter().enumerate() {
+            let factor = state.factor();
+            if factor >= 1.0 {
+                continue;
+            }
+            let (fwd, bwd, dup) = base.link_constraint_ids(LinkId(i));
+            table.set_capacity(fwd, base.capacity(fwd) * factor);
+            table.set_capacity(bwd, base.capacity(bwd) * factor);
+            if let Some(d) = dup {
+                table.set_capacity(d, base.capacity(d) * factor);
+            }
+        }
+    }
+
+    /// Human-readable summary of the non-healthy links, for diagnostics
+    /// (starvation panics, chaos-test failure output).
+    #[must_use]
+    pub fn describe(&self, topo: &Topology) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (i, state) in self.states.iter().enumerate() {
+            if *state == LinkState::Up {
+                continue;
+            }
+            let link = topo.link(LinkId(i));
+            let _ = writeln!(
+                out,
+                "  link {i} {} -- {} ({}): {}",
+                topo.node(link.a).name,
+                topo.node(link.b).name,
+                link.kind.name(),
+                match state {
+                    LinkState::Up => unreachable!(),
+                    LinkState::Degraded { factor } =>
+                        format!("degraded to {:.0}% capacity", factor * 100.0),
+                    LinkState::Down => "DOWN".to_string(),
+                }
+            );
+        }
+        if out.is_empty() {
+            out.push_str("  (all links healthy)\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platforms::Platform;
+    use crate::route::{route, route_with, Endpoint};
+
+    #[test]
+    fn new_health_is_pristine() {
+        let p = Platform::delta_d22x();
+        let h = FabricHealth::new(&p.topology);
+        assert!(h.all_up());
+        assert_eq!(h.generation(), 0);
+        for i in 0..p.topology.links().len() {
+            assert!(h.is_usable(LinkId(i)));
+        }
+    }
+
+    #[test]
+    fn set_bumps_generation_and_tracks_state() {
+        let p = Platform::delta_d22x();
+        let mut h = FabricHealth::new(&p.topology);
+        h.set(LinkId(0), LinkState::Down);
+        assert_eq!(h.generation(), 1);
+        assert!(!h.is_usable(LinkId(0)));
+        h.set(LinkId(0), LinkState::Degraded { factor: 0.5 });
+        assert_eq!(h.generation(), 2);
+        assert!(h.is_usable(LinkId(0)));
+        h.set(LinkId(0), LinkState::Up);
+        assert!(h.all_up());
+        assert_eq!(h.generation(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "degradation factor")]
+    fn zero_degradation_factor_rejected() {
+        let p = Platform::test_pcie(1);
+        let mut h = FabricHealth::new(&p.topology);
+        h.set(LinkId(0), LinkState::Degraded { factor: 0.0 });
+    }
+
+    #[test]
+    fn apply_scales_only_affected_links() {
+        let p = Platform::delta_d22x();
+        let base = p.constraint_table();
+        let mut table = base.clone();
+        let mut h = FabricHealth::new(&p.topology);
+        let link = LinkId(2);
+        h.set(link, LinkState::Degraded { factor: 0.25 });
+        h.apply(base, &mut table);
+        let (fwd, bwd, dup) = base.link_constraint_ids(link);
+        assert!((table.capacity(fwd) - base.capacity(fwd) * 0.25).abs() < 1e-6);
+        assert!((table.capacity(bwd) - base.capacity(bwd) * 0.25).abs() < 1e-6);
+        if let Some(d) = dup {
+            assert!((table.capacity(d) - base.capacity(d) * 0.25).abs() < 1e-6);
+        }
+        // Every other constraint is untouched.
+        for (i, c) in table.constraints().iter().enumerate() {
+            let id = crate::constraint::ConstraintId(i);
+            if id != fwd && id != bwd && dup != Some(id) {
+                assert_eq!(
+                    c.capacity.to_bits(),
+                    base.capacity(id).to_bits(),
+                    "constraint {i} must be untouched"
+                );
+            }
+        }
+        // Restoring the link restores the pristine capacities bit-exactly.
+        h.set(link, LinkState::Up);
+        h.apply(base, &mut table);
+        for (i, c) in table.constraints().iter().enumerate() {
+            assert_eq!(
+                c.capacity.to_bits(),
+                base.capacity(crate::constraint::ConstraintId(i)).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn routing_avoids_down_links() {
+        // DELTA: GPU 0 and GPU 1 share an NVLink; kill it and the healthy
+        // route falls back to the host path.
+        let p = Platform::delta_d22x();
+        let topo = &p.topology;
+        let nv01 = topo
+            .link_between(topo.gpu(0), topo.gpu(1))
+            .expect("DELTA has a 0-1 NVLink");
+        let direct = route(topo, Endpoint::gpu(0), Endpoint::gpu(1)).unwrap();
+        assert!(direct.hops.iter().any(|h| h.link == nv01));
+        let mut h = FabricHealth::new(topo);
+        h.set(nv01, LinkState::Down);
+        let rerouted = route_with(topo, Endpoint::gpu(0), Endpoint::gpu(1), |l| h.is_usable(l))
+            .expect("host path survives");
+        assert!(rerouted.hops.iter().all(|hop| hop.link != nv01));
+        assert!(rerouted.traverses_host(topo));
+        assert!(!h.route_usable(&direct));
+        assert!(h.route_usable(&rerouted));
+    }
+
+    #[test]
+    fn describe_lists_unhealthy_links() {
+        let p = Platform::delta_d22x();
+        let mut h = FabricHealth::new(&p.topology);
+        assert!(h.describe(&p.topology).contains("all links healthy"));
+        h.set(LinkId(0), LinkState::Down);
+        h.set(LinkId(1), LinkState::Degraded { factor: 0.5 });
+        let d = h.describe(&p.topology);
+        assert!(d.contains("DOWN"), "{d}");
+        assert!(d.contains("degraded to 50%"), "{d}");
+    }
+}

@@ -37,6 +37,7 @@
 pub mod allocate;
 pub mod constraint;
 pub mod graph;
+pub mod health;
 pub mod platforms;
 pub mod route;
 
@@ -46,5 +47,6 @@ pub use graph::{
     gbps, GpuModel, Link, LinkId, LinkKind, MemSpec, Node, NodeId, NodeKind, Topology,
     TopologyBuilder, TopologyError,
 };
+pub use health::{FabricHealth, LinkState};
 pub use platforms::{Platform, PlatformId};
 pub use route::{Endpoint, Route};

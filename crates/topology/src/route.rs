@@ -100,6 +100,19 @@ impl Route {
 /// paths.
 #[must_use]
 pub fn route(topo: &Topology, src: Endpoint, dst: Endpoint) -> Option<Route> {
+    route_with(topo, src, dst, |_| true)
+}
+
+/// [`route`] restricted to links for which `usable` returns `true` — the
+/// health-aware variant used after fault injection. `route(..)` is exactly
+/// `route_with(.., |_| true)`, so the always-healthy path is unchanged.
+#[must_use]
+pub fn route_with(
+    topo: &Topology,
+    src: Endpoint,
+    dst: Endpoint,
+    usable: impl Fn(LinkId) -> bool,
+) -> Option<Route> {
     let src_node = src.node(topo);
     let dst_node = dst.node(topo);
     if src_node == dst_node {
@@ -139,6 +152,9 @@ pub fn route(topo: &Topology, src: Endpoint, dst: Endpoint) -> Option<Route> {
             continue;
         }
         for &(link_id, v) in topo.neighbors(NodeId(u)) {
+            if !usable(link_id) {
+                continue;
+            }
             let cost = dist[u] + topo.link(link_id).kind.hop_cost();
             if cost < dist[v.0] {
                 dist[v.0] = cost;
@@ -175,12 +191,25 @@ pub fn route(topo: &Topology, src: Endpoint, dst: Endpoint) -> Option<Route> {
 /// the host side; a host-crossing leg defeats the purpose).
 #[must_use]
 pub fn route_via(topo: &Topology, src: Endpoint, dst: Endpoint, via: usize) -> Option<Route> {
+    route_via_with(topo, src, dst, via, |_| true)
+}
+
+/// [`route_via`] restricted to links for which `usable` returns `true` —
+/// relay resolution over a partially failed fabric.
+#[must_use]
+pub fn route_via_with(
+    topo: &Topology,
+    src: Endpoint,
+    dst: Endpoint,
+    via: usize,
+    usable: impl Fn(LinkId) -> bool,
+) -> Option<Route> {
     let mid = Endpoint::gpu(via);
     if src == mid || dst == mid || src == dst {
         return None;
     }
-    let first = route(topo, src, mid)?;
-    let second = route(topo, mid, dst)?;
+    let first = route_with(topo, src, mid, &usable)?;
+    let second = route_with(topo, mid, dst, &usable)?;
     if first.traverses_host(topo) || second.traverses_host(topo) {
         return None;
     }

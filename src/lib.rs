@@ -49,6 +49,8 @@ pub mod prelude {
     };
     pub use msort_data::{generate, is_sorted, same_multiset, DataType, Distribution, SortKey};
     pub use msort_gpu::{Fidelity, GpuSystem, Phase};
-    pub use msort_sim::{CostModel, FlowSim, GpuSortAlgo, SimDuration, SimTime};
+    pub use msort_sim::{
+        CostModel, FaultEvent, FaultPlan, FlowSim, GpuSortAlgo, SimDuration, SimTime,
+    };
     pub use msort_topology::{gbps, Endpoint, GpuModel, Platform, PlatformId, TopologyBuilder};
 }

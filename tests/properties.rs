@@ -288,6 +288,60 @@ fn p2p_sort_any_input() {
 }
 
 #[test]
+fn every_sort_every_platform_every_distribution() {
+    // The full cross product: P2P, HET and RP sort on each paper platform,
+    // over every key distribution the generator knows, must produce a
+    // sorted permutation of the input. One seeded case per combination —
+    // the seed tags reproduce any failure exactly.
+    use multi_gpu_sort::core::{rp_sort, RpConfig};
+    let distributions = [
+        Distribution::Uniform,
+        Distribution::Normal,
+        Distribution::Sorted,
+        Distribution::ReverseSorted,
+        Distribution::NearlySorted,
+        Distribution::ZipfDuplicates {
+            skew_permille: 1200,
+        },
+        Distribution::Constant,
+    ];
+    let platforms = [
+        Platform::ibm_ac922(),
+        Platform::delta_d22x(),
+        Platform::dgx_a100(),
+    ];
+    let mut seed = 11_000u64;
+    for platform in &platforms {
+        for &dist in &distributions {
+            seed += 1;
+            // 4 GPUs everywhere; n divisible by g^2 for RP sort.
+            let n: u64 = 1 << 12;
+            let input: Vec<u32> = generate(dist, n as usize, seed);
+            let tag = || format!("seed {seed} {dist:?} on {}", platform.id.name());
+
+            let mut p2p = input.clone();
+            let r = p2p_sort(platform, &P2pConfig::new(4), &mut p2p, n);
+            assert!(r.validated, "p2p {}", tag());
+            assert!(same_multiset(&input, &p2p), "p2p {}", tag());
+
+            let mut het = input.clone();
+            let r = het_sort(platform, &HetConfig::new(4), &mut het, n);
+            assert!(r.validated, "het {}", tag());
+            assert!(same_multiset(&input, &het), "het {}", tag());
+
+            let mut rp = input.clone();
+            let r = rp_sort(platform, &RpConfig::new(4), &mut rp, n);
+            assert!(r.validated, "rp {}", tag());
+            assert!(same_multiset(&input, &rp), "rp {}", tag());
+
+            // All three algorithms agree on the result.
+            assert_eq!(p2p, het, "p2p vs het {}", tag());
+            assert_eq!(p2p, rp, "p2p vs rp {}", tag());
+        }
+    }
+}
+
+#[test]
 fn het_sort_any_input() {
     for seed in 0..CASES {
         let mut rng = Rng::seed_from_u64(10_000 + seed);
