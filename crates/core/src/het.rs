@@ -20,6 +20,7 @@
 //! transfers — both effects are reproduced by modeling CPU merges as
 //! host-memory flows.
 
+use crate::exec::{DriverStep, SortDriver};
 use crate::gpuset::default_gpu_set;
 use crate::report::{PhaseBreakdown, SortReport};
 use msort_data::{is_sorted, SortKey};
@@ -61,6 +62,8 @@ impl LargeDataApproach {
 pub struct HetConfig {
     /// Number of GPUs.
     pub gpus: usize,
+    /// Explicit GPU set (overrides the default [`default_gpu_set`]).
+    pub gpu_set: Option<Vec<usize>>,
     /// Single-GPU sorting primitive.
     pub algo: GpuSortAlgo,
     /// Simulation fidelity.
@@ -84,6 +87,7 @@ impl HetConfig {
     pub fn new(gpus: usize) -> Self {
         Self {
             gpus,
+            gpu_set: None,
             algo: GpuSortAlgo::ThrustLike,
             fidelity: Fidelity::Full,
             approach: LargeDataApproach::TwoN,
@@ -97,6 +101,13 @@ impl HetConfig {
     #[must_use]
     pub fn sampled(mut self, scale: u64) -> Self {
         self.fidelity = Fidelity::Sampled { scale };
+        self
+    }
+
+    /// Use an explicit GPU set.
+    #[must_use]
+    pub fn with_set(mut self, set: Vec<usize>) -> Self {
+        self.gpu_set = Some(set);
         self
     }
 
@@ -206,7 +217,10 @@ pub fn het_sort<K: SortKey>(
     logical_len: u64,
 ) -> SortReport {
     let g = config.gpus;
-    let order = default_gpu_set(platform, g);
+    let order = config
+        .gpu_set
+        .clone()
+        .unwrap_or_else(|| default_gpu_set(platform, g));
     let scale = config.fidelity.scale();
     let key_bytes = K::DATA_TYPE.key_bytes();
 
@@ -484,6 +498,293 @@ fn split3(
     (pa, (pb, pc))
 }
 
+/// Where the in-core HET driver is in its phase sequence.
+enum HetState {
+    /// Nothing enqueued yet.
+    Start,
+    /// GPU phase drained; CPU merge next (or nothing, single-chunk case).
+    GpuDone,
+    /// CPU merge enqueued; next step reads the output.
+    Merging,
+    /// Output taken; nothing left to do.
+    Finished,
+}
+
+/// In-core HET sort as a resumable [`SortDriver`]: one chunk group across
+/// the GPUs (scatter, sort, gather) followed by a single CPU multiway
+/// merge. The out-of-core streaming pipelines remain exclusive to
+/// [`het_sort`] — a scheduler admits jobs small enough to fit device
+/// memory, which is exactly the in-core case.
+pub struct HetDriver<K: SortKey> {
+    order: Vec<usize>,
+    algo: GpuSortAlgo,
+    approach: LargeDataApproach,
+    logical_len: u64,
+    scale: u64,
+    plan: ChunkPlan,
+    buf_len: u64,
+    host_in: BufId,
+    host_runs: BufId,
+    host_out: BufId,
+    bufs: Vec<Vec<BufId>>,
+    copy_in: Vec<StreamId>,
+    copy_out: Vec<StreamId>,
+    compute: Vec<StreamId>,
+    cpu_stream: StreamId,
+    state: HetState,
+    t0: SimTime,
+    t_gpu_done: SimTime,
+    t_end: SimTime,
+    htod_ops: Vec<OpId>,
+    sort_ops: Vec<OpId>,
+    dtoh_ops: Vec<OpId>,
+    reroutes_at_start: u64,
+    output: Option<Vec<K>>,
+    validated: bool,
+    released: bool,
+}
+
+impl<K: SortKey> HetDriver<K> {
+    /// Prepare an in-core HET sort of `data` on `sys`.
+    ///
+    /// # Panics
+    /// Panics if the input does not fit device memory in one chunk group
+    /// (use [`het_sort`] for out-of-core streaming), if `logical_len` is
+    /// not a multiple of the sampling factor, or if `config.fidelity`
+    /// disagrees with the system's fidelity.
+    pub fn new(
+        sys: &mut GpuSystem<'_, K>,
+        config: &HetConfig,
+        data: Vec<K>,
+        logical_len: u64,
+    ) -> Self {
+        let g = config.gpus;
+        let order = config
+            .gpu_set
+            .clone()
+            .unwrap_or_else(|| default_gpu_set(sys.platform(), g));
+        assert_eq!(order.len(), g, "gpu_set must list exactly `gpus` GPUs");
+        let scale = config.fidelity.scale();
+        assert_eq!(
+            scale,
+            sys.world().scale(),
+            "driver fidelity must match the system's"
+        );
+        let key_bytes = K::DATA_TYPE.key_bytes();
+
+        let gpu_mem = order
+            .iter()
+            .map(|&i| sys.platform().topology.gpu_memory_bytes(i))
+            .min()
+            .expect("at least one GPU");
+        let budget = config.gpu_mem_budget.unwrap_or(gpu_mem).min(gpu_mem);
+        let max_chunk_keys = budget / config.approach.buffers() / key_bytes;
+        let plan = ChunkPlan::compute(logical_len, g, max_chunk_keys, scale);
+        assert_eq!(
+            plan.groups, 1,
+            "HetDriver is in-core only: {logical_len} keys need {} chunk groups",
+            plan.groups
+        );
+        let buf_len = plan.max_len();
+
+        let host_in = sys.world_mut().import_host(0, data, logical_len);
+        let host_runs = sys.world_mut().alloc_host(0, logical_len);
+        let host_out = sys.world_mut().alloc_host(0, logical_len);
+
+        let nbuf = config.approach.buffers() as usize;
+        let bufs: Vec<Vec<BufId>> = order
+            .iter()
+            .map(|&gpu| {
+                (0..nbuf)
+                    .map(|_| sys.world_mut().alloc_gpu(gpu, buf_len))
+                    .collect()
+            })
+            .collect();
+        let copy_in: Vec<StreamId> = (0..g).map(|_| sys.stream()).collect();
+        let copy_out: Vec<StreamId> = (0..g).map(|_| sys.stream()).collect();
+        let compute: Vec<StreamId> = (0..g).map(|_| sys.stream()).collect();
+        let cpu_stream = sys.stream();
+
+        Self {
+            order,
+            algo: config.algo,
+            approach: config.approach,
+            logical_len,
+            scale,
+            plan,
+            buf_len,
+            host_in,
+            host_runs,
+            host_out,
+            bufs,
+            copy_in,
+            copy_out,
+            compute,
+            cpu_stream,
+            state: HetState::Start,
+            t0: SimTime::ZERO,
+            t_gpu_done: SimTime::ZERO,
+            t_end: SimTime::ZERO,
+            htod_ops: Vec::with_capacity(g),
+            sort_ops: Vec::with_capacity(g),
+            dtoh_ops: Vec::with_capacity(g),
+            reroutes_at_start: sys.rerouted_transfers(),
+            output: None,
+            validated: false,
+            released: false,
+        }
+    }
+
+    /// Total device memory (in physical keys) this sort occupies per GPU.
+    #[must_use]
+    pub fn device_keys_per_gpu(&self) -> u64 {
+        self.approach.buffers() * self.buf_len / self.scale
+    }
+
+    fn read_output(&mut self, sys: &GpuSystem<'_, K>) {
+        let output = sys.world().buffer(self.host_out).data.clone();
+        self.validated = is_sorted(&output);
+        self.output = Some(output);
+        self.state = HetState::Finished;
+    }
+}
+
+impl<K: SortKey> SortDriver<K> for HetDriver<K> {
+    fn step(&mut self, sys: &mut GpuSystem<'_, K>) -> DriverStep {
+        let g = self.order.len();
+        match self.state {
+            HetState::Start => {
+                // Scatter + sort + gather of the single chunk group. A
+                // single chunk over a single GPU copies straight into the
+                // output (no CPU merge at all).
+                self.t0 = sys.now();
+                let single_chunk = self.plan.pieces.len() == 1;
+                let runs_target = if single_chunk {
+                    self.host_out
+                } else {
+                    self.host_runs
+                };
+                let mut wait = Vec::with_capacity(g);
+                for i in 0..g {
+                    let (off, len) = self.plan.piece(0, i);
+                    let data_buf = self.bufs[i][0];
+                    let aux_buf = match self.approach {
+                        LargeDataApproach::TwoN => self.bufs[i][1],
+                        LargeDataApproach::ThreeN => self.bufs[i][2],
+                    };
+                    let up = sys.memcpy(
+                        self.copy_in[i],
+                        self.host_in,
+                        off,
+                        data_buf,
+                        0,
+                        len,
+                        &[],
+                        Phase::HtoD,
+                    );
+                    let so = sys.gpu_sort(
+                        self.compute[i],
+                        self.algo,
+                        data_buf,
+                        (0, len),
+                        aux_buf,
+                        &[up],
+                    );
+                    let down = sys.memcpy(
+                        self.copy_out[i],
+                        data_buf,
+                        0,
+                        runs_target,
+                        off,
+                        len,
+                        &[so],
+                        Phase::DtoH,
+                    );
+                    self.htod_ops.push(up);
+                    self.sort_ops.push(so);
+                    self.dtoh_ops.push(down);
+                    wait.push(down);
+                }
+                self.state = HetState::GpuDone;
+                DriverStep::Wait(wait)
+            }
+            HetState::GpuDone => {
+                self.t_gpu_done = sys.now();
+                if self.plan.pieces.len() == 1 {
+                    self.t_end = sys.now();
+                    self.read_output(sys);
+                    return DriverStep::Done;
+                }
+                let inputs: Vec<(BufId, u64, u64)> = self
+                    .plan
+                    .pieces
+                    .iter()
+                    .map(|&(off, len)| (self.host_runs, off, len))
+                    .collect();
+                let mo = sys.cpu_multiway_merge(self.cpu_stream, inputs, self.host_out, 0, &[]);
+                self.state = HetState::Merging;
+                DriverStep::Wait(vec![mo])
+            }
+            HetState::Merging => {
+                self.t_end = sys.now();
+                self.read_output(sys);
+                DriverStep::Done
+            }
+            HetState::Finished => DriverStep::Done,
+        }
+    }
+
+    fn take_output(&mut self) -> Vec<K> {
+        self.output.take().expect("HET sort has not finished")
+    }
+
+    fn validated(&self) -> bool {
+        self.validated
+    }
+
+    fn release(&mut self, sys: &mut GpuSystem<'_, K>) {
+        if self.released {
+            return;
+        }
+        self.released = true;
+        sys.world_mut().free(self.host_in);
+        sys.world_mut().free(self.host_runs);
+        sys.world_mut().free(self.host_out);
+        for gpu_bufs in &self.bufs {
+            for &b in gpu_bufs {
+                sys.world_mut().free(b);
+            }
+        }
+    }
+
+    fn report(&self, sys: &GpuSystem<'_, K>) -> SortReport {
+        let window = self.t_gpu_done.since(self.t0);
+        let (htod, (sort, dtoh)) = split3(
+            window,
+            sys.ops_busy(&self.htod_ops),
+            sys.ops_busy(&self.sort_ops),
+            sys.ops_busy(&self.dtoh_ops),
+        );
+        SortReport {
+            algorithm: "HET sort".into(),
+            platform: sys.platform().id.name().into(),
+            gpus: self.order.clone(),
+            keys: self.logical_len,
+            bytes: self.logical_len * K::DATA_TYPE.key_bytes(),
+            total: self.t_end.since(self.t0),
+            phases: PhaseBreakdown {
+                htod,
+                sort,
+                merge: self.t_end.since(self.t_gpu_done),
+                dtoh,
+            },
+            validated: self.validated,
+            p2p_swapped_keys: 0,
+            rerouted_transfers: sys.rerouted_transfers() - self.reroutes_at_start,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -627,6 +928,43 @@ mod tests {
         assert!(report.validated);
         assert!(same_multiset(&input, &data));
         assert_eq!(report.keys, n);
+    }
+
+    #[test]
+    fn driver_matches_het_sort_in_core() {
+        // The resumable driver must reproduce het_sort's in-core timing
+        // and output exactly when driven alone on a fresh system.
+        for id in PlatformId::paper_set() {
+            let p = Platform::paper(id);
+            let n = 1u64 << 14;
+            let cfg = HetConfig::new(2);
+            let input: Vec<u32> = generate(Distribution::Uniform, n as usize, 23);
+
+            let mut classic = input.clone();
+            let r_classic = het_sort(&p, &cfg, &mut classic, n);
+
+            let mut sys: GpuSystem<'_, u32> = GpuSystem::new(&p, Fidelity::Full);
+            let mut d = HetDriver::new(&mut sys, &cfg, input, n);
+            crate::exec::drive(&mut sys, &mut d);
+            let r_driver = d.report(&sys);
+            assert!(d.validated(), "{id:?}");
+            assert_eq!(d.take_output(), classic, "{id:?}");
+            assert_eq!(r_driver.total, r_classic.total, "{id:?}");
+            assert_eq!(r_driver.phases.merge, r_classic.phases.merge, "{id:?}");
+        }
+    }
+
+    #[test]
+    fn driver_rejects_out_of_core_inputs() {
+        let p = Platform::test_pcie(2);
+        let n = 1u64 << 16;
+        let cfg = HetConfig::new(2).with_mem_budget(96 * 1024);
+        let input: Vec<u32> = generate(Distribution::Uniform, n as usize, 3);
+        let mut sys: GpuSystem<'_, u32> = GpuSystem::new(&p, Fidelity::Full);
+        let got = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            HetDriver::new(&mut sys, &cfg, input, n)
+        }));
+        assert!(got.is_err(), "multi-group input must be rejected");
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //!   derivation (which chunk pairs exchange which ranges).
 //! * [`gpuset`] — GPU set selection and ordering (Section 5.4): which `g`
 //!   GPUs to use and how to pair them across merge stages.
+//! * [`exec`] — resumable sort drivers: every sort doubles as a
+//!   [`SortDriver`] state machine over a caller-provided `GpuSystem`, so a
+//!   scheduler (the `msort-serve` crate) can interleave many concurrent
+//!   sorts on one shared simulated clock.
 //! * [`baseline`] — the CPU-only (PARADIS) and single-GPU baselines every
 //!   figure compares against.
 //! * [`report`] — per-run reports: end-to-end duration, the four-phase
@@ -37,6 +41,7 @@
 //! ```
 
 pub mod baseline;
+pub mod exec;
 pub mod gpuset;
 pub mod het;
 pub mod p2p;
@@ -45,8 +50,9 @@ pub mod report;
 pub mod rp;
 
 pub use baseline::{cpu_only_sort, single_gpu_sort};
+pub use exec::{drive, DriverStep, SortDriver};
 pub use gpuset::{default_gpu_set, search_gpu_set};
-pub use het::{het_sort, HetConfig, LargeDataApproach};
-pub use p2p::{best_p2p_route, p2p_sort, P2pConfig};
+pub use het::{het_sort, HetConfig, HetDriver, LargeDataApproach};
+pub use p2p::{best_p2p_route, p2p_sort, P2pConfig, P2pDriver};
 pub use report::{PhaseBreakdown, SortReport};
-pub use rp::{rp_sort, RpConfig};
+pub use rp::{rp_sort, RpConfig, RpDriver};

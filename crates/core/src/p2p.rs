@@ -13,12 +13,20 @@
 //! recursion depth run concurrently (they occupy disjoint GPU subsets),
 //! with a host synchronization between levels — which is where the real
 //! implementation also reads device memory to select the next pivots.
+//!
+//! The sort itself lives in [`P2pDriver`], a resumable
+//! [`SortDriver`](crate::exec::SortDriver) whose states are exactly the
+//! host-synchronization points above; [`p2p_sort`] is the classic
+//! single-job entry point that drives it to completion on a private
+//! system. A scheduler can instead interleave many drivers on one shared
+//! [`GpuSystem`] so their transfers contend on the same links.
 
+use crate::exec::{DriverStep, SortDriver};
 use crate::gpuset::default_gpu_set;
 use crate::pivot::{select_pivot, swap_plan, ConcatView, SwapPlan};
 use crate::report::{PhaseBreakdown, SortReport};
 use msort_data::{is_sorted, SortKey};
-use msort_gpu::{BufId, Fidelity, GpuSystem, OpId, Phase};
+use msort_gpu::{BufId, Fidelity, GpuSystem, OpId, Phase, StreamId};
 use msort_sim::{FaultPlan, GpuSortAlgo, SimTime};
 use msort_topology::{Endpoint, Platform, Route};
 
@@ -131,6 +139,286 @@ struct ChunkBufs {
     aux: BufId,
 }
 
+/// Where the driver is in the P2P sort's phase sequence.
+enum P2pState {
+    /// Nothing enqueued yet.
+    Start,
+    /// Phase 1 drained; merge levels `0..idx` drained, level `idx` next
+    /// (when `idx == levels.len()`, the gather is next).
+    Merging(usize),
+    /// Gather enqueued; next step reads the output.
+    Gathering,
+    /// Output taken from the host buffer; nothing left to do.
+    Finished,
+}
+
+/// P2P sort as a resumable [`SortDriver`]: each [`P2pDriver::step`]
+/// enqueues one phase (scatter+sort, one merge level, or the gather) onto
+/// the caller's [`GpuSystem`] and returns the ops to await.
+///
+/// Construction allocates every buffer the sort needs (the paper excludes
+/// allocation from the timed region); timing starts at the first `step`.
+pub struct P2pDriver<K: SortKey> {
+    order: Vec<usize>,
+    algo: GpuSortAlgo,
+    multi_hop: bool,
+    logical_len: u64,
+    chunk: u64,
+    scale: u64,
+    host_in: BufId,
+    host_out: BufId,
+    bufs: Vec<ChunkBufs>,
+    copy_in: Vec<StreamId>,
+    copy_out: Vec<StreamId>,
+    compute: Vec<StreamId>,
+    host_stream: StreamId,
+    levels: Vec<Vec<(usize, usize)>>,
+    state: P2pState,
+    t0: SimTime,
+    t_sorted: SimTime,
+    t_merged: SimTime,
+    t_end: SimTime,
+    htod_ops: Vec<OpId>,
+    sort_ops: Vec<OpId>,
+    swapped_keys: u64,
+    reroutes_at_start: u64,
+    output: Option<Vec<K>>,
+    validated: bool,
+    released: bool,
+}
+
+impl<K: SortKey> P2pDriver<K> {
+    /// Prepare a P2P sort of `data` (a physical payload representing
+    /// `logical_len` keys) on `sys`: import the input, pre-allocate the
+    /// per-GPU chunk + auxiliary buffers, and create the streams.
+    ///
+    /// # Panics
+    /// Panics if `logical_len` is not divisible by `gpus × scale`, if the
+    /// per-GPU chunk (plus its auxiliary buffer) exceeds device memory, or
+    /// if `config.fidelity` disagrees with the system's fidelity.
+    pub fn new(
+        sys: &mut GpuSystem<'_, K>,
+        config: &P2pConfig,
+        data: Vec<K>,
+        logical_len: u64,
+    ) -> Self {
+        let g = config.gpus;
+        let order = config
+            .gpu_order
+            .clone()
+            .unwrap_or_else(|| default_gpu_set(sys.platform(), g));
+        assert_eq!(order.len(), g, "gpu_order must list exactly `gpus` GPUs");
+        let scale = config.fidelity.scale();
+        assert_eq!(
+            scale,
+            sys.world().scale(),
+            "driver fidelity must match the system's"
+        );
+        assert!(
+            logical_len.is_multiple_of(g as u64 * scale),
+            "input length must divide evenly into {g} chunks of whole samples"
+        );
+        let chunk = logical_len / g as u64;
+
+        let host_in = sys.world_mut().import_host(0, data, logical_len);
+        let host_out = sys.world_mut().alloc_host(0, logical_len);
+
+        // Pre-allocate chunk + auxiliary buffers (the paper excludes
+        // allocation from the timed region, and so do we).
+        let bufs: Vec<ChunkBufs> = order
+            .iter()
+            .map(|&gpu| ChunkBufs {
+                primary: sys.world_mut().alloc_gpu(gpu, chunk),
+                aux: sys.world_mut().alloc_gpu(gpu, chunk),
+            })
+            .collect();
+        // One copy stream per direction and one compute stream per GPU,
+        // plus a host stream for pivot-selection latency.
+        let copy_in: Vec<_> = (0..g).map(|_| sys.stream()).collect();
+        let copy_out: Vec<_> = (0..g).map(|_| sys.stream()).collect();
+        let compute: Vec<_> = (0..g).map(|_| sys.stream()).collect();
+        let host_stream = sys.stream();
+
+        Self {
+            order,
+            algo: config.algo,
+            multi_hop: config.multi_hop,
+            logical_len,
+            chunk,
+            scale,
+            host_in,
+            host_out,
+            bufs,
+            copy_in,
+            copy_out,
+            compute,
+            host_stream,
+            levels: merge_levels(g),
+            state: P2pState::Start,
+            t0: SimTime::ZERO,
+            t_sorted: SimTime::ZERO,
+            t_merged: SimTime::ZERO,
+            t_end: SimTime::ZERO,
+            htod_ops: Vec::with_capacity(g),
+            sort_ops: Vec::with_capacity(g),
+            swapped_keys: 0,
+            reroutes_at_start: sys.rerouted_transfers(),
+            output: None,
+            validated: false,
+            released: false,
+        }
+    }
+
+    /// Total device memory (in physical keys) this sort occupies per GPU.
+    #[must_use]
+    pub fn device_keys_per_gpu(&self) -> u64 {
+        2 * self.chunk / self.scale
+    }
+}
+
+impl<K: SortKey> SortDriver<K> for P2pDriver<K> {
+    fn step(&mut self, sys: &mut GpuSystem<'_, K>) -> DriverStep {
+        let g = self.order.len();
+        match self.state {
+            P2pState::Start => {
+                // ---- Phase 1: scatter + local sort. ----
+                self.t0 = sys.now();
+                let mut wait = Vec::with_capacity(g);
+                for i in 0..g {
+                    let up = sys.memcpy(
+                        self.copy_in[i],
+                        self.host_in,
+                        i as u64 * self.chunk,
+                        self.bufs[i].primary,
+                        0,
+                        self.chunk,
+                        &[],
+                        Phase::HtoD,
+                    );
+                    let so = sys.gpu_sort(
+                        self.compute[i],
+                        self.algo,
+                        self.bufs[i].primary,
+                        (0, self.chunk),
+                        self.bufs[i].aux,
+                        &[up],
+                    );
+                    self.htod_ops.push(up);
+                    self.sort_ops.push(so);
+                    wait.push(so);
+                }
+                self.state = P2pState::Merging(0);
+                DriverStep::Wait(wait)
+            }
+            P2pState::Merging(idx) => {
+                if idx == 0 {
+                    self.t_sorted = sys.now();
+                }
+                if idx == self.levels.len() {
+                    // ---- Phase 3: gather. ----
+                    self.t_merged = sys.now();
+                    let mut wait = Vec::with_capacity(g);
+                    for i in 0..g {
+                        wait.push(sys.memcpy(
+                            self.copy_out[i],
+                            self.bufs[i].primary,
+                            0,
+                            self.host_out,
+                            i as u64 * self.chunk,
+                            self.chunk,
+                            &[],
+                            Phase::DtoH,
+                        ));
+                    }
+                    self.state = P2pState::Gathering;
+                    return DriverStep::Wait(wait);
+                }
+                // ---- Phase 2: one merge level. All groups in a level
+                // touch disjoint GPU subsets; pivots are selected from
+                // current device data (the previous level fully drained).
+                let mut wait = Vec::new();
+                let mut planned: Vec<(usize, SwapPlan)> = Vec::new();
+                for &(start, len) in &self.levels[idx] {
+                    let plan = plan_group(sys, &self.bufs, start, len, self.chunk);
+                    self.swapped_keys += plan.transferred_keys() as u64 * self.scale;
+                    planned.push((start, plan));
+                }
+                for (start, plan) in planned {
+                    enqueue_group(
+                        sys,
+                        &self.order,
+                        &mut self.bufs,
+                        start,
+                        &plan,
+                        self.host_stream,
+                        &self.compute,
+                        self.multi_hop,
+                        &mut wait,
+                    );
+                }
+                self.state = P2pState::Merging(idx + 1);
+                DriverStep::Wait(wait)
+            }
+            P2pState::Gathering => {
+                self.t_end = sys.now();
+                let output = sys.world().buffer(self.host_out).data.clone();
+                self.validated = is_sorted(&output);
+                self.output = Some(output);
+                self.state = P2pState::Finished;
+                DriverStep::Done
+            }
+            P2pState::Finished => DriverStep::Done,
+        }
+    }
+
+    fn take_output(&mut self) -> Vec<K> {
+        self.output.take().expect("P2P sort has not finished")
+    }
+
+    fn validated(&self) -> bool {
+        self.validated
+    }
+
+    fn release(&mut self, sys: &mut GpuSystem<'_, K>) {
+        if self.released {
+            return;
+        }
+        self.released = true;
+        sys.world_mut().free(self.host_in);
+        sys.world_mut().free(self.host_out);
+        for b in &self.bufs {
+            sys.world_mut().free(b.primary);
+            sys.world_mut().free(b.aux);
+        }
+    }
+
+    fn report(&self, sys: &GpuSystem<'_, K>) -> SortReport {
+        // In-core P2P sort has strictly sequential phases; within phase 1
+        // the HtoD copies and sorts overlap per GPU, so attribute by busy
+        // time (this job's own ops — the system may be shared).
+        let htod_busy = sys.ops_busy(&self.htod_ops);
+        let sort_busy = sys.ops_busy(&self.sort_ops);
+        let (htod, sort) = split_overlapped(self.t_sorted.since(self.t0), htod_busy, sort_busy);
+        SortReport {
+            algorithm: "P2P sort".into(),
+            platform: sys.platform().id.name().into(),
+            gpus: self.order.clone(),
+            keys: self.logical_len,
+            bytes: self.logical_len * K::DATA_TYPE.key_bytes(),
+            total: self.t_end.since(self.t0),
+            phases: PhaseBreakdown {
+                htod,
+                sort,
+                merge: self.t_merged.since(self.t_sorted),
+                dtoh: self.t_end.since(self.t_merged),
+            },
+            validated: self.validated,
+            p2p_swapped_keys: self.swapped_keys,
+            rerouted_transfers: sys.rerouted_transfers() - self.reroutes_at_start,
+        }
+    }
+}
+
 /// Sort `data` (a physical payload representing `logical_len` keys) on
 /// `platform` with P2P sort and return the report. The sorted output is
 /// written back into `data`.
@@ -145,138 +433,13 @@ pub fn p2p_sort<K: SortKey>(
     data: &mut Vec<K>,
     logical_len: u64,
 ) -> SortReport {
-    let g = config.gpus;
-    let order = config
-        .gpu_order
-        .clone()
-        .unwrap_or_else(|| default_gpu_set(platform, g));
-    assert_eq!(order.len(), g, "gpu_order must list exactly `gpus` GPUs");
-    let scale = config.fidelity.scale();
-    assert!(
-        logical_len.is_multiple_of(g as u64 * scale),
-        "input length must divide evenly into {g} chunks of whole samples"
-    );
-    let chunk = logical_len / g as u64;
-
     let mut sys: GpuSystem<'_, K> = GpuSystem::new(platform, config.fidelity);
     sys.schedule_faults(&config.faults);
     let input = std::mem::take(data);
-    let host_in = sys.world_mut().import_host(0, input, logical_len);
-    let host_out = sys.world_mut().alloc_host(0, logical_len);
-
-    // Pre-allocate chunk + auxiliary buffers (the paper excludes
-    // allocation from the timed region, and so do we: t = 0 starts here).
-    let mut bufs: Vec<ChunkBufs> = order
-        .iter()
-        .map(|&gpu| ChunkBufs {
-            primary: sys.world_mut().alloc_gpu(gpu, chunk),
-            aux: sys.world_mut().alloc_gpu(gpu, chunk),
-        })
-        .collect();
-    // One copy stream per direction and one compute stream per GPU, plus a
-    // host stream for pivot-selection latency.
-    let copy_in: Vec<_> = (0..g).map(|_| sys.stream()).collect();
-    let copy_out: Vec<_> = (0..g).map(|_| sys.stream()).collect();
-    let compute: Vec<_> = (0..g).map(|_| sys.stream()).collect();
-    let host_stream = sys.stream();
-
-    // ---- Phase 1: scatter + local sort. ----
-    let t0 = sys.now();
-    let mut sort_ops: Vec<OpId> = Vec::with_capacity(g);
-    for i in 0..g {
-        let up = sys.memcpy(
-            copy_in[i],
-            host_in,
-            i as u64 * chunk,
-            bufs[i].primary,
-            0,
-            chunk,
-            &[],
-            Phase::HtoD,
-        );
-        let so = sys.gpu_sort(
-            compute[i],
-            config.algo,
-            bufs[i].primary,
-            (0, chunk),
-            bufs[i].aux,
-            &[up],
-        );
-        sort_ops.push(so);
-    }
-    sys.synchronize();
-    let t_sorted = sys.now();
-    let htod_busy = sys.phase_busy(Phase::HtoD);
-
-    // ---- Phase 2: merge stages, level by level. ----
-    let mut swapped_keys: u64 = 0;
-    for level in merge_levels(g) {
-        // All groups in a level touch disjoint GPU subsets; pivots are
-        // selected from current device data (we just synchronized).
-        let mut planned: Vec<(usize, SwapPlan)> = Vec::new();
-        for &(start, len) in &level {
-            let plan = plan_group(&sys, &bufs, start, len, chunk);
-            swapped_keys += plan.transferred_keys() as u64 * scale;
-            planned.push((start, plan));
-        }
-        for (start, plan) in planned {
-            enqueue_group(
-                &mut sys,
-                &order,
-                &mut bufs,
-                start,
-                &plan,
-                host_stream,
-                &compute,
-                config.multi_hop,
-            );
-        }
-        sys.synchronize();
-    }
-    let t_merged = sys.now();
-
-    // ---- Phase 3: gather. ----
-    for i in 0..g {
-        sys.memcpy(
-            copy_out[i],
-            bufs[i].primary,
-            0,
-            host_out,
-            i as u64 * chunk,
-            chunk,
-            &[],
-            Phase::DtoH,
-        );
-    }
-    sys.synchronize();
-    let t_end = sys.now();
-
-    let output = sys.world().buffer(host_out).data.clone();
-    let validated = is_sorted(&output);
-    *data = output;
-
-    // In-core P2P sort has strictly sequential phases; within phase 1 the
-    // HtoD copies and sorts overlap per GPU, so attribute by busy time.
-    let sort_busy = sys.phase_busy(Phase::Sort);
-    let overlap_total = t_sorted.since(t0);
-    let (htod, sort) = split_overlapped(overlap_total, htod_busy, sort_busy);
-    let report = SortReport {
-        algorithm: "P2P sort".into(),
-        platform: platform.id.name().into(),
-        gpus: order,
-        keys: logical_len,
-        bytes: logical_len * K::DATA_TYPE.key_bytes(),
-        total: t_end.since(SimTime::ZERO),
-        phases: PhaseBreakdown {
-            htod,
-            sort,
-            merge: t_merged.since(t_sorted),
-            dtoh: t_end.since(t_merged),
-        },
-        validated,
-        p2p_swapped_keys: swapped_keys,
-        rerouted_transfers: sys.rerouted_transfers(),
-    };
+    let mut driver = P2pDriver::new(&mut sys, config, input, logical_len);
+    crate::exec::drive(&mut sys, &mut driver);
+    let report = driver.report(&sys);
+    *data = driver.take_output();
     debug_assert!(report.validated, "P2P sort produced unsorted output");
     report
 }
@@ -352,8 +515,9 @@ fn plan_group<K: SortKey>(
     swap_plan(half, chunk_phys, pivot)
 }
 
-/// Enqueue one merge group's swap + local merges. `plan` is in physical
-/// units; all runtime calls use logical units (scaled back up).
+/// Enqueue one merge group's swap + local merges, pushing every enqueued
+/// op into `out_ops`. `plan` is in physical units; all runtime calls use
+/// logical units (scaled back up).
 #[allow(clippy::too_many_arguments)] // one call site; splitting obscures the stage structure
 fn enqueue_group<K: SortKey>(
     sys: &mut GpuSystem<'_, K>,
@@ -364,6 +528,7 @@ fn enqueue_group<K: SortKey>(
     host_stream: msort_gpu::StreamId,
     compute: &[msort_gpu::StreamId],
     multi_hop: bool,
+    out_ops: &mut Vec<OpId>,
 ) {
     let scale = sys.world().scale();
     if plan.swaps.is_empty() {
@@ -372,7 +537,7 @@ fn enqueue_group<K: SortKey>(
         let d = sys
             .cost_model()
             .pivot_selection(plan.chunk_len as u64 * scale);
-        sys.delay(host_stream, d, &[], Phase::Merge);
+        out_ops.push(sys.delay(host_stream, d, &[], Phase::Merge));
         return;
     }
     let chunk = plan.chunk_len as u64 * scale;
@@ -381,6 +546,7 @@ fn enqueue_group<K: SortKey>(
     // Pivot-selection latency gates the whole group.
     let pd = sys.cost_model().pivot_selection(chunk);
     let pivot_op = sys.delay(host_stream, pd, &[], Phase::Merge);
+    out_ops.push(pivot_op);
 
     // Transfer streams are created per group per stage — cheap, and it
     // mirrors how the real implementation launches one cudaMemcpyPeerAsync
@@ -421,6 +587,7 @@ fn enqueue_group<K: SortKey>(
                 Phase::Merge,
             );
             recv_deps[c].push(op);
+            out_ops.push(op);
         }
     }
 
@@ -450,6 +617,7 @@ fn enqueue_group<K: SortKey>(
         );
         recv_cursor[bc] += len;
         recv_deps[bc].push(to_b);
+        out_ops.push(to_b);
         // B's block -> A's aux.
         let sb = sys.stream();
         let (route_ba, _) = best_p2p_route(sys.platform(), b_gpu, a_gpu, multi_hop);
@@ -466,6 +634,7 @@ fn enqueue_group<K: SortKey>(
         );
         recv_cursor[ac] += len;
         recv_deps[ac].push(to_a);
+        out_ops.push(to_a);
     }
 
     // Local merges (two sorted runs in aux -> primary), or a buffer-role
@@ -482,12 +651,12 @@ fn enqueue_group<K: SortKey>(
             // the zero-cost pointer swap of the real implementation. The
             // enqueued ops already reference the right BufIds, and the
             // role swap only affects *future* stages, which are enqueued
-            // after the next synchronize.
+            // after the level fully drains.
             std::mem::swap(&mut bufs[gi].primary, &mut bufs[gi].aux);
             continue;
         }
         let mid = kept as u64 * scale;
-        sys.gpu_merge_into(
+        let mo = sys.gpu_merge_into(
             compute[gi],
             bufs[gi].aux,
             mid,
@@ -495,6 +664,7 @@ fn enqueue_group<K: SortKey>(
             bufs[gi].primary,
             &recv_deps[c],
         );
+        out_ops.push(mo);
     }
 }
 
@@ -704,5 +874,20 @@ mod tests {
         );
         assert!(good.total < bad.total, "{} !< {}", good.total, bad.total);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn driver_release_returns_all_device_memory() {
+        let p = Platform::ibm_ac922();
+        let mut sys: GpuSystem<'_, u32> = GpuSystem::new(&p, Fidelity::Full);
+        let free_before: Vec<u64> = (0..4).map(|g| sys.world().gpu_free_bytes(g)).collect();
+        let input: Vec<u32> = generate(Distribution::Uniform, 1 << 12, 11);
+        let mut d = P2pDriver::new(&mut sys, &P2pConfig::new(4), input, 1 << 12);
+        assert!((0..4).any(|g| sys.world().gpu_free_bytes(g) < free_before[g]));
+        crate::exec::drive(&mut sys, &mut d);
+        assert!(d.validated());
+        d.release(&mut sys);
+        let after: Vec<u64> = (0..4).map(|g| sys.world().gpu_free_bytes(g)).collect();
+        assert_eq!(free_before, after, "release must free all device memory");
     }
 }

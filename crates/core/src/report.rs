@@ -58,22 +58,29 @@ pub struct SortReport {
 }
 
 impl SortReport {
-    /// Throughput in (logical) million keys per second.
+    /// Throughput in (logical) million keys per second. A zero-duration
+    /// run (e.g. zero keys, or a degenerate sampled run) reports 0 rather
+    /// than `inf`/NaN so downstream aggregation stays finite.
     #[must_use]
     pub fn mkeys_per_sec(&self) -> f64 {
-        self.keys as f64 / self.total.as_secs_f64() / 1e6
+        let secs = self.total.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.keys as f64 / secs / 1e6
     }
 
     /// One-line human-readable summary.
     #[must_use]
     pub fn summary(&self) -> String {
         format!(
-            "{} on {} ({} GPUs): {:.0}M keys in {} (HtoD {}, sort {}, merge {}, DtoH {}){}",
+            "{} on {} ({} GPUs): {:.0}M keys in {} at {:.0} Mkeys/s (HtoD {}, sort {}, merge {}, DtoH {}){}",
             self.algorithm,
             self.platform,
             self.gpus.len(),
             self.keys as f64 / 1e6,
             self.total,
+            self.mkeys_per_sec(),
             self.phases.htod,
             self.phases.sort,
             self.phases.merge,
@@ -127,6 +134,28 @@ mod tests {
         };
         assert!((r.mkeys_per_sec() - 20.0).abs() < 1e-9);
         assert!(r.summary().contains("P2P sort"));
+        assert!(r.summary().contains("20 Mkeys/s"));
         assert!(!r.summary().contains("NOT VALIDATED"));
+    }
+
+    #[test]
+    fn zero_duration_run_reports_finite_throughput() {
+        let r = SortReport {
+            algorithm: "P2P sort".into(),
+            platform: "test".into(),
+            gpus: vec![0],
+            keys: 1_000_000,
+            bytes: 4_000_000,
+            total: SimDuration::ZERO,
+            phases: PhaseBreakdown::default(),
+            validated: true,
+            p2p_swapped_keys: 0,
+            rerouted_transfers: 0,
+        };
+        assert_eq!(r.mkeys_per_sec(), 0.0);
+        assert!(r.mkeys_per_sec().is_finite());
+        // The summary must not print inf/NaN either.
+        let s = r.summary();
+        assert!(!s.contains("inf") && !s.contains("NaN"), "{s}");
     }
 }

@@ -298,32 +298,44 @@ impl<'p, K: SortKey> GpuSystem<'p, K> {
     /// attribute time to overlapping phases.
     #[must_use]
     pub fn phase_busy(&self, phase: Phase) -> SimDuration {
-        let mut intervals: Vec<(SimTime, SimTime)> = self
-            .ops
-            .iter()
-            .filter(|o| o.phase == phase)
-            .filter_map(|o| Some((o.started?, o.finished?)))
-            .collect();
-        intervals.sort_unstable();
-        let mut total = SimDuration::ZERO;
-        let mut cursor: Option<(SimTime, SimTime)> = None;
-        for (s, e) in intervals {
-            match cursor {
-                None => cursor = Some((s, e)),
-                Some((cs, ce)) => {
-                    if s <= ce {
-                        cursor = Some((cs, ce.max(e)));
-                    } else {
-                        total += ce.since(cs);
-                        cursor = Some((s, e));
-                    }
-                }
-            }
-        }
-        if let Some((cs, ce)) = cursor {
-            total += ce.since(cs);
-        }
-        total
+        interval_union(
+            self.ops
+                .iter()
+                .filter(|o| o.phase == phase)
+                .filter_map(|o| Some((o.started?, o.finished?)))
+                .collect(),
+        )
+    }
+
+    /// Busy-time union of an explicit set of completed ops — the same
+    /// attribution as [`GpuSystem::phase_busy`], but restricted to the ops
+    /// one job enqueued, so per-job phase breakdowns stay correct when
+    /// several jobs share this system.
+    #[must_use]
+    pub fn ops_busy(&self, ops: &[OpId]) -> SimDuration {
+        interval_union(
+            ops.iter()
+                .filter_map(|id| {
+                    let o = &self.ops[id.0];
+                    Some((o.started?, o.finished?))
+                })
+                .collect(),
+        )
+    }
+
+    /// The constraint table rates are currently allocated against: the
+    /// health-adjusted clone once a fault has fired, the platform's
+    /// canonical table before (topology-aware placement scores candidate
+    /// GPU sets against this, so degraded links repel new gangs).
+    #[must_use]
+    pub fn constraint_table(&self) -> &msort_topology::ConstraintTable {
+        self.flows.constraint_table()
+    }
+
+    /// `true` while every link of `route` can carry traffic.
+    #[must_use]
+    pub fn route_usable(&self, route: &Route) -> bool {
+        self.flows.route_usable(route)
     }
 
     /// Raw timeline entries for completed operations (unsorted).
@@ -691,9 +703,56 @@ impl<'p, K: SortKey> GpuSystem<'p, K> {
     /// Panics on a dependency deadlock (an op waits on something that can
     /// never fire).
     pub fn synchronize(&mut self) -> SimTime {
+        self.run_inner(None, None)
+    }
+
+    /// Drive the simulation until any op in `until_any` completes or the
+    /// clock reaches `deadline`, whichever comes first. An op that is
+    /// already `Done` returns immediately; with an empty `until_any` the
+    /// clock advances to the deadline, processing every event (including
+    /// scheduled faults) on the way.
+    ///
+    /// This is the multi-job entry point: a scheduler holding several
+    /// in-flight sorts on one shared system advances the single clock to
+    /// its next decision point — a job frontier completing or a new job
+    /// arriving — without draining the other jobs' work as
+    /// [`GpuSystem::synchronize`] would.
+    ///
+    /// # Panics
+    /// Panics when called without any stop condition, or when no deadline
+    /// is given and the awaited ops can never complete.
+    pub fn run_until(&mut self, until_any: &[OpId], deadline: Option<SimTime>) -> SimTime {
+        assert!(
+            !until_any.is_empty() || deadline.is_some(),
+            "run_until needs at least one awaited op or a deadline"
+        );
+        self.run_inner(Some(until_any), deadline)
+    }
+
+    /// `true` once `op` has completed.
+    #[must_use]
+    pub fn op_done(&self, op: OpId) -> bool {
+        matches!(self.ops[op.0].state, OpState::Done)
+    }
+
+    /// `true` when every enqueued op has completed.
+    #[must_use]
+    pub fn idle(&self) -> bool {
+        self.ops.iter().all(|o| matches!(o.state, OpState::Done))
+    }
+
+    fn run_inner(&mut self, stop_ops: Option<&[OpId]>, deadline: Option<SimTime>) -> SimTime {
         loop {
             self.reissue_due_retries();
             self.start_ready_ops();
+            if let Some(ops) = stop_ops {
+                if ops.iter().any(|o| self.op_done(*o)) {
+                    return self.flows.now();
+                }
+            }
+            if deadline.is_some_and(|d| self.flows.now() >= d) {
+                return self.flows.now();
+            }
             // Next event: earliest fixed completion, flow completion, or
             // pending retry.
             let mut next: Option<SimTime> = None;
@@ -715,7 +774,18 @@ impl<'p, K: SortKey> GpuSystem<'p, K> {
                 }
             }
             let Some(mut t) = next else {
-                // Nothing running: either all done or deadlocked.
+                // Nothing running. With a deadline, idle-advance the clock
+                // toward it (scheduled faults still fire on the way, one
+                // step at a time so the loop re-checks state after each).
+                if let Some(d) = deadline {
+                    let step = match self.flows.next_fault_at() {
+                        Some(tf) if tf < d => tf,
+                        _ => d,
+                    };
+                    self.flows.advance_to(step);
+                    continue;
+                }
+                // No deadline: either all done or deadlocked.
                 let stuck: Vec<usize> = self
                     .ops
                     .iter()
@@ -723,12 +793,23 @@ impl<'p, K: SortKey> GpuSystem<'p, K> {
                     .filter(|(_, o)| !matches!(o.state, OpState::Done))
                     .map(|(i, _)| i)
                     .collect();
+                if stop_ops.is_some() {
+                    panic!(
+                        "run_until: nothing is running and none of the awaited ops \
+                         completed (stuck ops: {stuck:?})"
+                    );
+                }
                 assert!(
                     stuck.is_empty(),
                     "deadlock: ops {stuck:?} can never become ready"
                 );
                 return self.flows.now();
             };
+            if let Some(d) = deadline {
+                if t > d {
+                    t = d;
+                }
+            }
             // Never step past a scheduled fault in one advance: completion
             // times predicted under pre-fault rates are only valid up to it.
             if let Some(tf) = self.flows.next_fault_at() {
@@ -1059,6 +1140,31 @@ impl<'p, K: SortKey> GpuSystem<'p, K> {
             }
         }
     }
+}
+
+/// Total time covered by at least one of `intervals` (the busy-time union
+/// behind [`GpuSystem::phase_busy`] and [`GpuSystem::ops_busy`]).
+fn interval_union(mut intervals: Vec<(SimTime, SimTime)>) -> SimDuration {
+    intervals.sort_unstable();
+    let mut total = SimDuration::ZERO;
+    let mut cursor: Option<(SimTime, SimTime)> = None;
+    for (s, e) in intervals {
+        match cursor {
+            None => cursor = Some((s, e)),
+            Some((cs, ce)) => {
+                if s <= ce {
+                    cursor = Some((cs, ce.max(e)));
+                } else {
+                    total += ce.since(cs);
+                    cursor = Some((s, e));
+                }
+            }
+        }
+    }
+    if let Some((cs, ce)) = cursor {
+        total += ce.since(cs);
+    }
+    total
 }
 
 #[cfg(test)]

@@ -1,0 +1,128 @@
+//! Job cost and footprint estimation for admission control and SJF.
+//!
+//! The estimates reuse the calibrated machinery the simulator itself runs
+//! on: single-flow rates from the platform's constraint table (what one
+//! uncontended copy stream sustains) and the [`CostModel`]'s kernel
+//! timings. They are *solo* estimates — a scheduler cannot know the future
+//! contention a job will see — but they are monotone in job size and
+//! consistent across jobs, which is all shortest-job-first and fair-share
+//! accounting need.
+
+use crate::job::{JobAlgo, SortJob};
+use msort_data::DataType;
+use msort_sim::{CostModel, GpuSortAlgo, SimDuration};
+use msort_topology::{allocate_rates, Endpoint, Platform};
+
+/// Uncontended single-flow rate (bytes/s) between two endpoints on the
+/// pristine fabric.
+fn single_flow_rate(platform: &Platform, src: Endpoint, dst: Endpoint) -> f64 {
+    let r = msort_topology::route::route(&platform.topology, src, dst)
+        .expect("platform endpoints are connected");
+    allocate_rates(platform.constraint_table(), &[platform.flow_request(&r)])[0]
+}
+
+/// Estimated solo service time of `job` on `platform` for keys of `dt`.
+///
+/// Models the canonical four phases: scatter and gather at the host↔GPU
+/// single-flow rate, the local sort from the calibrated kernel model, and
+/// an algorithm-specific merge term (P2P swap levels, the RP all-to-all
+/// exchange, or the CPU multiway merge).
+#[must_use]
+pub fn estimate_job_cost(platform: &Platform, job: &SortJob, dt: DataType) -> SimDuration {
+    let g = job.gpus.max(1) as u64;
+    let chunk = job.keys.div_ceil(g);
+    let kb = dt.key_bytes();
+    let chunk_bytes = chunk * kb;
+    let model = CostModel::for_platform(platform);
+    let gm = platform.topology.gpu_model(0);
+
+    let host_rate = single_flow_rate(platform, Endpoint::HOST0, Endpoint::gpu(0));
+    let p2p_rate = if platform.topology.gpu_count() > 1 {
+        single_flow_rate(platform, Endpoint::gpu(0), Endpoint::gpu(1))
+    } else {
+        host_rate
+    };
+
+    let copy = 2.0 * chunk_bytes as f64 / host_rate;
+    let sort = model
+        .gpu_sort(gm, GpuSortAlgo::ThrustLike, dt, chunk)
+        .as_secs_f64();
+    let merge = if g <= 1 {
+        0.0
+    } else {
+        match job.algo {
+            JobAlgo::P2p => {
+                // log2(g) swap levels; each moves about half a chunk per
+                // GPU and re-merges the chunk locally.
+                let levels = (g as f64).log2().ceil();
+                levels
+                    * (chunk_bytes as f64 / 2.0 / p2p_rate
+                        + model.gpu_merge_mgpu(gm, chunk_bytes).as_secs_f64())
+            }
+            JobAlgo::Rp => {
+                // One all-to-all exchange: (g-1)/g of the chunk leaves the
+                // GPU, then one g-way local merge.
+                chunk_bytes as f64 * (g - 1) as f64 / g as f64 / p2p_rate
+                    + model.gpu_merge_mgpu(gm, chunk_bytes).as_secs_f64()
+            }
+            JobAlgo::Het => model
+                .cpu_multiway_merge(job.keys * kb, g as usize)
+                .as_secs_f64(),
+        }
+    };
+    SimDuration::from_secs_f64(copy + sort + merge)
+}
+
+/// Device memory footprint of `job`, in **logical keys per GPU** (the unit
+/// the buffer [`msort_gpu::World`] accounts in). Mirrors each driver's
+/// actual pre-allocation so admission control matches what construction
+/// will request.
+#[must_use]
+pub fn device_footprint_keys(job: &SortJob, scale: u64) -> u64 {
+    let g = job.gpus.max(1) as u64;
+    let chunk = job.keys.div_ceil(g);
+    match job.algo {
+        // Chunk + auxiliary buffer.
+        JobAlgo::P2p => 2 * chunk,
+        // Chunk + receive + merge-output, each of the latter two with the
+        // partition-boundary slack.
+        JobAlgo::Rp => 3 * chunk + 2 * g * scale,
+        // The in-core 2n pipeline double-buffers the chunk.
+        JobAlgo::Het => 2 * chunk,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::TenantId;
+
+    #[test]
+    fn cost_is_monotone_in_keys() {
+        let p = Platform::ibm_ac922();
+        let small = SortJob::new(TenantId(0), 1 << 12);
+        let large = SortJob::new(TenantId(0), 1 << 20);
+        let cs = estimate_job_cost(&p, &small, DataType::U32);
+        let cl = estimate_job_cost(&p, &large, DataType::U32);
+        assert!(cl > cs, "{cl:?} vs {cs:?}");
+    }
+
+    #[test]
+    fn cost_is_positive_for_every_algorithm() {
+        let p = Platform::dgx_a100();
+        for algo in [JobAlgo::P2p, JobAlgo::Rp, JobAlgo::Het] {
+            let j = SortJob::new(TenantId(0), 1 << 16).with_algo(algo);
+            assert!(estimate_job_cost(&p, &j, DataType::U64) > SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn footprints_rank_rp_heaviest() {
+        let j = |algo| SortJob::new(TenantId(0), 1 << 16).with_algo(algo);
+        let p2p = device_footprint_keys(&j(JobAlgo::P2p), 1);
+        let rp = device_footprint_keys(&j(JobAlgo::Rp), 1);
+        let het = device_footprint_keys(&j(JobAlgo::Het), 1);
+        assert!(rp > p2p, "RP's 3n footprint must exceed P2P's 2n");
+        assert_eq!(p2p, het);
+    }
+}

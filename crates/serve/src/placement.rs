@@ -1,0 +1,94 @@
+//! Gang placement policies: which free GPUs a dispatched job leases.
+
+use msort_topology::{best_gpu_set, ConstraintTable, Platform};
+
+/// How the service chooses a job's GPU gang from the free fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlacementPolicy {
+    /// Topology-oblivious baseline: a rotating cursor walks the free list
+    /// and takes the next `g` GPUs, whatever constraints they share.
+    RoundRobin,
+    /// Score every candidate subset with
+    /// [`msort_topology::score_gpu_set`] against the *current*
+    /// (health-adjusted) constraint table and take the argmin — gangs land
+    /// on distinct PCIe switches / NVLink cliques when possible and route
+    /// around downed links automatically.
+    TopologyAware,
+}
+
+impl PlacementPolicy {
+    /// Choose a `g`-GPU gang from `free` (sorted ascending), or `None`
+    /// when no feasible gang exists. `cursor` is the round-robin rotation
+    /// state; topology-aware placement ignores it.
+    ///
+    /// The returned gang is sorted ascending — for the P2P merge tree that
+    /// is the index-order pairing, which is optimal on every paper
+    /// platform's default fleet ordering.
+    #[must_use]
+    pub fn place(
+        &self,
+        platform: &Platform,
+        table: &ConstraintTable,
+        free: &[usize],
+        g: usize,
+        cursor: &mut usize,
+    ) -> Option<Vec<usize>> {
+        if g == 0 || free.len() < g {
+            return None;
+        }
+        match self {
+            PlacementPolicy::RoundRobin => {
+                let start = *cursor % free.len();
+                let mut gang: Vec<usize> = (0..g).map(|k| free[(start + k) % free.len()]).collect();
+                *cursor += g;
+                gang.sort_unstable();
+                Some(gang)
+            }
+            // A finite-score gang always beats an infinite one in the
+            // argmin, so downed links are avoided whenever any healthy
+            // subset exists; when none does, the job still places and the
+            // executor's fault rerouting carries its traffic — placement
+            // degrades, it never deadlocks.
+            PlacementPolicy::TopologyAware => best_gpu_set(platform, table, free, g),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_rotates_through_the_fleet() {
+        let p = Platform::dgx_a100();
+        let t = p.constraint_table();
+        let free = [0, 1, 2, 3];
+        let mut cursor = 0;
+        let rr = PlacementPolicy::RoundRobin;
+        assert_eq!(rr.place(&p, t, &free, 2, &mut cursor), Some(vec![0, 1]));
+        assert_eq!(rr.place(&p, t, &free, 2, &mut cursor), Some(vec![2, 3]));
+        // Cursor 4 over a 3-GPU free list starts at index 1.
+        assert_eq!(
+            rr.place(&p, t, &[0, 1, 2], 2, &mut cursor),
+            Some(vec![1, 2])
+        );
+        // Cursor 6 over the same list starts at index 0 again.
+        assert_eq!(
+            rr.place(&p, t, &[0, 1, 2], 2, &mut cursor),
+            Some(vec![0, 1])
+        );
+        assert_eq!(rr.place(&p, t, &free, 5, &mut cursor), None);
+    }
+
+    #[test]
+    fn topology_aware_picks_switch_disjoint_pairs_on_dgx() {
+        let p = Platform::dgx_a100();
+        let t = p.constraint_table();
+        let mut cursor = 0;
+        let topo = PlacementPolicy::TopologyAware;
+        let gang = topo.place(&p, t, &[0, 1, 2, 3], 2, &mut cursor).unwrap();
+        assert_eq!(gang, vec![0, 2], "distinct PCIe switches");
+        // The remaining pair is forced but still placeable.
+        assert_eq!(topo.place(&p, t, &[1, 3], 2, &mut cursor), Some(vec![1, 3]));
+    }
+}

@@ -1,0 +1,326 @@
+//! Service-level reporting: per-job outcomes, per-tenant statistics,
+//! queue-depth timeline, and latency percentiles.
+
+use crate::job::TenantId;
+use crate::placement::PlacementPolicy;
+use crate::queue::QueuePolicy;
+use msort_sim::{SimDuration, SimTime};
+
+/// One completed job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// Global submission sequence number.
+    pub seq: u64,
+    /// Owning tenant.
+    pub tenant: TenantId,
+    /// Logical keys sorted.
+    pub keys: u64,
+    /// Algorithm label.
+    pub algorithm: &'static str,
+    /// The gang the job ran on, sorted ascending.
+    pub gpus: Vec<usize>,
+    /// When the job entered the queue.
+    pub submitted: SimTime,
+    /// When its gang lease began (first phase enqueued).
+    pub started: SimTime,
+    /// When the sorted output was read back and validated.
+    pub finished: SimTime,
+    /// Output verified sorted *and* a permutation of the generated input.
+    pub validated: bool,
+}
+
+impl JobOutcome {
+    /// Queueing + service time.
+    #[must_use]
+    pub fn latency(&self) -> SimDuration {
+        self.finished.since(self.submitted)
+    }
+
+    /// Time spent executing (excludes queueing).
+    #[must_use]
+    pub fn service_time(&self) -> SimDuration {
+        self.finished.since(self.started)
+    }
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Backpressure: the pending queue was at its configured depth.
+    QueueFull,
+    /// The job could never run on this service (gang larger than the
+    /// fleet, footprint beyond device memory, invalid shape...).
+    Infeasible(String),
+}
+
+/// One refused submission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RejectedJob {
+    /// Global submission sequence number.
+    pub seq: u64,
+    /// Owning tenant.
+    pub tenant: TenantId,
+    /// When it was refused.
+    pub at: SimTime,
+    /// Why.
+    pub reason: RejectReason,
+}
+
+/// Aggregate view of one tenant's service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantStats {
+    /// The tenant.
+    pub tenant: TenantId,
+    /// Configured fair-share weight.
+    pub weight: f64,
+    /// Completed jobs.
+    pub jobs: u64,
+    /// Completed logical keys.
+    pub keys: u64,
+    /// Mean completed-job latency.
+    pub mean_latency: SimDuration,
+}
+
+/// Everything one [`crate::SortService::run`] produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceReport {
+    /// Platform name.
+    pub platform: String,
+    /// Queue policy the run used.
+    pub policy: QueuePolicy,
+    /// Placement policy the run used.
+    pub placement: PlacementPolicy,
+    /// Completed jobs in completion order.
+    pub outcomes: Vec<JobOutcome>,
+    /// Refused submissions in refusal order.
+    pub rejected: Vec<RejectedJob>,
+    /// `(time, pending jobs)` sampled at every enqueue and dispatch.
+    pub queue_depth: Vec<(SimTime, usize)>,
+    /// Clock value when the last job completed.
+    pub makespan: SimTime,
+    /// Tenant weights in effect (ascending tenant id).
+    pub weights: Vec<(TenantId, f64)>,
+}
+
+impl ServiceReport {
+    /// Total logical keys across completed jobs.
+    #[must_use]
+    pub fn total_keys(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.keys).sum()
+    }
+
+    /// Service throughput in million keys per second of simulated time
+    /// (0 for an empty or zero-duration run).
+    #[must_use]
+    pub fn throughput_mkeys(&self) -> f64 {
+        let secs = self.makespan.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.total_keys() as f64 / secs / 1e6
+    }
+
+    /// `true` when every completed job validated.
+    #[must_use]
+    pub fn all_validated(&self) -> bool {
+        self.outcomes.iter().all(|o| o.validated)
+    }
+
+    /// Nearest-rank latency percentile over completed jobs (`p` in
+    /// `0.0..=100.0`); zero when nothing completed.
+    #[must_use]
+    pub fn latency_percentile(&self, p: f64) -> SimDuration {
+        if self.outcomes.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let mut lat: Vec<SimDuration> = self.outcomes.iter().map(JobOutcome::latency).collect();
+        lat.sort_unstable();
+        let rank = ((p / 100.0) * lat.len() as f64).ceil() as usize;
+        lat[rank.clamp(1, lat.len()) - 1]
+    }
+
+    /// Median latency.
+    #[must_use]
+    pub fn p50_latency(&self) -> SimDuration {
+        self.latency_percentile(50.0)
+    }
+
+    /// 95th-percentile latency.
+    #[must_use]
+    pub fn p95_latency(&self) -> SimDuration {
+        self.latency_percentile(95.0)
+    }
+
+    /// 99th-percentile latency.
+    #[must_use]
+    pub fn p99_latency(&self) -> SimDuration {
+        self.latency_percentile(99.0)
+    }
+
+    /// Mean latency over completed jobs.
+    #[must_use]
+    pub fn mean_latency(&self) -> SimDuration {
+        if self.outcomes.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let total: u64 = self.outcomes.iter().map(|o| o.latency().0).sum();
+        SimDuration(total / self.outcomes.len() as u64)
+    }
+
+    /// Per-tenant aggregates over completed jobs, ascending tenant id.
+    /// Tenants with a configured weight appear even with zero completions.
+    #[must_use]
+    pub fn tenant_stats(&self) -> Vec<TenantStats> {
+        let mut tenants: Vec<TenantId> = self.weights.iter().map(|&(t, _)| t).collect();
+        for o in &self.outcomes {
+            if !tenants.contains(&o.tenant) {
+                tenants.push(o.tenant);
+            }
+        }
+        tenants.sort_unstable();
+        tenants
+            .into_iter()
+            .map(|t| {
+                let weight = self
+                    .weights
+                    .iter()
+                    .find(|&&(w, _)| w == t)
+                    .map_or(1.0, |&(_, w)| w);
+                let mine: Vec<&JobOutcome> =
+                    self.outcomes.iter().filter(|o| o.tenant == t).collect();
+                let jobs = mine.len() as u64;
+                let keys = mine.iter().map(|o| o.keys).sum();
+                let mean_latency = mine
+                    .iter()
+                    .map(|o| o.latency().0)
+                    .sum::<u64>()
+                    .checked_div(jobs)
+                    .map_or(SimDuration::ZERO, SimDuration);
+                TenantStats {
+                    tenant: t,
+                    weight,
+                    jobs,
+                    keys,
+                    mean_latency,
+                }
+            })
+            .collect()
+    }
+
+    /// Worst absolute deviation between a tenant's share of completed keys
+    /// and its weight's share of the total weight. 0 is perfectly fair;
+    /// only meaningful when the run kept every tenant backlogged.
+    #[must_use]
+    pub fn fair_share_error(&self) -> f64 {
+        let stats = self.tenant_stats();
+        let total_keys: u64 = stats.iter().map(|s| s.keys).sum();
+        let total_weight: f64 = stats.iter().map(|s| s.weight).sum();
+        if total_keys == 0 || total_weight <= 0.0 {
+            return 0.0;
+        }
+        stats
+            .iter()
+            .map(|s| {
+                let share = s.keys as f64 / total_keys as f64;
+                let target = s.weight / total_weight;
+                (share - target).abs()
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// One-line human-readable summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "{:?}/{:?} on {}: {} jobs ({} rejected) in {} at {:.0} Mkeys/s, p50 {} p95 {} p99 {}, fair-share err {:.3}",
+            self.policy,
+            self.placement,
+            self.platform,
+            self.outcomes.len(),
+            self.rejected.len(),
+            self.makespan,
+            self.throughput_mkeys(),
+            self.p50_latency(),
+            self.p95_latency(),
+            self.p99_latency(),
+            self.fair_share_error(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(seq: u64, tenant: u32, keys: u64, lat_ms: u64) -> JobOutcome {
+        JobOutcome {
+            seq,
+            tenant: TenantId(tenant),
+            keys,
+            algorithm: "P2P sort",
+            gpus: vec![0, 1],
+            submitted: SimTime::ZERO,
+            started: SimTime::ZERO,
+            finished: SimTime::ZERO + SimDuration::from_millis(lat_ms),
+            validated: true,
+        }
+    }
+
+    fn report(outcomes: Vec<JobOutcome>) -> ServiceReport {
+        ServiceReport {
+            platform: "test".into(),
+            policy: QueuePolicy::Fifo,
+            placement: PlacementPolicy::RoundRobin,
+            makespan: outcomes
+                .iter()
+                .map(|o| o.finished)
+                .max()
+                .unwrap_or(SimTime::ZERO),
+            outcomes,
+            rejected: Vec::new(),
+            queue_depth: Vec::new(),
+            weights: vec![(TenantId(0), 1.0), (TenantId(1), 1.0)],
+        }
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let r = report((0..100).map(|i| outcome(i, 0, 1000, i + 1)).collect());
+        assert_eq!(r.p50_latency(), SimDuration::from_millis(50));
+        assert_eq!(r.p95_latency(), SimDuration::from_millis(95));
+        assert_eq!(r.p99_latency(), SimDuration::from_millis(99));
+        assert_eq!(r.latency_percentile(100.0), SimDuration::from_millis(100));
+        assert_eq!(report(vec![]).p99_latency(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn fair_share_error_measures_key_share_deviation() {
+        // Tenant 0 got 3×, tenant 1 got 1× with equal weights: shares are
+        // 0.75/0.25 against targets 0.5/0.5 → error 0.25.
+        let r = report(vec![outcome(0, 0, 3000, 1), outcome(1, 1, 1000, 1)]);
+        assert!((r.fair_share_error() - 0.25).abs() < 1e-12);
+        let fair = report(vec![outcome(0, 0, 1000, 1), outcome(1, 1, 1000, 1)]);
+        assert_eq!(fair.fair_share_error(), 0.0);
+        assert_eq!(report(vec![]).fair_share_error(), 0.0);
+    }
+
+    #[test]
+    fn tenant_stats_cover_weighted_but_idle_tenants() {
+        let r = report(vec![outcome(0, 0, 1000, 4)]);
+        let stats = r.tenant_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].jobs, 1);
+        assert_eq!(stats[0].mean_latency, SimDuration::from_millis(4));
+        assert_eq!(stats[1].jobs, 0, "tenant 1 has a weight but no jobs");
+        assert_eq!(r.total_keys(), 1000);
+        assert!(r.all_validated());
+        assert!(r.summary().contains("1 jobs"));
+    }
+
+    #[test]
+    fn zero_duration_run_reports_finite_throughput() {
+        let r = report(vec![]);
+        assert_eq!(r.throughput_mkeys(), 0.0);
+        assert!(r.throughput_mkeys().is_finite());
+    }
+}

@@ -1,0 +1,679 @@
+//! The sort service: admission, queueing, gang placement, and concurrent
+//! execution of many sort jobs on one shared simulated clock.
+//!
+//! [`SortService::run`] consumes a time-stamped arrival stream and drives
+//! every admitted job's [`SortDriver`] over a single [`GpuSystem`], so
+//! co-scheduled jobs genuinely contend for links in the fluid-flow engine
+//! (and reroute around injected faults together). Gang leases are
+//! exclusive: a GPU serves one job at a time, and a job's device buffers
+//! are freed the moment it completes.
+//!
+//! Scheduling is deliberately simple and fully deterministic:
+//!
+//! 1. admit every arrival whose timestamp is due (backpressure: a full
+//!    queue rejects, it never blocks the clock);
+//! 2. dispatch head-of-line jobs chosen by the [`QueuePolicy`] onto gangs
+//!    chosen by the [`PlacementPolicy`] while GPUs and device memory
+//!    allow;
+//! 3. step every running job whose wait-set has drained;
+//! 4. advance the shared clock to the next job-op completion or arrival.
+
+use crate::cost::{device_footprint_keys, estimate_job_cost};
+use crate::job::{DeadlineClass, JobAlgo, SortJob, TenantId};
+use crate::placement::PlacementPolicy;
+use crate::queue::{QueuePolicy, QueueView};
+use crate::report::{JobOutcome, RejectReason, RejectedJob, ServiceReport};
+use msort_core::{
+    DriverStep, HetConfig, HetDriver, P2pConfig, P2pDriver, RpConfig, RpDriver, SortDriver,
+};
+use msort_data::{generate, is_sorted, same_multiset, SortKey};
+use msort_gpu::{Fidelity, GpuSystem, OpId};
+use msort_sim::{FaultPlan, SimDuration, SimTime};
+use msort_topology::Platform;
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Queue (dispatch-order) policy.
+    pub policy: QueuePolicy,
+    /// Gang placement policy.
+    pub placement: PlacementPolicy,
+    /// Simulation fidelity shared by every job.
+    pub fidelity: Fidelity,
+    /// GPUs the service may lease (default: the whole platform).
+    pub fleet: Option<Vec<usize>>,
+    /// Maximum pending jobs before submissions are rejected.
+    pub max_queue_depth: usize,
+    /// Fair-share weights (tenants default to weight 1).
+    pub tenant_weights: Vec<(TenantId, f64)>,
+    /// Link faults to inject into the shared fabric.
+    pub faults: FaultPlan,
+}
+
+impl ServeConfig {
+    /// FIFO + topology-aware placement at full fidelity, whole fleet,
+    /// queue depth 1024, equal weights, pristine fabric.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            policy: QueuePolicy::Fifo,
+            placement: PlacementPolicy::TopologyAware,
+            fidelity: Fidelity::Full,
+            fleet: None,
+            max_queue_depth: 1024,
+            tenant_weights: Vec::new(),
+            faults: FaultPlan::new(),
+        }
+    }
+
+    /// Select the queue policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: QueuePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Select the placement policy.
+    #[must_use]
+    pub fn with_placement(mut self, placement: PlacementPolicy) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Use sampled fidelity with the given factor.
+    #[must_use]
+    pub fn sampled(mut self, scale: u64) -> Self {
+        self.fidelity = Fidelity::Sampled { scale };
+        self
+    }
+
+    /// Restrict the service to the given GPUs.
+    #[must_use]
+    pub fn with_fleet(mut self, fleet: Vec<usize>) -> Self {
+        self.fleet = Some(fleet);
+        self
+    }
+
+    /// Cap the pending queue (backpressure threshold).
+    #[must_use]
+    pub fn with_max_queue_depth(mut self, depth: usize) -> Self {
+        self.max_queue_depth = depth;
+        self
+    }
+
+    /// Give `tenant` fair-share weight `weight` (> 0).
+    #[must_use]
+    pub fn with_weight(mut self, tenant: TenantId, weight: f64) -> Self {
+        assert!(weight > 0.0, "tenant weight must be positive");
+        self.tenant_weights.push((tenant, weight));
+        self
+    }
+
+    /// Inject the given fault schedule.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A queued job.
+struct Pending {
+    seq: u64,
+    at: SimTime,
+    job: SortJob,
+    cost: SimDuration,
+}
+
+/// A job holding a gang lease.
+struct Running<K: SortKey> {
+    seq: u64,
+    tenant: TenantId,
+    keys: u64,
+    algorithm: &'static str,
+    gang: Vec<usize>,
+    submitted: SimTime,
+    started: SimTime,
+    input: Vec<K>,
+    driver: Box<dyn SortDriver<K>>,
+    wait: Vec<OpId>,
+}
+
+struct TenantEntry {
+    id: TenantId,
+    weight: f64,
+    /// Σ (estimated cost ÷ weight) over dispatched jobs — the normalized
+    /// service the fair-share policy equalizes.
+    credit: f64,
+}
+
+/// A multi-tenant sort service over one platform and one simulated clock.
+pub struct SortService<'p, K: SortKey> {
+    sys: GpuSystem<'p, K>,
+    policy: QueuePolicy,
+    placement: PlacementPolicy,
+    fidelity: Fidelity,
+    max_queue_depth: usize,
+    fleet: Vec<usize>,
+    leased: Vec<bool>,
+    rr_cursor: usize,
+    tenants: Vec<TenantEntry>,
+    pending: Vec<Pending>,
+    running: Vec<Running<K>>,
+    next_seq: u64,
+    outcomes: Vec<JobOutcome>,
+    rejected: Vec<RejectedJob>,
+    queue_depth: Vec<(SimTime, usize)>,
+}
+
+impl<'p, K: SortKey> SortService<'p, K> {
+    /// Create a service over `platform`.
+    ///
+    /// # Panics
+    /// Panics if the configured fleet names a GPU the platform lacks or
+    /// contains duplicates.
+    #[must_use]
+    pub fn new(platform: &'p Platform, config: ServeConfig) -> Self {
+        let mut sys = GpuSystem::new(platform, config.fidelity);
+        sys.schedule_faults(&config.faults);
+        let mut fleet = config
+            .fleet
+            .unwrap_or_else(|| (0..platform.topology.gpu_count()).collect());
+        fleet.sort_unstable();
+        let before = fleet.len();
+        fleet.dedup();
+        assert_eq!(before, fleet.len(), "fleet must not repeat GPUs");
+        for &g in &fleet {
+            assert!(
+                g < platform.topology.gpu_count(),
+                "fleet GPU {g} does not exist on {}",
+                platform.id.name()
+            );
+        }
+        let mut tenants: Vec<TenantEntry> = config
+            .tenant_weights
+            .iter()
+            .map(|&(id, weight)| TenantEntry {
+                id,
+                weight,
+                credit: 0.0,
+            })
+            .collect();
+        tenants.sort_by_key(|t| t.id);
+        let leased = vec![false; fleet.len()];
+        Self {
+            sys,
+            policy: config.policy,
+            placement: config.placement,
+            fidelity: config.fidelity,
+            max_queue_depth: config.max_queue_depth,
+            fleet,
+            leased,
+            rr_cursor: 0,
+            tenants,
+            pending: Vec::new(),
+            running: Vec::new(),
+            next_seq: 0,
+            outcomes: Vec::new(),
+            rejected: Vec::new(),
+            queue_depth: Vec::new(),
+        }
+    }
+
+    /// Execute `arrivals` (stably sorted by timestamp) to completion and
+    /// report. Each job's input is generated from its seed, and each
+    /// output is validated as a sorted permutation of that input.
+    #[must_use]
+    pub fn run(mut self, mut arrivals: Vec<(SimTime, SortJob)>) -> ServiceReport {
+        arrivals.sort_by_key(|&(t, _)| t);
+        let mut next = 0usize;
+        loop {
+            let now = self.sys.now();
+            while next < arrivals.len() && arrivals[next].0 <= now {
+                let (at, job) = arrivals[next].clone();
+                next += 1;
+                self.submit(at, job);
+            }
+            // Dispatch and step to a fixpoint: a finished job frees its
+            // gang, which may let the next head-of-line job dispatch
+            // within the same instant.
+            loop {
+                let dispatched = self.try_dispatch();
+                let stepped = self.step_ready();
+                if !dispatched && !stepped {
+                    break;
+                }
+            }
+            if self.running.is_empty() && self.pending.is_empty() && next == arrivals.len() {
+                break;
+            }
+            let frontier: Vec<OpId> = self
+                .running
+                .iter()
+                .flat_map(|r| r.wait.iter().copied())
+                .collect();
+            let deadline = (next < arrivals.len()).then(|| arrivals[next].0);
+            assert!(
+                !frontier.is_empty() || deadline.is_some(),
+                "sort service stalled: {} queued jobs but nothing runnable",
+                self.pending.len()
+            );
+            self.sys.run_until(&frontier, deadline);
+        }
+        self.into_report()
+    }
+
+    fn tenant_index(&mut self, id: TenantId) -> usize {
+        match self.tenants.binary_search_by_key(&id, |t| t.id) {
+            Ok(i) => i,
+            Err(i) => {
+                self.tenants.insert(
+                    i,
+                    TenantEntry {
+                        id,
+                        weight: 1.0,
+                        credit: 0.0,
+                    },
+                );
+                i
+            }
+        }
+    }
+
+    /// Why `job` can never run on this service, if it can't.
+    fn infeasible(&self, job: &SortJob) -> Option<String> {
+        let g = job.gpus;
+        let scale = self.fidelity.scale();
+        if job.keys == 0 {
+            return Some("zero keys".into());
+        }
+        if g == 0 {
+            return Some("zero GPUs".into());
+        }
+        if g > self.fleet.len() {
+            return Some(format!(
+                "gang of {g} exceeds the {}-GPU fleet",
+                self.fleet.len()
+            ));
+        }
+        if job.algo == JobAlgo::P2p && !g.is_power_of_two() {
+            return Some(format!("P2P sort needs a power-of-two gang, got {g}"));
+        }
+        if !job.keys.is_multiple_of(g as u64 * scale) {
+            return Some(format!(
+                "{} keys do not divide into {g} chunks of whole samples (scale {scale})",
+                job.keys
+            ));
+        }
+        let need = device_footprint_keys(job, scale) * K::DATA_TYPE.key_bytes();
+        let min_mem = self
+            .fleet
+            .iter()
+            .map(|&i| self.sys.platform().topology.gpu_memory_bytes(i))
+            .min()
+            .expect("fleet is non-empty");
+        if need > min_mem {
+            return Some(format!(
+                "footprint of {need} B/GPU exceeds device memory of {min_mem} B"
+            ));
+        }
+        None
+    }
+
+    fn submit(&mut self, at: SimTime, job: SortJob) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.tenant_index(job.tenant);
+        if let Some(why) = self.infeasible(&job) {
+            self.rejected.push(RejectedJob {
+                seq,
+                tenant: job.tenant,
+                at,
+                reason: RejectReason::Infeasible(why),
+            });
+            return;
+        }
+        if self.pending.len() >= self.max_queue_depth {
+            self.rejected.push(RejectedJob {
+                seq,
+                tenant: job.tenant,
+                at,
+                reason: RejectReason::QueueFull,
+            });
+            return;
+        }
+        let cost = estimate_job_cost(self.sys.platform(), &job, K::DATA_TYPE);
+        self.pending.push(Pending { seq, at, job, cost });
+        self.queue_depth.push((self.sys.now(), self.pending.len()));
+    }
+
+    fn free_gpus(&self) -> Vec<usize> {
+        self.fleet
+            .iter()
+            .zip(&self.leased)
+            .filter(|&(_, &l)| !l)
+            .map(|(&g, _)| g)
+            .collect()
+    }
+
+    fn set_leased(&mut self, gang: &[usize], leased: bool) {
+        for &g in gang {
+            let i = self
+                .fleet
+                .iter()
+                .position(|&f| f == g)
+                .expect("gang GPUs come from the fleet");
+            self.leased[i] = leased;
+        }
+    }
+
+    /// Dispatch head-of-line jobs while the policy's next pick is
+    /// placeable. Returns `true` if anything was dispatched.
+    fn try_dispatch(&mut self) -> bool {
+        let mut any = false;
+        loop {
+            let views: Vec<QueueView> = self
+                .pending
+                .iter()
+                .map(|p| QueueView {
+                    seq: p.seq,
+                    tenant: p.job.tenant,
+                    cost: p.cost,
+                    interactive: p.job.deadline == DeadlineClass::Interactive,
+                })
+                .collect();
+            let tenants = &self.tenants;
+            let credit = |t: TenantId| -> f64 {
+                tenants
+                    .binary_search_by_key(&t, |e| e.id)
+                    .map_or(0.0, |i| tenants[i].credit)
+            };
+            let Some(i) = self.policy.pick(&views, &credit) else {
+                break;
+            };
+            let g = self.pending[i].job.gpus;
+            let free = self.free_gpus();
+            if free.len() < g {
+                break;
+            }
+            let mut cursor = self.rr_cursor;
+            let placed = self.placement.place(
+                self.sys.platform(),
+                self.sys.constraint_table(),
+                &free,
+                g,
+                &mut cursor,
+            );
+            let Some(gang) = placed else {
+                break;
+            };
+            let need = device_footprint_keys(&self.pending[i].job, self.fidelity.scale())
+                * K::DATA_TYPE.key_bytes();
+            if gang
+                .iter()
+                .any(|&d| self.sys.world().gpu_free_bytes(d) < need)
+            {
+                break;
+            }
+            self.rr_cursor = cursor;
+            let Pending { seq, at, job, cost } = self.pending.remove(i);
+            self.queue_depth.push((self.sys.now(), self.pending.len()));
+            let ti = self.tenant_index(job.tenant);
+            self.tenants[ti].credit += cost.as_secs_f64() / self.tenants[ti].weight;
+            self.dispatch(seq, at, job, gang);
+            any = true;
+        }
+        any
+    }
+
+    /// Lease `gang` to `job`, build its driver, and enqueue its first
+    /// phase.
+    fn dispatch(&mut self, seq: u64, at: SimTime, job: SortJob, gang: Vec<usize>) {
+        let scale = self.fidelity.scale();
+        let phys = (job.keys / scale) as usize;
+        let data: Vec<K> = generate(job.dist, phys, job.seed);
+        let input = data.clone();
+        self.set_leased(&gang, true);
+        let driver: Box<dyn SortDriver<K>> = match job.algo {
+            JobAlgo::P2p => {
+                let mut c = P2pConfig::new(job.gpus);
+                c.gpu_order = Some(gang.clone());
+                c.fidelity = self.fidelity;
+                Box::new(P2pDriver::new(&mut self.sys, &c, data, job.keys))
+            }
+            JobAlgo::Rp => {
+                let mut c = RpConfig::new(job.gpus);
+                c.gpu_set = Some(gang.clone());
+                c.fidelity = self.fidelity;
+                Box::new(RpDriver::new(&mut self.sys, &c, data, job.keys))
+            }
+            JobAlgo::Het => {
+                let mut c = HetConfig::new(job.gpus);
+                c.gpu_set = Some(gang.clone());
+                c.fidelity = self.fidelity;
+                Box::new(HetDriver::new(&mut self.sys, &c, data, job.keys))
+            }
+        };
+        let started = self.sys.now();
+        let running = Running {
+            seq,
+            tenant: job.tenant,
+            keys: job.keys,
+            algorithm: job.algo.name(),
+            gang,
+            submitted: at,
+            started,
+            input,
+            driver,
+            wait: Vec::new(),
+        };
+        self.running.push(running);
+        let idx = self.running.len() - 1;
+        match self.running[idx].driver.step(&mut self.sys) {
+            DriverStep::Wait(ops) => self.running[idx].wait = ops,
+            DriverStep::Done => {
+                let r = self.running.remove(idx);
+                self.finish(r);
+            }
+        }
+    }
+
+    /// Step every running job whose wait-set has fully drained. Returns
+    /// `true` if any job advanced (or finished).
+    fn step_ready(&mut self) -> bool {
+        let mut progressed = false;
+        let mut i = 0;
+        while i < self.running.len() {
+            let sys = &self.sys;
+            self.running[i].wait.retain(|&o| !sys.op_done(o));
+            if !self.running[i].wait.is_empty() {
+                i += 1;
+                continue;
+            }
+            progressed = true;
+            match self.running[i].driver.step(&mut self.sys) {
+                DriverStep::Wait(ops) => {
+                    self.running[i].wait = ops;
+                    i += 1;
+                }
+                DriverStep::Done => {
+                    let r = self.running.remove(i);
+                    self.finish(r);
+                }
+            }
+        }
+        progressed
+    }
+
+    /// Validate, release, and record a completed job.
+    fn finish(&mut self, mut r: Running<K>) {
+        let output = r.driver.take_output();
+        let validated =
+            r.driver.validated() && is_sorted(&output) && same_multiset(&r.input, &output);
+        r.driver.release(&mut self.sys);
+        self.set_leased(&r.gang, false);
+        self.outcomes.push(JobOutcome {
+            seq: r.seq,
+            tenant: r.tenant,
+            keys: r.keys,
+            algorithm: r.algorithm,
+            gpus: r.gang,
+            submitted: r.submitted,
+            started: r.started,
+            finished: self.sys.now(),
+            validated,
+        });
+    }
+
+    fn into_report(self) -> ServiceReport {
+        let makespan = self
+            .outcomes
+            .iter()
+            .map(|o| o.finished)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        ServiceReport {
+            platform: self.sys.platform().id.name().to_string(),
+            policy: self.policy,
+            placement: self.placement,
+            outcomes: self.outcomes,
+            rejected: self.rejected,
+            queue_depth: self.queue_depth,
+            makespan,
+            weights: self.tenants.iter().map(|t| (t.id, t.weight)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msort_data::Distribution;
+
+    fn job(tenant: u32, keys: u64) -> SortJob {
+        SortJob::new(TenantId(tenant), keys)
+    }
+
+    #[test]
+    fn single_job_completes_and_validates() {
+        let p = Platform::ibm_ac922();
+        let svc = SortService::<u32>::new(&p, ServeConfig::new());
+        let report = svc.run(vec![(SimTime::ZERO, job(0, 1 << 12))]);
+        assert_eq!(report.outcomes.len(), 1);
+        assert!(report.all_validated());
+        assert!(report.makespan > SimTime::ZERO);
+        assert_eq!(report.outcomes[0].gpus, vec![0, 1]);
+        assert!(report.outcomes[0].latency() >= report.outcomes[0].service_time());
+    }
+
+    #[test]
+    fn every_algorithm_runs_under_the_service() {
+        let p = Platform::dgx_a100();
+        for algo in [JobAlgo::P2p, JobAlgo::Rp, JobAlgo::Het] {
+            let svc = SortService::<u64>::new(&p, ServeConfig::new());
+            let report = svc.run(vec![(
+                SimTime::ZERO,
+                job(0, 1 << 12)
+                    .with_algo(algo)
+                    .with_dist(Distribution::ReverseSorted),
+            )]);
+            assert_eq!(report.outcomes.len(), 1, "{algo:?}");
+            assert!(report.all_validated(), "{algo:?}");
+            assert_eq!(report.outcomes[0].algorithm, algo.name());
+        }
+    }
+
+    #[test]
+    fn infeasible_jobs_are_rejected_not_wedged() {
+        let p = Platform::ibm_ac922();
+        let svc = SortService::<u32>::new(&p, ServeConfig::new());
+        let report = svc.run(vec![
+            (SimTime::ZERO, job(0, 1 << 12).with_gpus(3)), // non-pow2 P2P
+            (SimTime::ZERO, job(1, 1 << 12).with_gpus(8)), // bigger than fleet
+            (SimTime::ZERO, job(2, 0)),                    // empty
+            (SimTime::ZERO, job(3, 1 << 12)),              // fine
+        ]);
+        assert_eq!(report.outcomes.len(), 1);
+        assert_eq!(report.rejected.len(), 3);
+        assert!(report
+            .rejected
+            .iter()
+            .all(|r| matches!(r.reason, RejectReason::Infeasible(_))));
+    }
+
+    #[test]
+    fn full_queue_applies_backpressure() {
+        let p = Platform::ibm_ac922();
+        let svc = SortService::<u32>::new(
+            &p,
+            ServeConfig::new()
+                .with_max_queue_depth(1)
+                .with_fleet(vec![0, 1]),
+        );
+        // One job runs, the next waits in the depth-1 queue, and the third
+        // arrival finds the queue full and bounces.
+        let report = svc.run(vec![
+            (SimTime::ZERO, job(0, 1 << 12)),
+            (SimTime(1), job(1, 1 << 12)),
+            (SimTime(2), job(2, 1 << 12)),
+        ]);
+        assert_eq!(report.outcomes.len(), 2);
+        assert_eq!(report.rejected.len(), 1);
+        assert_eq!(report.rejected[0].reason, RejectReason::QueueFull);
+        assert_eq!(report.rejected[0].tenant, TenantId(2));
+    }
+
+    #[test]
+    fn concurrent_jobs_share_the_clock_and_contend() {
+        // Two 2-GPU jobs on a 4-GPU fleet run concurrently: both start at
+        // t=0 and each finishes later than it would alone.
+        let p = Platform::dgx_a100();
+        let solo = SortService::<u32>::new(&p, ServeConfig::new().with_fleet(vec![0, 1, 2, 3]))
+            .run(vec![(SimTime::ZERO, job(0, 1 << 14))]);
+        let duo =
+            SortService::<u32>::new(&p, ServeConfig::new().with_fleet(vec![0, 1, 2, 3])).run(vec![
+                (SimTime::ZERO, job(0, 1 << 14)),
+                (SimTime::ZERO, job(1, 1 << 14).with_seed(7)),
+            ]);
+        assert_eq!(duo.outcomes.len(), 2);
+        assert!(duo.all_validated());
+        assert_eq!(duo.outcomes[0].started, SimTime::ZERO);
+        assert_eq!(duo.outcomes[1].started, SimTime::ZERO, "both run at once");
+        let gangs: Vec<_> = duo.outcomes.iter().map(|o| o.gpus.clone()).collect();
+        assert_ne!(gangs[0], gangs[1], "gang leases are exclusive");
+        let solo_latency = solo.outcomes[0].latency();
+        assert!(
+            duo.outcomes.iter().all(|o| o.latency() >= solo_latency),
+            "contention must not make a job faster than solo"
+        );
+    }
+
+    #[test]
+    fn interactive_jobs_jump_the_batch_queue() {
+        let p = Platform::ibm_ac922();
+        let svc = SortService::<u32>::new(&p, ServeConfig::new().with_fleet(vec![0, 1]));
+        // One running job, then two queued: the interactive one (submitted
+        // last) must start before the batch one.
+        let report = svc.run(vec![
+            (SimTime::ZERO, job(0, 1 << 12)),
+            (SimTime(1), job(1, 1 << 12)),
+            (SimTime(2), job(2, 1 << 12).interactive()),
+        ]);
+        assert_eq!(report.outcomes.len(), 3);
+        let started = |t: u32| {
+            report
+                .outcomes
+                .iter()
+                .find(|o| o.tenant == TenantId(t))
+                .unwrap()
+                .started
+        };
+        assert!(started(2) < started(1), "interactive dispatches first");
+    }
+}

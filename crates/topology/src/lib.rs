@@ -15,6 +15,9 @@
 //!   read/write/aggregate caps);
 //! * [`allocate`] — weighted max-min fair ("progressive filling") rate
 //!   allocation across concurrently active transfers;
+//! * [`placement`] — topology-aware gang scoring: which GPU subsets share
+//!   the fewest constraints (distinct PCIe switches, NVLink cliques) for a
+//!   sort's traffic pattern, degrading gracefully on unhealthy fabrics;
 //! * [`platforms`] — the paper's three systems (IBM AC922, DELTA D22x M4 PS,
 //!   NVIDIA DGX A100) with link capacities calibrated to the paper's own
 //!   single-stream measurements (Figures 2–7), plus builders for custom
@@ -38,6 +41,7 @@ pub mod allocate;
 pub mod constraint;
 pub mod graph;
 pub mod health;
+pub mod placement;
 pub mod platforms;
 pub mod route;
 
@@ -48,5 +52,6 @@ pub use graph::{
     TopologyBuilder, TopologyError,
 };
 pub use health::{FabricHealth, LinkState};
+pub use placement::{best_gpu_set, score_gpu_set, SetScore};
 pub use platforms::{Platform, PlatformId};
 pub use route::{Endpoint, Route};

@@ -18,7 +18,10 @@
 //!   merge;
 //! * [`core`] — the paper's contribution: **P2P sort** and **HET sort**
 //!   (with the 2n/3n large-data pipelines and eager merging), GPU-set
-//!   selection, baselines, and per-run reports.
+//!   selection, baselines, and per-run reports;
+//! * [`serve`] — the multi-tenant sort service: queue policies,
+//!   topology-aware gang placement, and concurrent jobs contending on one
+//!   shared simulated clock.
 //!
 //! # Quickstart
 //!
@@ -38,19 +41,27 @@ pub use msort_core as core;
 pub use msort_cpu as cpu;
 pub use msort_data as data;
 pub use msort_gpu as gpu;
+pub use msort_serve as serve;
 pub use msort_sim as sim;
 pub use msort_topology as topology;
 
 /// The most common imports in one place.
 pub mod prelude {
     pub use msort_core::{
-        cpu_only_sort, het_sort, p2p_sort, single_gpu_sort, HetConfig, LargeDataApproach,
-        P2pConfig, PhaseBreakdown, SortReport,
+        cpu_only_sort, drive, het_sort, p2p_sort, single_gpu_sort, HetConfig, LargeDataApproach,
+        P2pConfig, PhaseBreakdown, SortDriver, SortReport,
     };
     pub use msort_data::{generate, is_sorted, same_multiset, DataType, Distribution, SortKey};
     pub use msort_gpu::{Fidelity, GpuSystem, Phase};
+    pub use msort_serve::{
+        JobAlgo, PlacementPolicy, QueuePolicy, ServeConfig, ServiceReport, SortJob, SortService,
+        TenantId,
+    };
     pub use msort_sim::{
         CostModel, FaultEvent, FaultPlan, FlowSim, GpuSortAlgo, SimDuration, SimTime,
     };
-    pub use msort_topology::{gbps, Endpoint, GpuModel, Platform, PlatformId, TopologyBuilder};
+    pub use msort_topology::{
+        best_gpu_set, gbps, Endpoint, FabricHealth, GpuModel, LinkState, Platform, PlatformId,
+        TopologyBuilder,
+    };
 }
