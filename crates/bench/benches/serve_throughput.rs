@@ -8,6 +8,7 @@
 //! simulated makespan gap is asserted, not just printed.
 
 use msort_bench::Harness;
+use msort_core::RunConfig;
 use msort_serve::{
     PlacementPolicy, QueuePolicy, ServeConfig, ServiceReport, SortJob, SortService, TenantId,
 };
@@ -33,7 +34,7 @@ fn run(platform: &Platform, placement: PlacementPolicy, jobs: u64, keys: u64) ->
         .with_policy(QueuePolicy::WeightedFair)
         .with_placement(placement)
         .with_fleet(vec![0, 1, 2])
-        .sampled(SCALE);
+        .with_run(RunConfig::new().sampled(SCALE));
     SortService::<u32>::new(platform, config).run(arrivals(jobs, keys))
 }
 

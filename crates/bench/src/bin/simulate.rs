@@ -295,6 +295,8 @@ fn trace_u32(opts: &Options, platform: &Platform) -> String {
     // full algorithms manage their own GpuSystem internally; the trace of
     // phase structure is what users inspect).
     let mut sys: GpuSystem<'_, u32> = GpuSystem::new(platform, fidelity);
+    let recorder = msort_trace::Recorder::new();
+    sys.set_recorder(recorder.clone());
     let data: Vec<u32> = generate(opts.dist, (n / scale) as usize, opts.seed);
     let host = sys.world_mut().import_host(0, data, n);
     let chunk = n / opts.gpus as u64;
@@ -316,7 +318,9 @@ fn trace_u32(opts: &Options, platform: &Platform) -> String {
         );
     }
     sys.synchronize();
-    sys.chrome_trace()
+    // The unified exporter: op spans per stream plus link-utilization
+    // counters and flow lifetimes from the same run.
+    msort_trace::chrome_trace(&recorder.snapshot().expect("recorder is enabled"))
 }
 
 fn human_bytes(b: u64) -> String {

@@ -133,6 +133,8 @@ impl HetConfig {
     }
 
     /// Inject the given fault schedule.
+    #[deprecated(note = "configure faults on the shared RunConfig \
+                         (msort_core::RunConfig::het(config).with_faults(plan)) instead")]
     #[must_use]
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
@@ -216,6 +218,26 @@ pub fn het_sort<K: SortKey>(
     data: &mut Vec<K>,
     logical_len: u64,
 ) -> SortReport {
+    // The shared RunConfig path builds the system (fidelity + faults +
+    // recorder) and dispatches back into `het_sort_on`.
+    crate::run::run_sort(
+        platform,
+        &crate::run::RunConfig::het(config.clone()),
+        data,
+        logical_len,
+    )
+}
+
+/// The HET sort body over a caller-provided system (built by
+/// [`crate::RunConfig::build_system`], which installed fidelity, faults,
+/// and recorder).
+pub(crate) fn het_sort_on<K: SortKey>(
+    platform: &Platform,
+    config: &HetConfig,
+    sys: &mut GpuSystem<'_, K>,
+    data: &mut Vec<K>,
+    logical_len: u64,
+) -> SortReport {
     let g = config.gpus;
     let order = config
         .gpu_set
@@ -233,8 +255,6 @@ pub fn het_sort<K: SortKey>(
     let max_chunk_keys = budget / config.approach.buffers() / key_bytes;
     let plan = ChunkPlan::compute(logical_len, g, max_chunk_keys, scale);
 
-    let mut sys: GpuSystem<'_, K> = GpuSystem::new(platform, config.fidelity);
-    sys.schedule_faults(&config.faults);
     let input = std::mem::take(data);
     let host_in = sys.world_mut().import_host(0, input, logical_len);
     // Sorted sublists land here; the final merge writes to `host_out`.
@@ -245,7 +265,7 @@ pub fn het_sort<K: SortKey>(
         platform,
         config,
         &order,
-        &mut sys,
+        sys,
         &plan,
         host_in,
         host_runs,

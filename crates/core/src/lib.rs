@@ -21,6 +21,10 @@
 //!   [`SortDriver`] state machine over a caller-provided `GpuSystem`, so a
 //!   scheduler (the `msort-serve` crate) can interleave many concurrent
 //!   sorts on one shared simulated clock.
+//! * [`run`] — the shared [`RunConfig`]: one builder for algorithm,
+//!   fidelity, fault schedule, observability recorder, and seed, consumed
+//!   by every entry point (single-shot sorts, drivers, the serve layer,
+//!   the bench harness).
 //! * [`baseline`] — the CPU-only (PARADIS) and single-GPU baselines every
 //!   figure compares against.
 //! * [`report`] — per-run reports: end-to-end duration, the four-phase
@@ -48,6 +52,7 @@ pub mod p2p;
 pub mod pivot;
 pub mod report;
 pub mod rp;
+pub mod run;
 
 pub use baseline::{cpu_only_sort, single_gpu_sort};
 pub use exec::{drive, DriverStep, SortDriver};
@@ -56,3 +61,4 @@ pub use het::{het_sort, HetConfig, HetDriver, LargeDataApproach};
 pub use p2p::{best_p2p_route, p2p_sort, P2pConfig, P2pDriver};
 pub use report::{PhaseBreakdown, SortReport};
 pub use rp::{rp_sort, RpConfig, RpDriver};
+pub use run::{run_sort, Algorithm, RunConfig};

@@ -90,6 +90,8 @@ impl P2pConfig {
     }
 
     /// Inject the given fault schedule.
+    #[deprecated(note = "configure faults on the shared RunConfig \
+                         (msort_core::RunConfig::p2p(config).with_faults(plan)) instead")]
     #[must_use]
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
@@ -433,15 +435,14 @@ pub fn p2p_sort<K: SortKey>(
     data: &mut Vec<K>,
     logical_len: u64,
 ) -> SortReport {
-    let mut sys: GpuSystem<'_, K> = GpuSystem::new(platform, config.fidelity);
-    sys.schedule_faults(&config.faults);
-    let input = std::mem::take(data);
-    let mut driver = P2pDriver::new(&mut sys, config, input, logical_len);
-    crate::exec::drive(&mut sys, &mut driver);
-    let report = driver.report(&sys);
-    *data = driver.take_output();
-    debug_assert!(report.validated, "P2P sort produced unsorted output");
-    report
+    // The shared RunConfig path builds the system (fidelity + faults +
+    // recorder) and drives the P2pDriver to completion.
+    crate::run::run_sort(
+        platform,
+        &crate::run::RunConfig::p2p(config.clone()),
+        data,
+        logical_len,
+    )
 }
 
 /// Split an overlapped window between two phases proportionally to their

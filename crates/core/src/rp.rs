@@ -83,6 +83,8 @@ impl RpConfig {
     }
 
     /// Inject the given fault schedule.
+    #[deprecated(note = "configure faults on the shared RunConfig \
+                         (msort_core::RunConfig::rp(config).with_faults(plan)) instead")]
     #[must_use]
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
@@ -441,15 +443,14 @@ pub fn rp_sort<K: SortKey>(
     data: &mut Vec<K>,
     logical_len: u64,
 ) -> SortReport {
-    let mut sys: GpuSystem<'_, K> = GpuSystem::new(platform, config.fidelity);
-    sys.schedule_faults(&config.faults);
-    let input = std::mem::take(data);
-    let mut driver = RpDriver::new(&mut sys, config, input, logical_len);
-    crate::exec::drive(&mut sys, &mut driver);
-    let report = driver.report(&sys);
-    *data = driver.take_output();
-    debug_assert!(report.validated, "RP sort produced unsorted output");
-    report
+    // The shared RunConfig path builds the system (fidelity + faults +
+    // recorder) and drives the RpDriver to completion.
+    crate::run::run_sort(
+        platform,
+        &crate::run::RunConfig::rp(config.clone()),
+        data,
+        logical_len,
+    )
 }
 
 #[cfg(test)]

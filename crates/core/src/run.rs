@@ -1,0 +1,302 @@
+//! The unified run configuration: one builder for everything that used to
+//! be scattered per-algorithm ctor arguments.
+//!
+//! Every entry point — the single-shot sorts ([`crate::p2p_sort`],
+//! [`crate::rp_sort`], [`crate::het_sort`]), hand-driven
+//! [`SortDriver`](crate::SortDriver)s, the serve-layer `SortService`, and
+//! the bench harness — consumes the same [`RunConfig`]: which
+//! [`Algorithm`] to run, at what [`Fidelity`], under which
+//! [`FaultPlan`], observed by which [`Recorder`], with which seed. The
+//! per-algorithm `.with_faults(...)` builders are deprecated shims that
+//! route here.
+//!
+//! ```
+//! use msort_core::{run_sort, P2pConfig, RunConfig};
+//! use msort_data::{generate, Distribution};
+//! use msort_topology::Platform;
+//! use msort_trace::Recorder;
+//!
+//! let dgx = Platform::dgx_a100();
+//! let recorder = Recorder::new();
+//! let config = RunConfig::p2p(P2pConfig::new(4)).with_recorder(recorder.clone());
+//! let mut keys: Vec<u32> = generate(Distribution::Uniform, 1 << 14, 7);
+//! let report = run_sort(&dgx, &config, &mut keys, 1 << 14);
+//! assert!(report.validated);
+//! // The recording covers op spans AND link/flow events of the same run.
+//! assert!(!recorder.snapshot().unwrap().events.is_empty());
+//! ```
+
+use crate::exec::drive;
+use crate::het::{het_sort_on, HetConfig};
+use crate::p2p::{P2pConfig, P2pDriver};
+use crate::report::SortReport;
+use crate::rp::{RpConfig, RpDriver};
+use crate::SortDriver;
+use msort_data::SortKey;
+use msort_gpu::{Fidelity, GpuSystem};
+use msort_sim::FaultPlan;
+use msort_topology::Platform;
+use msort_trace::Recorder;
+
+/// Which multi-GPU sort to run, with its algorithm-specific knobs.
+#[derive(Debug, Clone)]
+pub enum Algorithm {
+    /// P2P sort (GPU-only merge over the P2P interconnects).
+    P2p(P2pConfig),
+    /// RP sort (radix-partitioned all-to-all exchange).
+    Rp(RpConfig),
+    /// HET sort (GPU chunk sorts + host multiway merge).
+    Het(HetConfig),
+}
+
+impl Algorithm {
+    /// The algorithm's report label.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::P2p(_) => "P2P sort",
+            Algorithm::Rp(_) => "RP sort",
+            Algorithm::Het(_) => "HET sort",
+        }
+    }
+}
+
+/// The shared run configuration. See the [module docs](self).
+///
+/// Run-level settings (fidelity, faults, recorder, seed) live here, not on
+/// the algorithm config: [`RunConfig::p2p`]/[`rp`](RunConfig::rp)/
+/// [`het`](RunConfig::het) lift `fidelity` and `faults` out of the
+/// algorithm config they are given, so a config built through the
+/// deprecated per-algorithm `.with_faults(...)` still injects its plan —
+/// from exactly one place.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// The sort to run (`None` for configs that only carry run-level
+    /// settings, e.g. for a serve fleet whose algorithm is per-job).
+    pub algorithm: Option<Algorithm>,
+    /// Simulation fidelity, applied to whatever algorithm runs.
+    pub fidelity: Fidelity,
+    /// Scheduled link faults (empty: pristine fabric, bit-identical to a
+    /// build without fault support).
+    pub faults: FaultPlan,
+    /// Observability sink; disabled by default. Recording is purely
+    /// observational: clocks and outputs are bit-identical either way.
+    pub recorder: Recorder,
+    /// Seed for harnesses that generate data or randomize schedules from
+    /// the run configuration (the sorts themselves take explicit data).
+    pub seed: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RunConfig {
+    /// An algorithm-less configuration: full fidelity, no faults, recorder
+    /// disabled.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            algorithm: None,
+            fidelity: Fidelity::Full,
+            faults: FaultPlan::new(),
+            recorder: Recorder::disabled(),
+            seed: 0,
+        }
+    }
+
+    fn with_algorithm(algorithm: Algorithm, fidelity: Fidelity, faults: FaultPlan) -> Self {
+        Self {
+            algorithm: Some(algorithm),
+            fidelity,
+            faults,
+            ..Self::new()
+        }
+    }
+
+    /// Run P2P sort. Lifts `fidelity` and `faults` out of `config`.
+    #[must_use]
+    pub fn p2p(mut config: P2pConfig) -> Self {
+        let faults = std::mem::replace(&mut config.faults, FaultPlan::new());
+        let fidelity = config.fidelity;
+        Self::with_algorithm(Algorithm::P2p(config), fidelity, faults)
+    }
+
+    /// Run RP sort. Lifts `fidelity` and `faults` out of `config`.
+    #[must_use]
+    pub fn rp(mut config: RpConfig) -> Self {
+        let faults = std::mem::replace(&mut config.faults, FaultPlan::new());
+        let fidelity = config.fidelity;
+        Self::with_algorithm(Algorithm::Rp(config), fidelity, faults)
+    }
+
+    /// Run HET sort. Lifts `fidelity` and `faults` out of `config`.
+    #[must_use]
+    pub fn het(mut config: HetConfig) -> Self {
+        let faults = std::mem::replace(&mut config.faults, FaultPlan::new());
+        let fidelity = config.fidelity;
+        Self::with_algorithm(Algorithm::Het(config), fidelity, faults)
+    }
+
+    /// Set the simulation fidelity.
+    #[must_use]
+    pub fn with_fidelity(mut self, fidelity: Fidelity) -> Self {
+        self.fidelity = fidelity;
+        self
+    }
+
+    /// Use sampled fidelity with the given factor.
+    #[must_use]
+    pub fn sampled(mut self, scale: u64) -> Self {
+        self.fidelity = Fidelity::Sampled { scale };
+        self
+    }
+
+    /// Inject the given fault schedule.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Attach a recorder (pass an enabled one to capture a trace).
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Set the harness seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Build a [`GpuSystem`] with this configuration's fidelity, fault
+    /// schedule, and recorder installed — the one place every entry point
+    /// gets its executor from.
+    #[must_use]
+    pub fn build_system<'p, K: SortKey>(&self, platform: &'p Platform) -> GpuSystem<'p, K> {
+        let mut sys = GpuSystem::new(platform, self.fidelity);
+        sys.schedule_faults(&self.faults);
+        sys.set_recorder(self.recorder.clone());
+        sys
+    }
+}
+
+/// Sort `data` (physical payload for `logical_len` keys) on `platform`
+/// under `config`. The sorted output replaces `data`.
+///
+/// This is the single-shot entry point behind [`crate::p2p_sort`],
+/// [`crate::rp_sort`], and [`crate::het_sort`]; unlike those it also
+/// selects the algorithm from the configuration and attaches the
+/// recorder.
+///
+/// # Panics
+/// Panics if `config.algorithm` is `None`, or on the shape constraints of
+/// the selected algorithm (see its classic entry point's docs).
+pub fn run_sort<K: SortKey>(
+    platform: &Platform,
+    config: &RunConfig,
+    data: &mut Vec<K>,
+    logical_len: u64,
+) -> SortReport {
+    let algorithm = config
+        .algorithm
+        .as_ref()
+        .expect("RunConfig has no algorithm; construct it with RunConfig::p2p/rp/het");
+    let mut sys: GpuSystem<'_, K> = config.build_system(platform);
+    let report = match algorithm {
+        Algorithm::P2p(c) => {
+            let mut c = c.clone();
+            c.fidelity = config.fidelity;
+            let input = std::mem::take(data);
+            let mut driver = P2pDriver::new(&mut sys, &c, input, logical_len);
+            drive(&mut sys, &mut driver);
+            let report = driver.report(&sys);
+            *data = driver.take_output();
+            report
+        }
+        Algorithm::Rp(c) => {
+            let mut c = c.clone();
+            c.fidelity = config.fidelity;
+            let input = std::mem::take(data);
+            let mut driver = RpDriver::new(&mut sys, &c, input, logical_len);
+            drive(&mut sys, &mut driver);
+            let report = driver.report(&sys);
+            *data = driver.take_output();
+            report
+        }
+        Algorithm::Het(c) => {
+            let mut c = c.clone();
+            c.fidelity = config.fidelity;
+            het_sort_on(platform, &c, &mut sys, data, logical_len)
+        }
+    };
+    debug_assert!(
+        report.validated,
+        "{} produced unsorted output",
+        algorithm.name()
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msort_data::{generate, is_sorted, same_multiset, Distribution};
+
+    #[test]
+    fn run_sort_matches_the_classic_entry_points() {
+        let dgx = Platform::dgx_a100();
+        let n: u64 = 1 << 14;
+        for (config, classic) in [
+            (
+                RunConfig::p2p(P2pConfig::new(4)),
+                Box::new(|d: &mut Vec<u32>| crate::p2p_sort(&dgx, &P2pConfig::new(4), d, n))
+                    as Box<dyn Fn(&mut Vec<u32>) -> SortReport>,
+            ),
+            (
+                RunConfig::rp(RpConfig::new(4)),
+                Box::new(|d: &mut Vec<u32>| crate::rp_sort(&dgx, &RpConfig::new(4), d, n)),
+            ),
+            (
+                RunConfig::het(HetConfig::new(4)),
+                Box::new(|d: &mut Vec<u32>| crate::het_sort(&dgx, &HetConfig::new(4), d, n)),
+            ),
+        ] {
+            let input: Vec<u32> = generate(Distribution::Uniform, n as usize, 11);
+            let mut a = input.clone();
+            let mut b = input.clone();
+            let ra = run_sort(&dgx, &config, &mut a, n);
+            let rb = classic(&mut b);
+            assert_eq!(a, b, "{} outputs diverge", config.algorithm.unwrap().name());
+            assert_eq!(ra.total, rb.total, "clocks diverge");
+            assert!(is_sorted(&a) && same_multiset(&a, &input));
+        }
+    }
+
+    #[test]
+    fn config_constructors_lift_fidelity_and_faults() {
+        let plan = FaultPlan::new();
+        #[allow(deprecated)]
+        let config = RunConfig::p2p(P2pConfig::new(2).sampled(8).with_faults(plan));
+        assert!(matches!(config.fidelity, Fidelity::Sampled { scale: 8 }));
+        match config.algorithm {
+            Some(Algorithm::P2p(c)) => assert!(c.faults.is_empty()),
+            _ => panic!("wrong algorithm"),
+        }
+        assert!(!config.recorder.is_enabled());
+    }
+
+    #[test]
+    #[should_panic(expected = "RunConfig has no algorithm")]
+    fn run_sort_without_algorithm_panics() {
+        let p = Platform::dgx_a100();
+        let mut data: Vec<u32> = vec![1, 2];
+        let _ = run_sort(&p, &RunConfig::new(), &mut data, 2);
+    }
+}

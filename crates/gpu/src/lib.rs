@@ -53,4 +53,6 @@ pub mod trace;
 
 pub use buffer::{BufId, Fidelity, Location, World};
 pub use system::{GpuSystem, OpId, Phase, StreamId};
-pub use trace::{chrome_trace, TimelineEntry};
+#[allow(deprecated)]
+pub use trace::chrome_trace;
+pub use trace::TimelineEntry;

@@ -25,6 +25,7 @@ use msort_cpu::multiway::multiway_merge;
 use msort_data::SortKey;
 use msort_sim::{CostModel, FaultPlan, FlowId, FlowSim, GpuSortAlgo, SimDuration, SimTime};
 use msort_topology::{Endpoint, FlowRequest, LinkId, Platform, Route};
+use msort_trace::{groups, Recorder, TrackId};
 use std::collections::HashMap;
 
 /// How many times one transfer may be interrupted by link failures before
@@ -196,6 +197,12 @@ pub struct GpuSystem<'p, K: SortKey> {
     rerouted: u64,
     /// Transfer re-issues after link-failure interruptions.
     retries: u64,
+    /// Observability sink; disabled by default. Completed ops emit spans
+    /// on a per-stream track (`set_recorder` also forwards the handle to
+    /// the flow engine for link/flow/fault events).
+    recorder: Recorder,
+    /// Per-stream span tracks, created lazily (index = stream id).
+    rec_stream_tracks: Vec<TrackId>,
 }
 
 struct StreamQueue {
@@ -217,7 +224,25 @@ impl<'p, K: SortKey> GpuSystem<'p, K> {
             route_cache_gen: 0,
             rerouted: 0,
             retries: 0,
+            recorder: Recorder::disabled(),
+            rec_stream_tracks: Vec::new(),
         }
+    }
+
+    /// Attach a [`Recorder`]: completed ops emit per-stream spans, and the
+    /// underlying flow engine emits link-utilization counters, flow
+    /// lifecycle events, and fault instants. A disabled recorder (the
+    /// default) costs one branch per completed op.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.flows.set_recorder(recorder.clone());
+        self.recorder = recorder;
+    }
+
+    /// The attached recorder (disabled unless [`GpuSystem::set_recorder`]
+    /// installed an enabled one).
+    #[must_use]
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// Install a fault schedule on the underlying flow engine. A no-op for
@@ -1074,6 +1099,22 @@ impl<'p, K: SortKey> GpuSystem<'p, K> {
     fn complete_op(&mut self, idx: usize, t: SimTime) {
         self.ops[idx].state = OpState::Done;
         self.ops[idx].finished = Some(t);
+        if self.recorder.is_enabled() {
+            let op = &self.ops[idx];
+            let sid = op.stream.0;
+            while self.rec_stream_tracks.len() <= sid {
+                let n = self.rec_stream_tracks.len();
+                self.rec_stream_tracks
+                    .push(self.recorder.track(groups::GPU, &format!("stream {n}")));
+            }
+            self.recorder.span(
+                self.rec_stream_tracks[sid],
+                op.name,
+                op.phase.label(),
+                op.started.expect("completed op has started").0,
+                t.0,
+            );
+        }
         let kind = self.ops[idx].kind.take().expect("op completes once");
         match kind {
             OpKind::Transfer { dst, len, .. } | OpKind::LocalCopy { dst, len, .. } => {

@@ -57,19 +57,26 @@ impl Phase {
 /// Render a timeline in the Chrome trace-event JSON format
 /// (`chrome://tracing`, Perfetto). One "thread" per stream; durations in
 /// microseconds of simulated time.
+///
+/// All strings pass through [`msort_trace::json_escape`], so the output
+/// is valid JSON for any name (the original writer interpolated names
+/// verbatim and leaned on them being well-behaved `&'static str`s).
+#[deprecated(
+    note = "attach a msort_trace::Recorder (RunConfig::with_recorder) and export \
+            the unified trace with msort_trace::chrome_trace instead"
+)]
 #[must_use]
 pub fn chrome_trace(entries: &[TimelineEntry]) -> String {
     let mut out = String::from("[\n");
     for (i, e) in entries.iter().enumerate() {
         let ts = e.start.0 as f64 / 1e3; // ns -> us
         let dur = (e.end.0 - e.start.0) as f64 / 1e3;
+        let label = msort_trace::json_escape(e.phase.label());
         let _ = write!(
             out,
-            "  {{\"name\": \"{} ({})\", \"cat\": \"{}\", \"ph\": \"X\", \
+            "  {{\"name\": \"{} ({label})\", \"cat\": \"{label}\", \"ph\": \"X\", \
              \"ts\": {ts:.3}, \"dur\": {dur:.3}, \"pid\": 0, \"tid\": {}}}",
-            e.name,
-            e.phase.label(),
-            e.phase.label(),
+            msort_trace::json_escape(e.name),
             e.stream,
         );
         out.push_str(if i + 1 == entries.len() { "\n" } else { ",\n" });
@@ -88,8 +95,16 @@ impl<K: SortKey> GpuSystem<'_, K> {
     }
 
     /// Convenience: the full run as a Chrome trace JSON string.
+    ///
+    /// Covers this system's op timeline only. The unified exporter
+    /// ([`msort_trace::chrome_trace`] over a [`msort_trace::Recorder`]
+    /// snapshot) additionally shows links, flows, faults, and serve-layer
+    /// jobs in the same file.
+    #[deprecated(note = "attach a msort_trace::Recorder (GpuSystem::set_recorder or \
+                RunConfig::with_recorder) and export with msort_trace::chrome_trace instead")]
     #[must_use]
     pub fn chrome_trace(&self) -> String {
+        #[allow(deprecated)]
         chrome_trace(&self.timeline())
     }
 }
@@ -126,6 +141,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn chrome_trace_is_valid_json_shape() {
         let p = Platform::test_pcie(1);
         let mut sys: GpuSystem<'_, u32> = GpuSystem::new(&p, Fidelity::Full);
@@ -145,119 +161,15 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn empty_timeline_renders() {
         assert_eq!(chrome_trace(&[]), "[\n]\n");
     }
 
-    // ---- minimal JSON validity checker ------------------------------
-    //
     // The build is offline (no serde_json), so trace output is certified
-    // by a small recursive-descent recognizer of RFC 8259 JSON. It
-    // accepts exactly one top-level value surrounded by whitespace.
-
-    fn json_valid(s: &str) -> bool {
-        let b = s.as_bytes();
-        match json_value(b, 0) {
-            Some(i) => b[i..].iter().all(u8::is_ascii_whitespace),
-            None => false,
-        }
-    }
-
-    fn json_ws(b: &[u8], mut i: usize) -> usize {
-        while i < b.len() && b[i].is_ascii_whitespace() {
-            i += 1;
-        }
-        i
-    }
-
-    fn json_value(b: &[u8], i: usize) -> Option<usize> {
-        let i = json_ws(b, i);
-        match b.get(i)? {
-            b'{' => json_seq(b, i, b'}', true),
-            b'[' => json_seq(b, i, b']', false),
-            b'"' => json_string(b, i),
-            b't' => b[i..].starts_with(b"true").then_some(i + 4),
-            b'f' => b[i..].starts_with(b"false").then_some(i + 5),
-            b'n' => b[i..].starts_with(b"null").then_some(i + 4),
-            _ => json_number(b, i),
-        }
-    }
-
-    /// Object (`want_keys`) or array body after the opening bracket.
-    fn json_seq(b: &[u8], i: usize, close: u8, want_keys: bool) -> Option<usize> {
-        let mut i = json_ws(b, i + 1);
-        if b.get(i) == Some(&close) {
-            return Some(i + 1);
-        }
-        loop {
-            if want_keys {
-                i = json_string(b, json_ws(b, i))?;
-                i = json_ws(b, i);
-                if b.get(i) != Some(&b':') {
-                    return None;
-                }
-                i += 1;
-            }
-            i = json_value(b, i)?;
-            i = json_ws(b, i);
-            match b.get(i)? {
-                b',' => i += 1,
-                c if *c == close => return Some(i + 1),
-                _ => return None,
-            }
-        }
-    }
-
-    fn json_string(b: &[u8], i: usize) -> Option<usize> {
-        if b.get(i) != Some(&b'"') {
-            return None;
-        }
-        let mut i = i + 1;
-        loop {
-            match b.get(i)? {
-                b'"' => return Some(i + 1),
-                b'\\' => i += 2,
-                c if *c < 0x20 => return None,
-                _ => i += 1,
-            }
-        }
-    }
-
-    fn json_number(b: &[u8], mut i: usize) -> Option<usize> {
-        let start = i;
-        if b.get(i) == Some(&b'-') {
-            i += 1;
-        }
-        let digits = |b: &[u8], mut i: usize| {
-            let s = i;
-            while i < b.len() && b[i].is_ascii_digit() {
-                i += 1;
-            }
-            (i > s).then_some(i)
-        };
-        i = digits(b, i)?;
-        if b.get(i) == Some(&b'.') {
-            i = digits(b, i + 1)?;
-        }
-        if matches!(b.get(i), Some(b'e' | b'E')) {
-            i += 1;
-            if matches!(b.get(i), Some(b'+' | b'-')) {
-                i += 1;
-            }
-            i = digits(b, i)?;
-        }
-        (i > start).then_some(i)
-    }
-
-    #[test]
-    fn json_checker_sanity() {
-        assert!(json_valid("[]"));
-        assert!(json_valid(r#"{"a": [1, -2.5e3, "x\"y", true, null]}"#));
-        assert!(!json_valid("[1,]"));
-        assert!(!json_valid("{\"a\" 1}"));
-        assert!(!json_valid("[1] trailing"));
-        assert!(!json_valid("{'a': 1}"));
-    }
+    // by the in-tree RFC 8259 recognizer, shared from `msort-trace` since
+    // the unified exporter's tests need it too.
+    use msort_trace::json_valid;
 
     /// A multi-stream workload whose timeline the remaining tests verify.
     fn traced_system(p: &Platform) -> GpuSystem<'_, u32> {
@@ -281,6 +193,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn chrome_trace_parses_as_json() {
         let p = Platform::test_pcie(2);
         let sys = traced_system(&p);
@@ -290,6 +203,61 @@ mod tests {
             "chrome_trace emitted invalid JSON:\n{json}"
         );
         assert!(json_valid(&chrome_trace(&[])));
+    }
+
+    #[test]
+    fn recorder_mirrors_the_op_timeline() {
+        use msort_trace::{groups, EventKind, Recorder};
+        let p = Platform::test_pcie(2);
+        let rec = Recorder::new();
+        let mut sys: GpuSystem<'_, u32> = GpuSystem::new(&p, Fidelity::Full);
+        sys.set_recorder(rec.clone());
+        assert!(sys.recorder().is_enabled());
+        let sys = {
+            // Same workload as `traced_system`, on the recorder-attached
+            // system.
+            let n: u64 = 1 << 12;
+            let h = sys
+                .world_mut()
+                .import_host(0, (0..n as u32).rev().collect(), n);
+            let d0 = sys.world_mut().alloc_gpu(0, n);
+            let a0 = sys.world_mut().alloc_gpu(0, n);
+            let d1 = sys.world_mut().alloc_gpu(1, n);
+            let s0 = sys.stream();
+            let s1 = sys.stream();
+            let up0 = sys.memcpy(s0, h, 0, d0, 0, n, &[], Phase::HtoD);
+            let so = sys.gpu_sort(s0, GpuSortAlgo::ThrustLike, d0, (0, n), a0, &[up0]);
+            sys.memcpy(s1, h, 0, d1, 0, n, &[], Phase::HtoD);
+            sys.memcpy(s1, d0, 0, d1, 0, n, &[so], Phase::Merge);
+            sys.memcpy(s0, d0, 0, h, 0, n, &[so], Phase::DtoH);
+            sys.synchronize();
+            sys
+        };
+        let data = rec.snapshot().unwrap();
+        // Every timeline entry has a matching span on its stream's track.
+        let timeline = sys.timeline();
+        let spans: Vec<_> = data
+            .events_in_group(groups::GPU)
+            .filter(|e| matches!(e.kind, EventKind::Span { .. }))
+            .collect();
+        assert_eq!(spans.len(), timeline.len());
+        for e in &timeline {
+            assert!(
+                spans.iter().any(|s| {
+                    s.name == e.name
+                        && s.cat == e.phase.label()
+                        && s.kind
+                            == EventKind::Span {
+                                start_ns: e.start.0,
+                                end_ns: e.end.0,
+                            }
+                        && data.track(s.track).name == format!("stream {}", e.stream)
+                }),
+                "timeline entry {e:?} missing from the recording"
+            );
+        }
+        // The unified exporter renders it as valid JSON.
+        assert!(json_valid(&msort_trace::chrome_trace(&data)));
     }
 
     #[test]

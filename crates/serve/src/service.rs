@@ -24,12 +24,14 @@ use crate::placement::PlacementPolicy;
 use crate::queue::{QueuePolicy, QueueView};
 use crate::report::{JobOutcome, RejectReason, RejectedJob, ServiceReport};
 use msort_core::{
-    DriverStep, HetConfig, HetDriver, P2pConfig, P2pDriver, RpConfig, RpDriver, SortDriver,
+    DriverStep, HetConfig, HetDriver, P2pConfig, P2pDriver, RpConfig, RpDriver, RunConfig,
+    SortDriver,
 };
 use msort_data::{generate, is_sorted, same_multiset, SortKey};
 use msort_gpu::{Fidelity, GpuSystem, OpId};
 use msort_sim::{FaultPlan, SimDuration, SimTime};
 use msort_topology::Platform;
+use msort_trace::{groups, ArgValue, Recorder, TrackId};
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -38,16 +40,16 @@ pub struct ServeConfig {
     pub policy: QueuePolicy,
     /// Gang placement policy.
     pub placement: PlacementPolicy,
-    /// Simulation fidelity shared by every job.
-    pub fidelity: Fidelity,
+    /// Run-level settings shared by every job: fidelity, the fault
+    /// schedule for the shared fabric, and the observability recorder.
+    /// The algorithm part is ignored — each job picks its own.
+    pub run: RunConfig,
     /// GPUs the service may lease (default: the whole platform).
     pub fleet: Option<Vec<usize>>,
     /// Maximum pending jobs before submissions are rejected.
     pub max_queue_depth: usize,
     /// Fair-share weights (tenants default to weight 1).
     pub tenant_weights: Vec<(TenantId, f64)>,
-    /// Link faults to inject into the shared fabric.
-    pub faults: FaultPlan,
 }
 
 impl ServeConfig {
@@ -58,11 +60,10 @@ impl ServeConfig {
         Self {
             policy: QueuePolicy::Fifo,
             placement: PlacementPolicy::TopologyAware,
-            fidelity: Fidelity::Full,
+            run: RunConfig::new(),
             fleet: None,
             max_queue_depth: 1024,
             tenant_weights: Vec::new(),
-            faults: FaultPlan::new(),
         }
     }
 
@@ -83,7 +84,22 @@ impl ServeConfig {
     /// Use sampled fidelity with the given factor.
     #[must_use]
     pub fn sampled(mut self, scale: u64) -> Self {
-        self.fidelity = Fidelity::Sampled { scale };
+        self.run.fidelity = Fidelity::Sampled { scale };
+        self
+    }
+
+    /// Adopt `run` wholesale (fidelity, faults, recorder, seed). Any
+    /// algorithm it names is ignored — each job picks its own.
+    #[must_use]
+    pub fn with_run(mut self, run: RunConfig) -> Self {
+        self.run = run;
+        self
+    }
+
+    /// Attach a recorder (pass an enabled one to capture a trace).
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.run.recorder = recorder;
         self
     }
 
@@ -110,9 +126,11 @@ impl ServeConfig {
     }
 
     /// Inject the given fault schedule.
+    #[deprecated(note = "configure faults on the shared RunConfig \
+                         (`.with_run(RunConfig::new().with_faults(plan))`) instead")]
     #[must_use]
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
-        self.faults = faults;
+        self.run.faults = faults;
         self
     }
 }
@@ -143,6 +161,8 @@ struct Running<K: SortKey> {
     input: Vec<K>,
     driver: Box<dyn SortDriver<K>>,
     wait: Vec<OpId>,
+    /// Per-job trace track (dummy when the recorder is disabled).
+    track: TrackId,
 }
 
 struct TenantEntry {
@@ -156,6 +176,7 @@ struct TenantEntry {
 /// A multi-tenant sort service over one platform and one simulated clock.
 pub struct SortService<'p, K: SortKey> {
     sys: GpuSystem<'p, K>,
+    recorder: Recorder,
     policy: QueuePolicy,
     placement: PlacementPolicy,
     fidelity: Fidelity,
@@ -180,8 +201,7 @@ impl<'p, K: SortKey> SortService<'p, K> {
     /// contains duplicates.
     #[must_use]
     pub fn new(platform: &'p Platform, config: ServeConfig) -> Self {
-        let mut sys = GpuSystem::new(platform, config.fidelity);
-        sys.schedule_faults(&config.faults);
+        let sys = config.run.build_system(platform);
         let mut fleet = config
             .fleet
             .unwrap_or_else(|| (0..platform.topology.gpu_count()).collect());
@@ -209,9 +229,10 @@ impl<'p, K: SortKey> SortService<'p, K> {
         let leased = vec![false; fleet.len()];
         Self {
             sys,
+            recorder: config.run.recorder,
             policy: config.policy,
             placement: config.placement,
-            fidelity: config.fidelity,
+            fidelity: config.run.fidelity,
             max_queue_depth: config.max_queue_depth,
             fleet,
             leased,
@@ -461,6 +482,23 @@ impl<'p, K: SortKey> SortService<'p, K> {
             }
         };
         let started = self.sys.now();
+        let track = if self.recorder.is_enabled() {
+            let track = self.recorder.track(
+                &groups::tenant(job.tenant.0),
+                &format!("job {seq} ({})", job.algo.name()),
+            );
+            self.recorder.span(track, "queued", "job", at.0, started.0);
+            self.recorder.instant_args(
+                track,
+                "placed",
+                "job",
+                started.0,
+                vec![("gang".to_string(), ArgValue::Str(format!("{gang:?}")))],
+            );
+            track
+        } else {
+            TrackId(u32::MAX)
+        };
         let running = Running {
             seq,
             tenant: job.tenant,
@@ -472,6 +510,7 @@ impl<'p, K: SortKey> SortService<'p, K> {
             input,
             driver,
             wait: Vec::new(),
+            track,
         };
         self.running.push(running);
         let idx = self.running.len() - 1;
@@ -518,6 +557,18 @@ impl<'p, K: SortKey> SortService<'p, K> {
             r.driver.validated() && is_sorted(&output) && same_multiset(&r.input, &output);
         r.driver.release(&mut self.sys);
         self.set_leased(&r.gang, false);
+        if self.recorder.is_enabled() {
+            let end = self.sys.now();
+            // "job" (submitted → finished) encloses "queued" and
+            // "executing" on the same track, so the span tree nests.
+            self.recorder
+                .span(r.track, "job", "job", r.submitted.0, end.0);
+            self.recorder
+                .span(r.track, "executing", "job", r.started.0, end.0);
+            if validated {
+                self.recorder.instant(r.track, "validated", "job", end.0);
+            }
+        }
         self.outcomes.push(JobOutcome {
             seq: r.seq,
             tenant: r.tenant,

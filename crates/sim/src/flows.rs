@@ -50,8 +50,10 @@ use std::collections::BinaryHeap;
 use crate::fault::{FaultEvent, FaultPlan};
 use crate::time::{SimDuration, SimTime};
 use msort_topology::{
-    ConstraintTable, FabricHealth, FlowRequest, LinkId, LinkState, Platform, RateAllocator, Route,
+    ConstraintTable, Endpoint, FabricHealth, FlowRequest, LinkId, LinkState, Platform,
+    RateAllocator, Route,
 };
+use msort_trace::{groups, ArgValue, Recorder, TrackId};
 
 /// Handle to an active (or completed) flow.
 ///
@@ -80,6 +82,32 @@ struct ActiveFlow {
 struct Slot {
     generation: u32,
     flow: Option<ActiveFlow>,
+}
+
+/// Tracks and per-link emission state for an enabled recorder. Present
+/// exactly when the attached [`Recorder`] is enabled, so the disabled
+/// path stays one `Option` test per site.
+#[derive(Debug)]
+struct RecState {
+    /// Per-link utilization counter series live here.
+    links_track: TrackId,
+    /// Per-flow async lifecycle events live here.
+    flows_track: TrackId,
+    /// Fault/restore instants live here.
+    faults_track: TrackId,
+    /// Last emitted utilization per topology link (`NaN` = never emitted),
+    /// so unchanged links don't emit a sample every allocation epoch.
+    last_util: Vec<f64>,
+    /// Display name per topology link (counter series names).
+    link_names: Vec<String>,
+}
+
+/// Human-readable endpoint name for flow labels ("gpu3", "host0").
+fn endpoint_label(e: Endpoint) -> String {
+    match e {
+        Endpoint::HostMem { socket } => format!("host{socket}"),
+        Endpoint::GpuMem { index } => format!("gpu{index}"),
+    }
 }
 
 /// The fluid transfer simulator for one platform.
@@ -140,6 +168,12 @@ pub struct FlowSim<'p> {
     /// Flows truncated by a `LinkDown`, with their undelivered bytes, not
     /// yet collected via [`FlowSim::take_interrupted`].
     interrupted: Vec<(FlowId, u64)>,
+    /// Observability sink; disabled by default. Recording is purely
+    /// observational: it never changes a rate, a clock value, or which
+    /// flows complete when.
+    recorder: Recorder,
+    /// Lazily-built track/emission state; `Some` iff `recorder` is enabled.
+    rec: Option<RecState>,
 }
 
 impl<'p> FlowSim<'p> {
@@ -165,7 +199,39 @@ impl<'p> FlowSim<'p> {
             health: None,
             fault_table: None,
             interrupted: Vec::new(),
+            recorder: Recorder::disabled(),
+            rec: None,
         }
+    }
+
+    /// Attach a [`Recorder`]. An enabled recorder receives per-link
+    /// utilization counters at every allocation epoch, per-flow lifecycle
+    /// events (start / rate change / interrupt / complete), and fault
+    /// instants; a disabled one costs a single branch per event site.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.rec = recorder.is_enabled().then(|| {
+            let topo = &self.platform.topology;
+            let link_names = topo
+                .links()
+                .iter()
+                .map(|l| format!("{} ⇄ {}", topo.node(l.a).name, topo.node(l.b).name))
+                .collect::<Vec<_>>();
+            RecState {
+                links_track: recorder.track(groups::LINKS, "utilization"),
+                flows_track: recorder.track(groups::FLOWS, "transfers"),
+                faults_track: recorder.track(groups::FAULTS, "fabric"),
+                last_util: vec![f64::NAN; link_names.len()],
+                link_names,
+            }
+        });
+        self.recorder = recorder;
+    }
+
+    /// The attached recorder (disabled unless [`FlowSim::set_recorder`]
+    /// installed an enabled one).
+    #[must_use]
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// The platform being simulated.
@@ -287,6 +353,23 @@ impl<'p> FlowSim<'p> {
         let table = self.fault_table.get_or_insert_with(|| base.clone());
         health.apply(base, table);
 
+        if let Some(rs) = &self.rec {
+            let name = match ev {
+                FaultEvent::LinkDown { .. } => "link down",
+                FaultEvent::LinkDegrade { .. } => "link degraded",
+                FaultEvent::LinkRestore { .. } => "link restored",
+            };
+            let mut args = vec![(
+                "link".to_string(),
+                ArgValue::Str(rs.link_names[ev.link().0].clone()),
+            )];
+            if let FaultEvent::LinkDegrade { factor, .. } = ev {
+                args.push(("factor".to_string(), ArgValue::F64(factor)));
+            }
+            self.recorder
+                .instant_args(rs.faults_track, name, "fault", self.now.0, args);
+        }
+
         if matches!(ev, FaultEvent::LinkDown { .. }) {
             // Truncate in-flight flows over the failed link: they stop
             // delivering at the fault instant and surface through
@@ -310,6 +393,26 @@ impl<'p> FlowSim<'p> {
                         },
                         f.remaining.ceil() as u64,
                     ));
+                    if let Some(rs) = &self.rec {
+                        self.recorder.async_instant(
+                            rs.flows_track,
+                            "interrupted",
+                            "flow",
+                            f.seq,
+                            self.now.0,
+                            vec![(
+                                "undelivered_bytes".to_string(),
+                                ArgValue::U64(f.remaining.ceil() as u64),
+                            )],
+                        );
+                        self.recorder.async_end(
+                            rs.flows_track,
+                            "transfer",
+                            "flow",
+                            f.seq,
+                            self.now.0,
+                        );
+                    }
                     f.remaining = 0.0;
                     f.done = true;
                 } else {
@@ -329,13 +432,24 @@ impl<'p> FlowSim<'p> {
 
     /// Start a transfer of `bytes` along `route` at the current time.
     pub fn start(&mut self, route: &Route, bytes: u64) -> FlowId {
-        self.start_request(self.platform.flow_request(route), bytes)
+        let label = self.rec.is_some().then(|| {
+            format!(
+                "{} → {}",
+                endpoint_label(route.src),
+                endpoint_label(route.dst)
+            )
+        });
+        self.start_labeled(self.platform.flow_request(route), bytes, label)
     }
 
     /// Start a transfer from an explicit allocator request (used for flows
     /// with custom rate caps, e.g. modeled CPU merges contending for host
     /// memory bandwidth).
     pub fn start_request(&mut self, request: FlowRequest, bytes: u64) -> FlowId {
+        self.start_labeled(request, bytes, None)
+    }
+
+    fn start_labeled(&mut self, request: FlowRequest, bytes: u64, label: Option<String>) -> FlowId {
         let seq = self.next_seq;
         self.next_seq += 1;
         let flow = ActiveFlow {
@@ -365,6 +479,16 @@ impl<'p> FlowSim<'p> {
         if bytes > 0 {
             self.active_order.push(slot);
             self.membership += 1;
+            if let Some(rs) = &self.rec {
+                self.recorder.async_begin(
+                    rs.flows_track,
+                    label.as_deref().unwrap_or("transfer"),
+                    "flow",
+                    seq,
+                    self.now.0,
+                    vec![("bytes".to_string(), ArgValue::U64(bytes))],
+                );
+            }
         }
         // No eager re-allocation: rates are computed lazily at the next
         // point they are observable (an advance, an eta query, `rate()`),
@@ -568,6 +692,7 @@ impl<'p> FlowSim<'p> {
         self.ensure_rates();
         let dt = t.since(self.now).as_secs_f64();
         self.now = t;
+        let already_finished = finished.len();
         let mut kept = 0;
         for k in 0..self.active_order.len() {
             let slot = self.active_order[k];
@@ -589,6 +714,16 @@ impl<'p> FlowSim<'p> {
             }
         }
         self.active_order.truncate(kept);
+        if let Some(rs) = &self.rec {
+            for id in &finished[already_finished..] {
+                let f = self.slots[id.slot as usize]
+                    .flow
+                    .as_ref()
+                    .expect("finished slot holds a flow");
+                self.recorder
+                    .async_end(rs.flows_track, "transfer", "flow", f.seq, t.0);
+            }
+        }
         if dt > 0.0 {
             // The decrement above can move rounded etas by a nanosecond;
             // force the heap to recompute them.
@@ -640,6 +775,20 @@ impl<'p> FlowSim<'p> {
         if self.allocated_at == Some(self.membership) {
             return;
         }
+        // Recording needs the pre-allocation rates to emit rate-*change*
+        // events; capture them up front (recorder-on only).
+        let old_rates: Option<Vec<f64>> = self.rec.as_ref().map(|_| {
+            self.active_order
+                .iter()
+                .map(|&slot| {
+                    self.slots[slot as usize]
+                        .flow
+                        .as_ref()
+                        .expect("active slot holds a flow")
+                        .rate
+                })
+                .collect()
+        });
         {
             let FlowSim {
                 platform,
@@ -684,6 +833,64 @@ impl<'p> FlowSim<'p> {
         }
         self.allocated_at = Some(self.membership);
         self.epoch += 1;
+        if let Some(old_rates) = old_rates {
+            self.record_allocation(&old_rates);
+        }
+    }
+
+    /// Recorder-on only: emit per-flow rate-change events and per-link
+    /// utilization counter samples for the allocation that just ran.
+    fn record_allocation(&mut self, old_rates: &[f64]) {
+        let Some(rs) = &mut self.rec else { return };
+        let at = self.now.0;
+        for (k, &slot) in self.active_order.iter().enumerate() {
+            let f = self.slots[slot as usize]
+                .flow
+                .as_ref()
+                .expect("active slot holds a flow");
+            if old_rates.get(k).copied() != Some(f.rate) {
+                self.recorder.async_instant(
+                    rs.flows_track,
+                    "rate",
+                    "flow",
+                    f.seq,
+                    at,
+                    vec![("gbps".to_string(), ArgValue::F64(f.rate / 1e9))],
+                );
+            }
+        }
+        // Per-link utilization: consumption over every constraint, then
+        // each link reports the most loaded of its (fwd, bwd, duplex)
+        // constraint rows. Unchanged links emit nothing.
+        let table = self
+            .fault_table
+            .as_ref()
+            .unwrap_or_else(|| self.platform.constraint_table());
+        let mut used = vec![0.0f64; table.constraints().len()];
+        for &slot in &self.active_order {
+            let f = self.slots[slot as usize]
+                .flow
+                .as_ref()
+                .expect("active slot holds a flow");
+            for &(c, w) in &f.request.constraints {
+                used[c.0] += f.rate * w;
+            }
+        }
+        for (i, last) in rs.last_util.iter_mut().enumerate() {
+            let (fwd, bwd, dup) = table.link_constraint_ids(LinkId(i));
+            let mut util = 0.0f64;
+            for c in [Some(fwd), Some(bwd), dup].into_iter().flatten() {
+                let cap = table.capacity(c);
+                if cap > 0.0 {
+                    util = util.max(used[c.0] / cap);
+                }
+            }
+            if last.is_nan() || (util - *last).abs() > 1e-9 {
+                self.recorder
+                    .counter(rs.links_track, &rs.link_names[i], at, util);
+                *last = util;
+            }
+        }
     }
 }
 

@@ -1,0 +1,162 @@
+//! Minimal JSON support: a string escaper for the exporters and a
+//! recursive-descent recognizer of RFC 8259 JSON.
+//!
+//! The build is offline (no serde), so the exporters hand-write JSON and
+//! the test suites certify it with [`json_valid`] — a recognizer that
+//! accepts exactly one top-level value surrounded by whitespace. It was
+//! born as a test helper in `msort-gpu`; the unified exporter promotes it
+//! to a public utility so every crate's trace tests share one checker.
+
+/// Escape `s` for inclusion inside a JSON string literal (without the
+/// surrounding quotes): `"` and `\` are backslash-escaped, control
+/// characters become `\n`/`\r`/`\t` or `\u00XX`.
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// `true` when `s` is exactly one valid RFC 8259 JSON value (plus
+/// surrounding whitespace).
+#[must_use]
+pub fn json_valid(s: &str) -> bool {
+    let b = s.as_bytes();
+    match json_value(b, 0) {
+        Some(i) => b[i..].iter().all(u8::is_ascii_whitespace),
+        None => false,
+    }
+}
+
+fn json_ws(b: &[u8], mut i: usize) -> usize {
+    while i < b.len() && b[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    i
+}
+
+fn json_value(b: &[u8], i: usize) -> Option<usize> {
+    let i = json_ws(b, i);
+    match b.get(i)? {
+        b'{' => json_seq(b, i, b'}', true),
+        b'[' => json_seq(b, i, b']', false),
+        b'"' => json_string(b, i),
+        b't' => b[i..].starts_with(b"true").then_some(i + 4),
+        b'f' => b[i..].starts_with(b"false").then_some(i + 5),
+        b'n' => b[i..].starts_with(b"null").then_some(i + 4),
+        _ => json_number(b, i),
+    }
+}
+
+/// Object (`want_keys`) or array body after the opening bracket.
+fn json_seq(b: &[u8], i: usize, close: u8, want_keys: bool) -> Option<usize> {
+    let mut i = json_ws(b, i + 1);
+    if b.get(i) == Some(&close) {
+        return Some(i + 1);
+    }
+    loop {
+        if want_keys {
+            i = json_string(b, json_ws(b, i))?;
+            i = json_ws(b, i);
+            if b.get(i) != Some(&b':') {
+                return None;
+            }
+            i += 1;
+        }
+        i = json_value(b, i)?;
+        i = json_ws(b, i);
+        match b.get(i)? {
+            b',' => i += 1,
+            c if *c == close => return Some(i + 1),
+            _ => return None,
+        }
+    }
+}
+
+fn json_string(b: &[u8], i: usize) -> Option<usize> {
+    if b.get(i) != Some(&b'"') {
+        return None;
+    }
+    let mut i = i + 1;
+    loop {
+        match b.get(i)? {
+            b'"' => return Some(i + 1),
+            b'\\' => i += 2,
+            c if *c < 0x20 => return None,
+            _ => i += 1,
+        }
+    }
+}
+
+fn json_number(b: &[u8], mut i: usize) -> Option<usize> {
+    let start = i;
+    if b.get(i) == Some(&b'-') {
+        i += 1;
+    }
+    let digits = |b: &[u8], mut i: usize| {
+        let s = i;
+        while i < b.len() && b[i].is_ascii_digit() {
+            i += 1;
+        }
+        (i > s).then_some(i)
+    };
+    i = digits(b, i)?;
+    if b.get(i) == Some(&b'.') {
+        i = digits(b, i + 1)?;
+    }
+    if matches!(b.get(i), Some(b'e' | b'E')) {
+        i += 1;
+        if matches!(b.get(i), Some(b'+' | b'-')) {
+            i += 1;
+        }
+        i = digits(b, i)?;
+    }
+    (i > start).then_some(i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_checker_sanity() {
+        assert!(json_valid("[]"));
+        assert!(json_valid(r#"{"a": [1, -2.5e3, "x\"y", true, null]}"#));
+        assert!(!json_valid("[1,]"));
+        assert!(!json_valid("{\"a\" 1}"));
+        assert!(!json_valid("[1] trailing"));
+        assert!(!json_valid("{'a': 1}"));
+        assert!(!json_valid(""));
+        assert!(json_valid("  -3.5e-2  "));
+    }
+
+    #[test]
+    fn escape_round_trips_through_the_recognizer() {
+        for nasty in [
+            "plain",
+            "with \"quotes\"",
+            "back\\slash",
+            "new\nline and \t tab \r",
+            "ctrl \u{1} \u{1f}",
+            "unicode ⇄ ok",
+            "",
+        ] {
+            let lit = format!("\"{}\"", json_escape(nasty));
+            assert!(json_valid(&lit), "escaped literal invalid: {lit}");
+        }
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

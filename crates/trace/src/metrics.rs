@@ -1,0 +1,253 @@
+//! Aggregate metrics computed from a recording: the numbers the paper's
+//! figures are made of (which link saturates, which phase dominates, how
+//! long jobs queue vs run), exported as JSON or CSV.
+
+use crate::json::json_escape;
+use crate::recorder::{groups, EventKind, TraceData};
+use std::fmt::Write as _;
+
+/// Time-weighted utilization of one link (from its counter series).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkUtilization {
+    /// Link name (the counter series name, e.g. `"GPU 0 ⇄ GPU 1"`).
+    pub link: String,
+    /// Time-weighted mean utilization over `[first sample, trace end]`,
+    /// in `0.0..=1.0`.
+    pub mean: f64,
+    /// Peak sampled utilization.
+    pub peak: f64,
+}
+
+/// Busy time attributed to one execution phase (from GPU op spans).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseMetrics {
+    /// Phase label (the op span's `cat`: "HtoD", "sort", "merge", ...).
+    pub phase: String,
+    /// Summed op-span time in this phase across all streams.
+    pub busy_ns: u64,
+    /// The part of `busy_ns` spent in interconnect transfers (op spans
+    /// whose name contains `"copy"`).
+    pub interconnect_ns: u64,
+}
+
+impl PhaseMetrics {
+    /// Fraction of this phase's busy time spent on the interconnect.
+    #[must_use]
+    pub fn interconnect_share(&self) -> f64 {
+        if self.busy_ns == 0 {
+            return 0.0;
+        }
+        self.interconnect_ns as f64 / self.busy_ns as f64
+    }
+}
+
+/// The metrics summary of one recording.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSummary {
+    /// Per-link utilization, in first-sample order.
+    pub links: Vec<LinkUtilization>,
+    /// Per-phase busy time, in first-span order.
+    pub phases: Vec<PhaseMetrics>,
+    /// Summed queue wait across jobs (serve-layer `"queued"` spans).
+    pub queue_wait_ns: u64,
+    /// Summed service time across jobs (serve-layer `"executing"` spans).
+    pub service_ns: u64,
+    /// Jobs observed (count of `"executing"` spans).
+    pub jobs: u64,
+}
+
+/// Compute a [`MetricsSummary`] from a recording.
+#[must_use]
+pub fn summarize(data: &TraceData) -> MetricsSummary {
+    let horizon = data.end_ns();
+    let mut summary = MetricsSummary::default();
+
+    // Link counters: step-function series per counter name.
+    let mut series: Vec<(&str, Vec<(u64, f64)>)> = Vec::new();
+    for e in data.events_in_group(groups::LINKS) {
+        if let EventKind::Counter { at_ns, value } = e.kind {
+            match series.iter_mut().find(|(n, _)| *n == e.name) {
+                Some((_, samples)) => samples.push((at_ns, value)),
+                None => series.push((&e.name, vec![(at_ns, value)])),
+            }
+        }
+    }
+    for (name, samples) in series {
+        let peak = samples.iter().map(|&(_, v)| v).fold(0.0, f64::max);
+        let total = horizon.saturating_sub(samples[0].0);
+        let mean = if total == 0 {
+            samples.last().map_or(0.0, |&(_, v)| v)
+        } else {
+            let mut area = 0.0;
+            for (i, &(t, v)) in samples.iter().enumerate() {
+                let next = samples.get(i + 1).map_or(horizon, |&(t2, _)| t2);
+                area += v * next.saturating_sub(t) as f64;
+            }
+            area / total as f64
+        };
+        summary.links.push(LinkUtilization {
+            link: name.to_string(),
+            mean,
+            peak,
+        });
+    }
+
+    // GPU op spans: busy + interconnect time per phase (the span's cat).
+    for e in data.events_in_group(groups::GPU) {
+        if let EventKind::Span { start_ns, end_ns } = e.kind {
+            let dur = end_ns.saturating_sub(start_ns);
+            let entry = match summary.phases.iter_mut().find(|p| p.phase == e.cat) {
+                Some(p) => p,
+                None => {
+                    summary.phases.push(PhaseMetrics {
+                        phase: e.cat.clone(),
+                        busy_ns: 0,
+                        interconnect_ns: 0,
+                    });
+                    summary.phases.last_mut().unwrap()
+                }
+            };
+            entry.busy_ns += dur;
+            if e.name.contains("copy") {
+                entry.interconnect_ns += dur;
+            }
+        }
+    }
+
+    // Serve-layer job spans.
+    for e in &data.events {
+        if let EventKind::Span { start_ns, end_ns } = e.kind {
+            let dur = end_ns.saturating_sub(start_ns);
+            match e.name.as_str() {
+                "queued" => summary.queue_wait_ns += dur,
+                "executing" => {
+                    summary.service_ns += dur;
+                    summary.jobs += 1;
+                }
+                _ => {}
+            }
+        }
+    }
+    summary
+}
+
+impl MetricsSummary {
+    /// The summary as a JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"links\": [");
+        for (i, l) in self.links.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    {{\"link\": \"{}\", \"mean\": {:.6}, \"peak\": {:.6}}}",
+                if i == 0 { "" } else { "," },
+                json_escape(&l.link),
+                l.mean,
+                l.peak,
+            );
+        }
+        out.push_str("\n  ],\n  \"phases\": [");
+        for (i, p) in self.phases.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    {{\"phase\": \"{}\", \"busy_ns\": {}, \"interconnect_ns\": {}, \
+                 \"interconnect_share\": {:.6}}}",
+                if i == 0 { "" } else { "," },
+                json_escape(&p.phase),
+                p.busy_ns,
+                p.interconnect_ns,
+                p.interconnect_share(),
+            );
+        }
+        let _ = write!(
+            out,
+            "\n  ],\n  \"jobs\": {},\n  \"queue_wait_ns\": {},\n  \"service_ns\": {}\n}}\n",
+            self.jobs, self.queue_wait_ns, self.service_ns,
+        );
+        out
+    }
+
+    /// The summary as CSV rows of `kind,name,a,b` (links: mean/peak;
+    /// phases: `busy_ns`/`interconnect_ns`; service: totals).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("kind,name,a,b\n");
+        for l in &self.links {
+            let _ = writeln!(
+                out,
+                "link,\"{}\",{:.6},{:.6}",
+                l.link.replace('"', "\"\""),
+                l.mean,
+                l.peak,
+            );
+        }
+        for p in &self.phases {
+            let _ = writeln!(
+                out,
+                "phase,\"{}\",{},{}",
+                p.phase.replace('"', "\"\""),
+                p.busy_ns,
+                p.interconnect_ns,
+            );
+        }
+        let _ = writeln!(out, "service,queue_wait_ns,{},", self.queue_wait_ns);
+        let _ = writeln!(out, "service,service_ns,{},", self.service_ns);
+        let _ = writeln!(out, "service,jobs,{},", self.jobs);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::json_valid;
+    use crate::recorder::Recorder;
+
+    #[test]
+    fn link_utilization_is_time_weighted() {
+        let rec = Recorder::new();
+        let links = rec.track(groups::LINKS, "utilization");
+        let gpu = rec.track(groups::GPU, "stream 0");
+        // Utilization 1.0 for 100ns, then 0.0 for 300ns (horizon from the
+        // GPU span below): mean 0.25, peak 1.0.
+        rec.counter(links, "L0", 0, 1.0);
+        rec.counter(links, "L0", 100, 0.0);
+        rec.span(gpu, "HtoD copy", "HtoD", 0, 400);
+        let s = summarize(&rec.snapshot().unwrap());
+        assert_eq!(s.links.len(), 1);
+        assert!((s.links[0].mean - 0.25).abs() < 1e-12, "{:?}", s.links[0]);
+        assert!((s.links[0].peak - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_and_job_aggregation() {
+        let rec = Recorder::new();
+        let gpu = rec.track(groups::GPU, "stream 0");
+        rec.span(gpu, "HtoD copy", "HtoD", 0, 100);
+        rec.span(gpu, "gpu sort", "sort", 100, 400);
+        rec.span(gpu, "P2P copy", "merge", 400, 500);
+        rec.span(gpu, "local merge", "merge", 500, 800);
+        let jobs = rec.track(&groups::tenant(1), "job 0 (P2P sort)");
+        rec.span(jobs, "queued", "job", 0, 50);
+        rec.span(jobs, "executing", "job", 50, 800);
+        let s = summarize(&rec.snapshot().unwrap());
+        let phase = |name: &str| s.phases.iter().find(|p| p.phase == name).unwrap();
+        assert_eq!(phase("HtoD").busy_ns, 100);
+        assert!((phase("HtoD").interconnect_share() - 1.0).abs() < 1e-12);
+        assert_eq!(phase("sort").interconnect_ns, 0);
+        assert_eq!(phase("merge").busy_ns, 400);
+        assert!((phase("merge").interconnect_share() - 0.25).abs() < 1e-12);
+        assert_eq!(s.queue_wait_ns, 50);
+        assert_eq!(s.service_ns, 750);
+        assert_eq!(s.jobs, 1);
+        assert!(json_valid(&s.to_json()), "{}", s.to_json());
+        assert!(s.to_csv().lines().count() >= 7);
+    }
+
+    #[test]
+    fn empty_trace_summarizes_to_defaults() {
+        let s = summarize(&TraceData::default());
+        assert_eq!(s, MetricsSummary::default());
+        assert!(json_valid(&s.to_json()));
+    }
+}

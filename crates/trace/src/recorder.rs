@@ -1,0 +1,437 @@
+//! The [`Recorder`]: a cloneable handle every layer writes trace events
+//! through.
+//!
+//! A recorder is either **enabled** — all clones share one [`TraceData`]
+//! buffer — or **disabled**, in which case every method is a cheap no-op
+//! (one `Option` discriminant test, no allocation). Instrumentation sites
+//! that need to *build* strings for event names should guard on
+//! [`Recorder::is_enabled`] so a disabled recorder costs nothing beyond
+//! the branch.
+//!
+//! The recorder is purely observational by contract: enabling it must not
+//! change a single simulated clock value or output byte. Timestamps are
+//! plain `u64` nanoseconds (the same unit as `msort_sim::SimTime`), which
+//! keeps this crate dependency-free and usable from every layer.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// Well-known track-group names, so producers and exporters agree.
+pub mod groups {
+    /// Per-stream GPU op spans (one track per stream).
+    pub const GPU: &str = "gpu streams";
+    /// Per-link utilization counters.
+    pub const LINKS: &str = "links";
+    /// Per-flow lifecycle async events.
+    pub const FLOWS: &str = "flows";
+    /// Fault/restore instants.
+    pub const FAULTS: &str = "faults";
+    /// Per-tenant job-span group name (`tenant3` for tenant id 3).
+    #[must_use]
+    pub fn tenant(id: u32) -> String {
+        format!("tenant{id}")
+    }
+}
+
+/// Index of a [`Track`] inside a [`TraceData`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TrackId(pub u32);
+
+/// One named row in the trace. Tracks with the same `group` render as one
+/// process (track group) in Perfetto; each track is a thread within it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Track {
+    /// The track group ("gpu streams", "links", "tenant0", ...).
+    pub group: String,
+    /// The row name within the group ("stream 3", "GPU 0 ⇄ GPU 1", ...).
+    pub name: String,
+}
+
+/// An event argument value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// A string argument.
+    Str(String),
+    /// An unsigned integer argument.
+    U64(u64),
+    /// A float argument (must be finite; exporters clamp non-finite to 0).
+    F64(f64),
+}
+
+/// The time shape of an event. All timestamps are simulated nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// A closed duration span on its track.
+    Span {
+        /// Span start.
+        start_ns: u64,
+        /// Span end (`>= start_ns`).
+        end_ns: u64,
+    },
+    /// A point-in-time marker.
+    Instant {
+        /// When it happened.
+        at_ns: u64,
+    },
+    /// A sample of a named counter series.
+    Counter {
+        /// Sample time.
+        at_ns: u64,
+        /// Sample value.
+        value: f64,
+    },
+    /// Start of an async lifetime (matched to the end by `id`).
+    AsyncBegin {
+        /// Begin time.
+        at_ns: u64,
+        /// Lifetime id, unique within the event's category.
+        id: u64,
+    },
+    /// A point event inside an async lifetime.
+    AsyncInstant {
+        /// Event time.
+        at_ns: u64,
+        /// Lifetime id.
+        id: u64,
+    },
+    /// End of an async lifetime.
+    AsyncEnd {
+        /// End time.
+        at_ns: u64,
+        /// Lifetime id.
+        id: u64,
+    },
+}
+
+impl EventKind {
+    /// The event's (start) timestamp, for ordering and horizon math.
+    #[must_use]
+    pub fn start_ns(&self) -> u64 {
+        match *self {
+            EventKind::Span { start_ns, .. } => start_ns,
+            EventKind::Instant { at_ns }
+            | EventKind::Counter { at_ns, .. }
+            | EventKind::AsyncBegin { at_ns, .. }
+            | EventKind::AsyncInstant { at_ns, .. }
+            | EventKind::AsyncEnd { at_ns, .. } => at_ns,
+        }
+    }
+
+    /// The event's end timestamp (equals the start for point events).
+    #[must_use]
+    pub fn end_ns(&self) -> u64 {
+        match *self {
+            EventKind::Span { end_ns, .. } => end_ns,
+            _ => self.start_ns(),
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// The track the event lives on.
+    pub track: TrackId,
+    /// Event name (op name, link name, "job", "rate", ...).
+    pub name: String,
+    /// Category ("HtoD", "flow", "fault", "job", ...). Async events are
+    /// matched by `(cat, id)`.
+    pub cat: String,
+    /// When, and what shape.
+    pub kind: EventKind,
+    /// Key/value arguments.
+    pub args: Vec<(String, ArgValue)>,
+}
+
+/// Everything one recording produced: the track table plus the events, in
+/// emission order (which is simulation-time order, since producers only
+/// record at the current clock).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceData {
+    /// Tracks, in first-use order. [`TrackId`]s index into this.
+    pub tracks: Vec<Track>,
+    /// Events, in emission order.
+    pub events: Vec<Event>,
+}
+
+impl TraceData {
+    /// The track an event points at.
+    #[must_use]
+    pub fn track(&self, id: TrackId) -> &Track {
+        &self.tracks[id.0 as usize]
+    }
+
+    /// Latest timestamp in the trace (0 when empty).
+    #[must_use]
+    pub fn end_ns(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| e.kind.end_ns())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Events on tracks in `group`, in emission order.
+    pub fn events_in_group<'a>(&'a self, group: &'a str) -> impl Iterator<Item = &'a Event> {
+        self.events
+            .iter()
+            .filter(move |e| self.track(e.track).group == group)
+    }
+
+    fn intern(&mut self, group: &str, name: &str) -> TrackId {
+        // Linear scan: the track table is small (streams + links + jobs)
+        // and insertion order stays deterministic without hashing.
+        if let Some(i) = self
+            .tracks
+            .iter()
+            .position(|t| t.group == group && t.name == name)
+        {
+            return TrackId(i as u32);
+        }
+        self.tracks.push(Track {
+            group: group.to_string(),
+            name: name.to_string(),
+        });
+        TrackId((self.tracks.len() - 1) as u32)
+    }
+}
+
+/// A cloneable recording handle. See the [module docs](self).
+#[derive(Clone, Default)]
+pub struct Recorder {
+    inner: Option<Rc<RefCell<TraceData>>>,
+}
+
+// Manual impl so embedding a Recorder doesn't force the trace buffer into
+// the Debug output of large structs like `FlowSim`.
+impl fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Recorder")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Recorder {
+    /// An **enabled** recorder with an empty buffer. Clones share it.
+    #[must_use]
+    pub fn new() -> Self {
+        Recorder {
+            inner: Some(Rc::new(RefCell::new(TraceData::default()))),
+        }
+    }
+
+    /// A disabled recorder: every method is a no-op. Same as `default()`.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Recorder { inner: None }
+    }
+
+    /// Whether events are being captured. Instrumentation sites should
+    /// test this before building event names.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Intern a track. Returns a dummy id on a disabled recorder (no
+    /// event recorded through it will be stored either).
+    pub fn track(&self, group: &str, name: &str) -> TrackId {
+        match &self.inner {
+            Some(inner) => inner.borrow_mut().intern(group, name),
+            None => TrackId(u32::MAX),
+        }
+    }
+
+    fn push(&self, event: Event) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().events.push(event);
+        }
+    }
+
+    /// Record a closed duration span.
+    pub fn span(&self, track: TrackId, name: &str, cat: &str, start_ns: u64, end_ns: u64) {
+        self.span_args(track, name, cat, start_ns, end_ns, Vec::new());
+    }
+
+    /// Record a closed duration span with arguments.
+    pub fn span_args(
+        &self,
+        track: TrackId,
+        name: &str,
+        cat: &str,
+        start_ns: u64,
+        end_ns: u64,
+        args: Vec<(String, ArgValue)>,
+    ) {
+        if self.inner.is_none() {
+            return;
+        }
+        self.push(Event {
+            track,
+            name: name.to_string(),
+            cat: cat.to_string(),
+            kind: EventKind::Span { start_ns, end_ns },
+            args,
+        });
+    }
+
+    /// Record a point-in-time marker.
+    pub fn instant(&self, track: TrackId, name: &str, cat: &str, at_ns: u64) {
+        self.instant_args(track, name, cat, at_ns, Vec::new());
+    }
+
+    /// Record a point-in-time marker with arguments.
+    pub fn instant_args(
+        &self,
+        track: TrackId,
+        name: &str,
+        cat: &str,
+        at_ns: u64,
+        args: Vec<(String, ArgValue)>,
+    ) {
+        if self.inner.is_none() {
+            return;
+        }
+        self.push(Event {
+            track,
+            name: name.to_string(),
+            cat: cat.to_string(),
+            kind: EventKind::Instant { at_ns },
+            args,
+        });
+    }
+
+    /// Record one sample of the counter series `name`.
+    pub fn counter(&self, track: TrackId, name: &str, at_ns: u64, value: f64) {
+        if self.inner.is_none() {
+            return;
+        }
+        self.push(Event {
+            track,
+            name: name.to_string(),
+            cat: String::new(),
+            kind: EventKind::Counter { at_ns, value },
+            args: Vec::new(),
+        });
+    }
+
+    /// Begin an async lifetime keyed by `(cat, id)`.
+    pub fn async_begin(
+        &self,
+        track: TrackId,
+        name: &str,
+        cat: &str,
+        id: u64,
+        at_ns: u64,
+        args: Vec<(String, ArgValue)>,
+    ) {
+        if self.inner.is_none() {
+            return;
+        }
+        self.push(Event {
+            track,
+            name: name.to_string(),
+            cat: cat.to_string(),
+            kind: EventKind::AsyncBegin { at_ns, id },
+            args,
+        });
+    }
+
+    /// Record a point event inside the async lifetime `(cat, id)`.
+    pub fn async_instant(
+        &self,
+        track: TrackId,
+        name: &str,
+        cat: &str,
+        id: u64,
+        at_ns: u64,
+        args: Vec<(String, ArgValue)>,
+    ) {
+        if self.inner.is_none() {
+            return;
+        }
+        self.push(Event {
+            track,
+            name: name.to_string(),
+            cat: cat.to_string(),
+            kind: EventKind::AsyncInstant { at_ns, id },
+            args,
+        });
+    }
+
+    /// End the async lifetime `(cat, id)`.
+    pub fn async_end(&self, track: TrackId, name: &str, cat: &str, id: u64, at_ns: u64) {
+        if self.inner.is_none() {
+            return;
+        }
+        self.push(Event {
+            track,
+            name: name.to_string(),
+            cat: cat.to_string(),
+            kind: EventKind::AsyncEnd { at_ns, id },
+            args: Vec::new(),
+        });
+    }
+
+    /// A copy of everything recorded so far; `None` when disabled.
+    #[must_use]
+    pub fn snapshot(&self) -> Option<TraceData> {
+        self.inner.as_ref().map(|inner| inner.borrow().clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_stores_nothing() {
+        let rec = Recorder::disabled();
+        assert!(!rec.is_enabled());
+        let t = rec.track("g", "t");
+        rec.span(t, "a", "c", 0, 10);
+        rec.counter(t, "v", 5, 1.0);
+        assert!(rec.snapshot().is_none());
+        assert!(!Recorder::default().is_enabled());
+    }
+
+    #[test]
+    fn clones_share_one_buffer() {
+        let rec = Recorder::new();
+        let clone = rec.clone();
+        let t = clone.track(groups::GPU, "stream 0");
+        clone.span(t, "sort", "Sort", 100, 200);
+        rec.instant(t, "mark", "x", 150);
+        let data = rec.snapshot().unwrap();
+        assert_eq!(data.tracks.len(), 1);
+        assert_eq!(data.events.len(), 2);
+        assert_eq!(data.end_ns(), 200);
+        assert_eq!(data.track(data.events[0].track).name, "stream 0");
+    }
+
+    #[test]
+    fn tracks_intern_by_group_and_name() {
+        let rec = Recorder::new();
+        let a = rec.track("g1", "t");
+        let b = rec.track("g2", "t");
+        let a2 = rec.track("g1", "t");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(rec.snapshot().unwrap().tracks.len(), 2);
+    }
+
+    #[test]
+    fn event_kind_timestamps() {
+        let span = EventKind::Span {
+            start_ns: 3,
+            end_ns: 9,
+        };
+        assert_eq!(span.start_ns(), 3);
+        assert_eq!(span.end_ns(), 9);
+        let inst = EventKind::Instant { at_ns: 7 };
+        assert_eq!(inst.start_ns(), 7);
+        assert_eq!(inst.end_ns(), 7);
+    }
+}

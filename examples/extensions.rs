@@ -5,7 +5,6 @@
 //! cargo run --release --example extensions
 //! ```
 
-use multi_gpu_sort::core::{best_p2p_route, rp_sort, RpConfig};
 use multi_gpu_sort::prelude::*;
 
 fn main() {

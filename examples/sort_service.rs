@@ -96,15 +96,43 @@ fn main() {
 
     // The same service keeps running when a link fails mid-stream: jobs
     // reroute, placement avoids the wounded part of the fabric, and the
-    // run stays bit-reproducible.
+    // run stays bit-reproducible. A Recorder captures the whole run —
+    // GPU op spans, link utilization, flow lifecycles, fault instants,
+    // and per-tenant job spans — in one unified trace.
     let faults = FaultPlan::randomized(&dgx, 1, SimDuration::from_millis(30));
+    let recorder = Recorder::new();
     let report = SortService::<u64>::new(
         &dgx,
-        base()
-            .with_policy(QueuePolicy::WeightedFair)
-            .with_faults(faults),
+        base().with_policy(QueuePolicy::WeightedFair).with_run(
+            RunConfig::new()
+                .with_faults(faults)
+                .with_recorder(recorder.clone()),
+        ),
     )
     .run(arrivals());
     assert!(report.all_validated());
     show("weighted fair share under injected link faults", &report);
+
+    let data = recorder.snapshot().expect("recorder is enabled");
+    let path = "target/sort_service_trace.json";
+    if std::fs::write(path, chrome_trace(&data)).is_ok() {
+        println!("\nwrote unified trace to {path} (open in https://ui.perfetto.dev)");
+    }
+    let metrics = summarize(&data);
+    println!(
+        "trace: {} events on {} tracks | {} jobs, queue-wait {} ns, service {} ns",
+        data.events.len(),
+        data.tracks.len(),
+        metrics.jobs,
+        metrics.queue_wait_ns,
+        metrics.service_ns,
+    );
+    for l in metrics.links.iter().take(4) {
+        println!(
+            "  {}: mean {:.1}% / peak {:.1}%",
+            l.link,
+            l.mean * 100.0,
+            l.peak * 100.0
+        );
+    }
 }

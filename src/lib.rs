@@ -21,7 +21,12 @@
 //!   selection, baselines, and per-run reports;
 //! * [`serve`] — the multi-tenant sort service: queue policies,
 //!   topology-aware gang placement, and concurrent jobs contending on one
-//!   shared simulated clock.
+//!   shared simulated clock;
+//! * [`trace`] — cross-layer observability: the [`trace::Recorder`] every
+//!   layer reports into (GPU op spans, link-utilization counters, flow
+//!   lifecycles, fault instants, per-tenant job spans), the unified
+//!   Chrome/Perfetto exporter, and the metrics summarizer. Attach one via
+//!   [`core::RunConfig::with_recorder`] or `ServeConfig::with_recorder`.
 //!
 //! # Quickstart
 //!
@@ -44,12 +49,14 @@ pub use msort_gpu as gpu;
 pub use msort_serve as serve;
 pub use msort_sim as sim;
 pub use msort_topology as topology;
+pub use msort_trace as trace;
 
 /// The most common imports in one place.
 pub mod prelude {
     pub use msort_core::{
-        cpu_only_sort, drive, het_sort, p2p_sort, single_gpu_sort, HetConfig, LargeDataApproach,
-        P2pConfig, PhaseBreakdown, SortDriver, SortReport,
+        best_p2p_route, cpu_only_sort, drive, het_sort, p2p_sort, rp_sort, run_sort,
+        single_gpu_sort, Algorithm, HetConfig, LargeDataApproach, P2pConfig, PhaseBreakdown,
+        RpConfig, RunConfig, SortDriver, SortReport,
     };
     pub use msort_data::{generate, is_sorted, same_multiset, DataType, Distribution, SortKey};
     pub use msort_gpu::{Fidelity, GpuSystem, Phase};
@@ -63,5 +70,8 @@ pub mod prelude {
     pub use msort_topology::{
         best_gpu_set, gbps, Endpoint, FabricHealth, GpuModel, LinkState, Platform, PlatformId,
         TopologyBuilder,
+    };
+    pub use msort_trace::{
+        chrome_trace, json_valid, summarize, MetricsSummary, Recorder, TraceData,
     };
 }

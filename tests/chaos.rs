@@ -13,7 +13,6 @@
 //! so "reproducible" means *bit-identical*: same simulated end time, same
 //! output bytes.
 
-use multi_gpu_sort::core::{rp_sort, RpConfig};
 use multi_gpu_sort::data::{validate_sort, SortValidation};
 use multi_gpu_sort::prelude::*;
 
@@ -61,12 +60,8 @@ fn delta_nvlink_death_mid_merge_reroutes_and_completes() {
 
     let run = |input: &[u32]| {
         let mut data = input.to_vec();
-        let report = p2p_sort(
-            &p,
-            &P2pConfig::new(4).with_faults(plan.clone()),
-            &mut data,
-            n,
-        );
+        let config = RunConfig::p2p(P2pConfig::new(4)).with_faults(plan.clone());
+        let report = run_sort(&p, &config, &mut data, n);
         (report, data)
     };
     let (report, output) = run(&input);
@@ -91,8 +86,11 @@ fn delta_nvlink_death_mid_merge_reroutes_and_completes() {
 }
 
 /// An empty fault plan is *exactly* the fault-free simulation — same
-/// simulated clock, same output bytes.
+/// simulated clock, same output bytes. Deliberately exercises the
+/// deprecated per-config `.with_faults` shim end-to-end: it must keep
+/// injecting through the shared RunConfig path.
 #[test]
+#[allow(deprecated)]
 fn empty_fault_plan_is_bitwise_noop() {
     let p = Platform::dgx_a100();
     let n: u64 = 1 << 13;
@@ -141,7 +139,8 @@ fn randomized_chaos_all_platforms() {
                 let n: u64 = 1 << 13;
                 let input = uniform(n as usize, 0xBAD + seed);
                 let mut data = input.clone();
-                let report = p2p_sort(p, &P2pConfig::new(g).with_faults(faults), &mut data, n);
+                let config = RunConfig::p2p(P2pConfig::new(g)).with_faults(faults);
+                let report = run_sort(p, &config, &mut data, n);
                 assert!(report.validated, "seed {seed} on {}", p.id.name());
                 (input, data, report.total)
             });
@@ -159,10 +158,9 @@ fn randomized_chaos_het_sort() {
             let n: u64 = 1 << 12;
             let input: Vec<u32> = uniform(n as usize, seed);
             let mut data = input.clone();
-            let cfg = HetConfig::new(2)
-                .with_mem_budget(4 * 1024)
-                .with_faults(faults);
-            let report = het_sort(p, &cfg, &mut data, n);
+            let cfg =
+                RunConfig::het(HetConfig::new(2).with_mem_budget(4 * 1024)).with_faults(faults);
+            let report = run_sort(p, &cfg, &mut data, n);
             assert!(report.validated, "seed {seed}");
             (input, data, report.total)
         });
@@ -178,7 +176,8 @@ fn randomized_chaos_rp_sort() {
             let n: u64 = 1 << 12;
             let input = uniform(n as usize, seed);
             let mut data = input.clone();
-            let report = rp_sort(p, &RpConfig::new(4).with_faults(faults), &mut data, n);
+            let config = RunConfig::rp(RpConfig::new(4)).with_faults(faults);
+            let report = run_sort(p, &config, &mut data, n);
             assert!(report.validated, "seed {seed}");
             (input, data, report.total)
         });
@@ -196,12 +195,8 @@ fn fixed_seed_case(seed: u64) {
     let plan = FaultPlan::randomized(&p, seed, SimDuration(2_000_000));
     let run = |input: &[u32]| {
         let mut data = input.to_vec();
-        let report = p2p_sort(
-            &p,
-            &P2pConfig::new(4).with_faults(plan.clone()),
-            &mut data,
-            n,
-        );
+        let config = RunConfig::p2p(P2pConfig::new(4)).with_faults(plan.clone());
+        let report = run_sort(&p, &config, &mut data, n);
         (report, data)
     };
     let (report, output) = run(&input);

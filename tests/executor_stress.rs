@@ -174,6 +174,8 @@ fn chrome_trace_of_a_full_sort() {
     // A full P2P sort produces a coherent multi-stream trace.
     let platform = Platform::dgx_a100();
     let mut sys: GpuSystem<'_, u32> = GpuSystem::new(&platform, Fidelity::Full);
+    let recorder = Recorder::new();
+    sys.set_recorder(recorder.clone());
     let host = sys
         .world_mut()
         .import_host(0, generate(Distribution::Uniform, 1 << 12, 3), 1 << 12);
@@ -184,7 +186,8 @@ fn chrome_trace_of_a_full_sort() {
     let so = sys.gpu_sort(s, GpuSortAlgo::ThrustLike, dev, (0, 1 << 12), aux, &[up]);
     sys.memcpy(s, dev, 0, host, 0, 1 << 12, &[so], Phase::DtoH);
     sys.synchronize();
-    let trace = sys.chrome_trace();
+    let trace = chrome_trace(&recorder.snapshot().expect("recorder is enabled"));
+    assert!(json_valid(&trace));
     assert!(trace.contains("gpu sort"));
     assert!(trace.contains("HtoD"));
     assert!(trace.contains("DtoH"));

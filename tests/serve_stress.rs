@@ -133,7 +133,7 @@ fn service_is_bit_reproducible_under_faults_on_every_platform() {
     .enumerate()
     {
         let faults = FaultPlan::randomized(platform, 1000 + i as u64, SimDuration::from_millis(20));
-        let cfg = || config().with_faults(faults.clone());
+        let cfg = || config().with_run(RunConfig::new().with_faults(faults.clone()));
         let a = run(platform, cfg(), 42);
         let b = run(platform, cfg(), 42);
         assert_eq!(a, b, "{}: fault runs must replay identically", a.platform);
