@@ -1,0 +1,77 @@
+//! Wall-clock effect-executor benchmarks: serial vs pooled execution.
+//!
+//! PR 5 moved every data effect (staged copies, device sorts/merges, host
+//! multiway merges) off the driver thread onto a conflict-aware executor
+//! backed by the shared worker pool. These benches measure exactly that
+//! delta: the same full-fidelity simulated sort with the executor pinned
+//! to one thread (`serial`, the seed behavior) and with the pool width
+//! (`pool`). Simulated clocks and outputs are bit-identical between the
+//! two — only the wall-clock differs, so the speedup scales with the
+//! runner's core count (a 1-core container reports ~1.0x by design).
+//!
+//! `MSORT_BENCH_QUICK=1` shrinks the inputs for CI smoke runs.
+
+use msort_bench::Harness;
+use msort_core::{run_sort, HetConfig, P2pConfig, RunConfig};
+use msort_data::{generate, Distribution};
+use msort_topology::Platform;
+use std::hint::black_box;
+
+fn quick() -> bool {
+    std::env::var_os("MSORT_BENCH_QUICK").is_some()
+}
+
+/// The headline case: full-fidelity 8-GPU P2P sort on the DGX A100.
+/// Every key really moves and really gets sorted, so the wall clock is
+/// dominated by data effects — the executor's target.
+fn bench_p2p_dgx(h: &mut Harness) {
+    let n: u64 = if quick() { 1 << 21 } else { 1 << 26 };
+    let platform = Platform::dgx_a100();
+    let input: Vec<u32> = generate(Distribution::Uniform, n as usize, 11);
+    let label = if quick() { "p2p_dgx_2m" } else { "p2p_dgx_64m" };
+    for (mode, threads) in [("serial", Some(1)), ("pool", None)] {
+        let mut cfg = RunConfig::p2p(P2pConfig::new(8));
+        if let Some(t) = threads {
+            cfg = cfg.with_effect_threads(t);
+        }
+        h.bench_throughput(&format!("{label}/{mode}"), n, || {
+            let mut d = input.clone();
+            black_box(run_sort(&platform, &cfg, &mut d, n).total)
+        });
+    }
+}
+
+/// HET sort leans on the host multiway merge — the zero-copy borrowed-run
+/// path — so this case isolates the merge-side win.
+fn bench_het_multiway(h: &mut Harness) {
+    let n: u64 = if quick() { 1 << 21 } else { 1 << 25 };
+    let platform = Platform::dgx_a100();
+    let input: Vec<u32> = generate(
+        Distribution::ZipfDuplicates { skew_permille: 80 },
+        n as usize,
+        12,
+    );
+    let label = if quick() {
+        "het_multiway_2m"
+    } else {
+        "het_multiway_32m"
+    };
+    for (mode, threads) in [("serial", Some(1)), ("pool", None)] {
+        let mut cfg = RunConfig::het(HetConfig::new(4));
+        if let Some(t) = threads {
+            cfg = cfg.with_effect_threads(t);
+        }
+        h.bench_throughput(&format!("{label}/{mode}"), n, || {
+            let mut d = input.clone();
+            black_box(run_sort(&platform, &cfg, &mut d, n).total)
+        });
+    }
+}
+
+fn main() {
+    let samples = if quick() { 3 } else { 5 };
+    let mut h = Harness::new("exec").sample_size(samples);
+    bench_p2p_dgx(&mut h);
+    bench_het_multiway(&mut h);
+    h.finish();
+}

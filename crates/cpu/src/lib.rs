@@ -18,6 +18,9 @@
 //! * [`parsort`] — a parallel comparison sort (chunked sort + parallel
 //!   multiway merge), standing in for library primitives such as
 //!   `gnu_parallel::sort` / TBB `parallel_sort`.
+//! * [`pool`] — the shared worker pool every parallel algorithm above runs
+//!   on: one set of lazily-spawned daemon threads per process instead of a
+//!   `std::thread` spawn storm per call.
 //!
 //! All algorithms are generic over [`msort_data::SortKey`] and sort in the
 //! key's total order (floats use the IEEE total-order bit transform). They
@@ -38,24 +41,23 @@ pub mod multiway;
 pub mod par_lsb_radix;
 pub mod paradis;
 pub mod parsort;
+pub mod pool;
 pub mod stream;
 
 pub use lsb_radix::lsb_radix_sort;
-pub use mergesort::merge_path_sort;
+pub use mergesort::{merge_path_sort, parallel_merge_into, parallel_merge_path_sort};
 pub use msb_radix::msb_radix_sort;
 pub use multiway::{multiway_merge, parallel_multiway_merge, LoserTree};
-pub use par_lsb_radix::parallel_lsb_radix_sort;
+pub use par_lsb_radix::{parallel_lsb_radix_sort, parallel_lsb_radix_sort_with_aux};
 pub use paradis::{paradis_sort, ParadisConfig};
 pub use parsort::parallel_sort;
 
 /// Number of worker threads to use for the parallel algorithms.
 ///
-/// Defaults to the machine's available parallelism; tests override it to
-/// exercise multi-threaded code paths deterministically even on single-core
-/// runners.
+/// This is [`pool::threads`]: the machine's available parallelism, or the
+/// `MSORT_POOL_THREADS` override. It is constant for the process lifetime,
+/// so every chunking decision derived from it is reproducible run-to-run.
 #[must_use]
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
+    pool::threads()
 }

@@ -47,6 +47,70 @@ pub fn merge_path_sort<K: SortKey>(data: &mut [K]) {
     }
 }
 
+/// [`merge_path_sort`] parallelized over the shared worker pool: one
+/// locally-sorted chunk per thread, then a parallel multiway merge into
+/// `aux` (`aux.len() >= data.len()`) and a copy back.
+///
+/// Both phases are stable under the radix-image order, and the multiway
+/// merge resolves ties by run index, so the output is identical to the
+/// sequential [`merge_path_sort`] for every key type.
+pub fn parallel_merge_path_sort<K: SortKey>(data: &mut [K], aux: &mut [K], threads: usize) {
+    let n = data.len();
+    let threads = threads.max(1).min(n.max(1));
+    if threads == 1 || n < 1 << 14 {
+        merge_path_sort(data);
+        return;
+    }
+    let chunk_len = n.div_ceil(threads);
+    crate::pool::scope(|scope| {
+        for chunk in data.chunks_mut(chunk_len) {
+            scope.spawn(move || merge_path_sort(chunk));
+        }
+    });
+    let merged = &mut aux[..n];
+    {
+        let runs: Vec<&[K]> = data.chunks(chunk_len).collect();
+        crate::multiway::parallel_multiway_merge_with(
+            &runs,
+            merged,
+            crate::multiway::ParallelMergeConfig {
+                threads,
+                sequential_threshold: 0,
+            },
+        );
+    }
+    data.copy_from_slice(merged);
+}
+
+/// [`merge_into`] parallelized over the shared worker pool: the output is
+/// split into one part per thread along merge-path diagonals; each worker
+/// merges its disjoint input windows into its disjoint output part. The
+/// diagonal split is stable (ties from `a`), so the output is identical to
+/// the sequential merge.
+pub fn parallel_merge_into<K: SortKey>(a: &[K], b: &[K], out: &mut [K], threads: usize) {
+    debug_assert_eq!(a.len() + b.len(), out.len());
+    let total = out.len();
+    let threads = threads.max(1).min(total.max(1));
+    if threads == 1 || total < 1 << 14 {
+        merge_into(a, b, out);
+        return;
+    }
+    crate::pool::scope(|scope| {
+        let mut rest = out;
+        let (mut ai, mut bi) = (0usize, 0usize);
+        for t in 0..threads {
+            let hi_d = (t + 1) * total / threads;
+            let (na, nb) = merge_path_split(a, b, hi_d);
+            let (part, tail) = rest.split_at_mut(hi_d - (ai + bi));
+            rest = tail;
+            let (pa, pb) = (&a[ai..na], &b[bi..nb]);
+            scope.spawn(move || merge_into(pa, pb, part));
+            ai = na;
+            bi = nb;
+        }
+    });
+}
+
 /// Merge two sorted runs into `out`, splitting the output into
 /// [`MERGE_SEGMENT`]-sized pieces along the merge path.
 pub fn merge_into<K: SortKey>(a: &[K], b: &[K], out: &mut [K]) {
@@ -164,6 +228,57 @@ mod tests {
         // With all-equal keys and stability, splits take from `a` first.
         assert_eq!(merge_path_split(&a, &b, 2), (2, 0));
         assert_eq!(merge_path_split(&a, &b, 4), (3, 1));
+    }
+
+    #[test]
+    fn parallel_merge_into_matches_sequential_exactly() {
+        let mut a: Vec<u32> = generate(
+            Distribution::ZipfDuplicates {
+                skew_permille: 1500,
+            },
+            40_000,
+            31,
+        );
+        let mut b: Vec<u32> = generate(
+            Distribution::ZipfDuplicates {
+                skew_permille: 1500,
+            },
+            25_000,
+            32,
+        );
+        a.sort_unstable();
+        b.sort_unstable();
+        let mut seq = vec![0u32; a.len() + b.len()];
+        let mut par = vec![0u32; a.len() + b.len()];
+        merge_into(&a, &b, &mut seq);
+        parallel_merge_into(&a, &b, &mut par, 4);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn parallel_merge_path_sort_matches_sequential_exactly() {
+        for dist in Distribution::paper_set() {
+            let input: Vec<u64> = generate(dist, 70_000, 33);
+            let mut seq = input.clone();
+            let mut par = input.clone();
+            merge_path_sort(&mut seq);
+            let mut aux = vec![0u64; par.len()];
+            parallel_merge_path_sort(&mut par, &mut aux, 4);
+            assert_eq!(seq, par, "{dist:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_merge_small_inputs_take_sequential_path() {
+        let a: Vec<u32> = vec![1, 4, 6];
+        let b: Vec<u32> = vec![2, 3, 5];
+        let mut out = vec![0u32; 6];
+        parallel_merge_into(&a, &b, &mut out, 8);
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 6]);
+        let mut data = vec![3u32, 1, 2];
+        let mut aux = vec![0u32; 3];
+        parallel_merge_path_sort(&mut data, &mut aux, 8);
+        assert_eq!(data, vec![1, 2, 3]);
     }
 
     #[test]

@@ -64,7 +64,7 @@ pub fn parallel_multiway_merge_with<K: SortKey>(
         .map(|&rank| multisequence_select(runs, rank))
         .collect();
 
-    std::thread::scope(|scope| {
+    crate::pool::scope(|scope| {
         let mut rest = out;
         for t in 0..threads {
             let part_len = boundaries[t + 1] - boundaries[t];

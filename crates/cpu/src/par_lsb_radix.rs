@@ -17,17 +17,28 @@ use msort_data::keys::{RadixImage, SortKey};
 /// Sort `data` in place using the parallel LSB radix sort with `threads`
 /// workers.
 pub fn parallel_lsb_radix_sort<K: SortKey>(data: &mut [K], threads: usize) {
+    if data.len() <= 1 {
+        return;
+    }
+    let mut aux = vec![data[0]; data.len()];
+    parallel_lsb_radix_sort_with_aux(data, &mut aux, threads);
+}
+
+/// [`parallel_lsb_radix_sort`] with a caller-provided scratch buffer
+/// (`aux.len() >= data.len()`), so callers that already own device-style
+/// auxiliary storage (the GPU runtime) avoid the allocation.
+pub fn parallel_lsb_radix_sort_with_aux<K: SortKey>(data: &mut [K], aux: &mut [K], threads: usize) {
     let n = data.len();
     let threads = threads.max(1).min(n.max(1));
     if n <= 1 {
         return;
     }
+    let aux = &mut aux[..n];
     if threads == 1 || n < 1 << 14 {
-        crate::lsb_radix::lsb_radix_sort(data);
+        crate::lsb_radix::lsb_radix_sort_with_aux(data, aux);
         return;
     }
 
-    let mut aux = vec![data[0]; n];
     let passes = (K::Radix::BITS / DIGIT_BITS) as usize;
     let stripe = n.div_ceil(threads);
     let mut in_data = true;
@@ -50,24 +61,16 @@ pub fn parallel_lsb_radix_sort<K: SortKey>(data: &mut [K], threads: usize) {
             )
         };
 
-        // Per-thread histograms over stripes.
-        let histograms: Vec<Vec<usize>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = src
-                .chunks(stripe)
-                .map(|chunk| {
-                    scope.spawn(move || {
-                        let mut hist = vec![0usize; BUCKETS];
-                        for k in chunk {
-                            hist[k.to_radix().digit(shift, DIGIT_BITS)] += 1;
-                        }
-                        hist
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("histogram worker panicked"))
-                .collect()
+        // Per-thread histograms over stripes, written into pre-split slots.
+        let mut histograms: Vec<Vec<usize>> = vec![vec![0usize; BUCKETS]; n.div_ceil(stripe)];
+        crate::pool::scope(|scope| {
+            for (chunk, hist) in src.chunks(stripe).zip(histograms.iter_mut()) {
+                scope.spawn(move || {
+                    for k in chunk {
+                        hist[k.to_radix().digit(shift, DIGIT_BITS)] += 1;
+                    }
+                });
+            }
         });
 
         // Skip constant-digit passes.
@@ -95,7 +98,7 @@ pub fn parallel_lsb_radix_sort<K: SortKey>(data: &mut [K], threads: usize) {
         debug_assert_eq!(acc, n);
 
         // Parallel scatter into disjoint regions.
-        std::thread::scope(|scope| {
+        crate::pool::scope(|scope| {
             for (chunk, mut my_offsets) in src.chunks(stripe).zip(offsets) {
                 let dst = dst_ptr;
                 scope.spawn(move || {
@@ -115,7 +118,7 @@ pub fn parallel_lsb_radix_sort<K: SortKey>(data: &mut [K], threads: usize) {
     }
 
     if !in_data {
-        data.copy_from_slice(&aux);
+        data.copy_from_slice(aux);
     }
 }
 
@@ -205,5 +208,17 @@ mod tests {
     #[test]
     fn more_threads_than_elements() {
         check::<u32>(Distribution::Uniform, 20_000, 64, 13);
+    }
+
+    #[test]
+    fn with_aux_matches_allocating_variant() {
+        let input: Vec<u64> = generate(Distribution::Uniform, 50_000, 17);
+        let mut a = input.clone();
+        let mut b = input.clone();
+        // Oversized aux: only the first n slots may be used.
+        let mut aux = vec![0u64; input.len() + 100];
+        parallel_lsb_radix_sort_with_aux(&mut a, &mut aux, 4);
+        parallel_lsb_radix_sort(&mut b, 4);
+        assert_eq!(a, b);
     }
 }

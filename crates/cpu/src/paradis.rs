@@ -111,7 +111,7 @@ fn recurse<K: SortKey>(data: &mut [K], shift: u32, threads: usize, small: usize)
         queues[w].push(s);
     }
 
-    std::thread::scope(|scope| {
+    crate::pool::scope(|scope| {
         for queue in queues {
             // Sub-recursion runs single-threaded per bucket: the top-level
             // fan-out already saturates the pool (matching the PARADIS
@@ -200,23 +200,15 @@ fn parallel_histogram<K: SortKey>(data: &[K], shift: u32, threads: usize) -> Vec
         return hist;
     }
     let stripe = data.len().div_ceil(threads);
-    let partials: Vec<Vec<usize>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = data
-            .chunks(stripe)
-            .map(|chunk| {
-                scope.spawn(move || {
-                    let mut hist = vec![0usize; BUCKETS];
-                    for k in chunk {
-                        hist[k.to_radix().digit(shift, DIGIT_BITS)] += 1;
-                    }
-                    hist
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("histogram worker panicked"))
-            .collect()
+    let mut partials: Vec<Vec<usize>> = vec![vec![0usize; BUCKETS]; data.len().div_ceil(stripe)];
+    crate::pool::scope(|scope| {
+        for (chunk, hist) in data.chunks(stripe).zip(partials.iter_mut()) {
+            scope.spawn(move || {
+                for k in chunk {
+                    hist[k.to_radix().digit(shift, DIGIT_BITS)] += 1;
+                }
+            });
+        }
     });
 
     let mut hist = vec![0usize; BUCKETS];
@@ -274,7 +266,7 @@ fn speculative_permute<K: SortKey>(
         return;
     }
 
-    std::thread::scope(|scope| {
+    crate::pool::scope(|scope| {
         for mut stripes in per_worker {
             scope.spawn(move || {
                 // SAFETY: worker stripes are pairwise disjoint index ranges
@@ -395,7 +387,7 @@ fn repair<K: SortKey>(
         // Each worker repairs a disjoint set of buckets; bucket remainders
         // are pairwise disjoint index ranges of `data`.
         let chunk = BUCKETS.div_ceil(workers);
-        std::thread::scope(|scope| {
+        crate::pool::scope(|scope| {
             for (ci, rems) in remainders.chunks_mut(chunk).enumerate() {
                 scope.spawn(move || {
                     for (off, rem) in rems.iter_mut().enumerate() {

@@ -26,7 +26,7 @@ pub fn parallel_sort_with<K: SortKey>(data: &mut [K], threads: usize) {
 
     // Phase 1: sort one chunk per thread in place.
     let chunk_len = n.div_ceil(threads);
-    std::thread::scope(|scope| {
+    crate::pool::scope(|scope| {
         for chunk in data.chunks_mut(chunk_len) {
             scope.spawn(move || chunk.sort_unstable_by(|a, b| a.total_cmp_key(b)));
         }

@@ -47,6 +47,7 @@
 //! ```
 
 pub mod buffer;
+mod exec;
 pub mod primitives;
 pub mod system;
 pub mod trace;

@@ -15,27 +15,80 @@
 //! The *duration* of each primitive comes from the calibrated cost model;
 //! the data effect comes from these functions.
 
-use msort_cpu::{lsb_radix, mergesort, msb_radix};
+use msort_cpu::{lsb_radix, mergesort, msb_radix, paradis};
 use msort_data::SortKey;
 use msort_sim::GpuSortAlgo;
+
+/// Inputs at or above this many physical keys run the parallel kernel
+/// variants; below it the sequential implementations win on dispatch
+/// overhead. The dispatch depends only on the input *size* (never on the
+/// thread count), so a given buffer always takes the same code path.
+pub const PARALLEL_MIN_KEYS: usize = 1 << 16;
 
 /// Sort `data` in place with the functional counterpart of `algo`, using
 /// `aux` as scratch where the algorithm requires it (mirroring
 /// `thrust::sort`'s user-provided temporary storage).
 pub fn device_sort<K: SortKey>(algo: GpuSortAlgo, data: &mut [K], aux: &mut [K]) {
+    device_sort_with(algo, data, aux, msort_cpu::pool::threads());
+}
+
+/// [`device_sort`] with an explicit worker budget. Above
+/// [`PARALLEL_MIN_KEYS`] each algorithm family dispatches to its parallel
+/// counterpart (a real GPU runs these kernels on thousands of threads;
+/// the wall-clock engine runs them on the shared worker pool).
+pub fn device_sort_with<K: SortKey>(
+    algo: GpuSortAlgo,
+    data: &mut [K],
+    aux: &mut [K],
+    threads: usize,
+) {
+    let parallel = threads > 1 && data.len() >= PARALLEL_MIN_KEYS;
     match algo {
         GpuSortAlgo::ThrustLike | GpuSortAlgo::CubLike => {
-            lsb_radix::lsb_radix_sort_with_aux(data, &mut aux[..data.len()]);
+            if parallel {
+                msort_cpu::parallel_lsb_radix_sort_with_aux(data, aux, threads);
+            } else {
+                lsb_radix::lsb_radix_sort_with_aux(data, &mut aux[..data.len()]);
+            }
         }
-        GpuSortAlgo::StehleLike => msb_radix::msb_radix_sort(data),
-        GpuSortAlgo::MgpuLike => mergesort::merge_path_sort(data),
+        GpuSortAlgo::StehleLike => {
+            if parallel {
+                paradis::paradis_sort_with(
+                    data,
+                    paradis::ParadisConfig {
+                        threads,
+                        ..Default::default()
+                    },
+                );
+            } else {
+                msb_radix::msb_radix_sort(data);
+            }
+        }
+        GpuSortAlgo::MgpuLike => {
+            if parallel {
+                mergesort::parallel_merge_path_sort(data, aux, threads);
+            } else {
+                mergesort::merge_path_sort(data);
+            }
+        }
     }
 }
 
 /// Merge the two sorted runs `src[..mid]` and `src[mid..]` into `dst`
 /// (the `thrust::merge` pattern used by P2P sort's local merges).
 pub fn device_merge_into<K: SortKey>(src: &[K], mid: usize, dst: &mut [K]) {
-    mergesort::merge_into(&src[..mid], &src[mid..], dst);
+    device_merge_into_with(src, mid, dst, msort_cpu::pool::threads());
+}
+
+/// [`device_merge_into`] with an explicit worker budget: large merges split
+/// along merge-path diagonals across the pool, exactly like the per-block
+/// tiles of a real GPU merge kernel.
+pub fn device_merge_into_with<K: SortKey>(src: &[K], mid: usize, dst: &mut [K], threads: usize) {
+    if threads > 1 && dst.len() >= PARALLEL_MIN_KEYS {
+        mergesort::parallel_merge_into(&src[..mid], &src[mid..], dst, threads);
+    } else {
+        mergesort::merge_into(&src[..mid], &src[mid..], dst);
+    }
 }
 
 #[cfg(test)]

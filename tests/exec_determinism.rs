@@ -1,0 +1,136 @@
+//! Determinism guarantees of the wall-clock effect executor.
+//!
+//! PR 5 runs data effects (staged copies, device sorts/merges, host
+//! multiway merges) concurrently on a shared worker pool instead of
+//! inline on the driver thread. The contract is that this is *purely* a
+//! wall-clock optimization: sorted outputs, `SortReport`s (including
+//! every simulated clock in them), and serve-level `ServiceReport`s are
+//! bit-identical whether the executor runs with one thread (the seed's
+//! serial behavior) or many.
+//!
+//! Two mechanisms make that hold, and these tests pin both:
+//!
+//! * kernels always chunk by the process-wide `msort_cpu::pool::threads()`
+//!   (never by the effect budget), so a buffer's bytes never depend on the
+//!   effect-level schedule;
+//! * conflicting effect jobs are serialized in submission order, which is
+//!   the deterministic simulated completion order.
+//!
+//! `SortReport`/`ServiceReport` intentionally do not implement
+//! `PartialEq`; comparing their `Debug` renderings compares every field,
+//! including all simulated timings.
+
+use multi_gpu_sort::prelude::*;
+
+const DISTS: [Distribution; 3] = [
+    Distribution::Uniform,
+    Distribution::ReverseSorted,
+    Distribution::ZipfDuplicates { skew_permille: 800 },
+];
+
+fn config_for(algo: &str, g: usize) -> RunConfig {
+    match algo {
+        "p2p" => RunConfig::p2p(P2pConfig::new(g)),
+        "rp" => RunConfig::rp(RpConfig::new(g)),
+        "het" => RunConfig::het(HetConfig::new(g)),
+        _ => unreachable!(),
+    }
+}
+
+/// Run one sort with the given effect budget; return the output bytes and
+/// the full report rendering.
+fn run_once(
+    platform: &Platform,
+    algo: &str,
+    dist: Distribution,
+    n: u64,
+    effect_threads: usize,
+) -> (Vec<u32>, String) {
+    let mut data: Vec<u32> = generate(dist, n as usize, 7);
+    let cfg = config_for(algo, 4).with_effect_threads(effect_threads);
+    let report = run_sort(platform, &cfg, &mut data, n);
+    assert!(report.validated, "{algo} on {dist:?} must validate");
+    (data, format!("{report:?}"))
+}
+
+/// The full matrix: every paper platform x every algorithm x three
+/// distributions, serial executor vs four effect threads. Outputs and
+/// reports must match byte for byte.
+#[test]
+fn outputs_and_reports_bit_identical_across_effect_threads() {
+    for id in PlatformId::paper_set() {
+        let platform = Platform::paper(id);
+        // DGX gets the large case (per-GPU chunks cross the parallel-kernel
+        // threshold when the pool is wide); the other platforms cover the
+        // matrix at a size that keeps the debug-mode suite fast.
+        let n: u64 = if id == PlatformId::DgxA100 {
+            1 << 18
+        } else {
+            1 << 16
+        };
+        for algo in ["p2p", "rp", "het"] {
+            for dist in DISTS {
+                let (out_serial, rep_serial) = run_once(&platform, algo, dist, n, 1);
+                let (out_pool, rep_pool) = run_once(&platform, algo, dist, n, 4);
+                assert_eq!(
+                    out_serial, out_pool,
+                    "{id:?}/{algo}/{dist:?}: output differs between effect_threads 1 and 4"
+                );
+                assert_eq!(
+                    rep_serial, rep_pool,
+                    "{id:?}/{algo}/{dist:?}: SortReport differs between effect_threads 1 and 4"
+                );
+            }
+        }
+    }
+}
+
+/// Sampled fidelity takes different code paths (scaled physical payloads);
+/// the invariant must hold there too.
+#[test]
+fn sampled_fidelity_reports_bit_identical() {
+    let platform = Platform::dgx_a100();
+    let n: u64 = 1 << 22;
+    let scale: u64 = 1 << 8;
+    for algo in ["p2p", "het"] {
+        let mut runs = Vec::new();
+        for threads in [1usize, 4] {
+            let mut data: Vec<u32> = generate(Distribution::Uniform, (n / scale) as usize, 9);
+            let cfg = config_for(algo, 4)
+                .sampled(scale)
+                .with_effect_threads(threads);
+            let report = run_sort(&platform, &cfg, &mut data, n);
+            runs.push((data, format!("{report:?}")));
+        }
+        assert_eq!(runs[0], runs[1], "{algo}: sampled run differs");
+    }
+}
+
+/// The serve layer drives many concurrent jobs through one `GpuSystem`;
+/// its `ServiceReport` (per-job spans, per-tenant stats, all simulated
+/// times) must not notice the effect budget either.
+#[test]
+fn service_report_bit_identical_across_effect_threads() {
+    let platform = Platform::dgx_a100();
+    let arrivals = |seed: u64| -> Vec<(SimTime, SortJob)> {
+        (0..6u64)
+            .map(|i| {
+                let job = SortJob::new(TenantId((i % 3) as u32), 1 << 14)
+                    .with_gpus(2)
+                    .with_seed(seed + i)
+                    .with_dist(DISTS[(i % 3) as usize]);
+                (SimTime::ZERO + SimDuration::from_micros(i * 50), job)
+            })
+            .collect()
+    };
+    let mut reports = Vec::new();
+    for threads in [1usize, 4] {
+        let cfg = ServeConfig::new().with_run(RunConfig::new().with_effect_threads(threads));
+        let report = SortService::<u32>::new(&platform, cfg).run(arrivals(3));
+        reports.push(format!("{report:?}"));
+    }
+    assert_eq!(
+        reports[0], reports[1],
+        "ServiceReport differs between effect_threads 1 and 4"
+    );
+}

@@ -6,7 +6,7 @@
 //! reproducible from its printed seed.
 
 use multi_gpu_sort::data::Rng;
-use multi_gpu_sort::gpu::{GpuSystem, Phase};
+use multi_gpu_sort::gpu::{GpuSystem, OpId, Phase};
 use multi_gpu_sort::prelude::*;
 
 /// Random DAGs of copies and delays across random streams with random
@@ -84,6 +84,92 @@ fn rp_sort_any_input() {
         let report = rp_sort(&platform, &RpConfig::new(g), &mut data, n);
         assert!(report.validated, "seed {seed}");
         assert!(same_multiset(&input, &data), "seed {seed}");
+    }
+}
+
+/// Random DAGs of *data effects* sharing buffers: sorts over random
+/// subranges, pairwise merges, and overlapping copies, on random streams
+/// with random waits. The wall-clock effect executor must produce
+/// bit-identical buffer contents whether it runs serially or with four
+/// effect threads — conflicting jobs keep their simulated order, and the
+/// kernels chunk by the process-wide pool width either way.
+#[test]
+fn random_effect_dags_bit_identical_across_effect_threads() {
+    for seed in 0..16u64 {
+        let run = |effect_threads: usize| -> Vec<Vec<u32>> {
+            let mut rng = Rng::seed_from_u64(9_000 + seed);
+            let platform = Platform::dgx_a100();
+            let mut sys: GpuSystem<'_, u32> = GpuSystem::new(&platform, Fidelity::Full);
+            sys.set_effect_threads(effect_threads);
+            let n: u64 = 1 << 12;
+            let host = sys.world_mut().import_host(
+                0,
+                (0..n as u32)
+                    .map(|i| i.wrapping_mul(2_654_435_761))
+                    .collect(),
+                n,
+            );
+            let gpus = 4usize;
+            let data: Vec<_> = (0..gpus).map(|g| sys.world_mut().alloc_gpu(g, n)).collect();
+            let aux: Vec<_> = (0..gpus).map(|g| sys.world_mut().alloc_gpu(g, n)).collect();
+            let streams: Vec<_> = (0..4).map(|_| sys.stream()).collect();
+            let mut issued: Vec<OpId> = (0..gpus)
+                .map(|g| sys.memcpy(streams[g % 4], host, 0, data[g], 0, n, &[], Phase::HtoD))
+                .collect();
+            for i in 0..24 {
+                let s = streams[rng.usize_in(0..4)];
+                let g = rng.usize_in(0..gpus);
+                let waits: Vec<OpId> = (0..rng.usize_in(0..3))
+                    .map(|_| issued[rng.usize_in(0..issued.len())])
+                    .collect();
+                let op = match i % 4 {
+                    0 => {
+                        // Sort a random subrange (conflicts with copies and
+                        // merges touching the same buffer).
+                        let lo = rng.u64_in(0..n / 2);
+                        let hi = lo + rng.u64_in(1..n - lo);
+                        sys.gpu_sort(
+                            s,
+                            GpuSortAlgo::ThrustLike,
+                            data[g],
+                            (lo, hi),
+                            aux[g],
+                            &waits,
+                        )
+                    }
+                    1 => {
+                        // Merge the halves of one buffer into its neighbor's
+                        // aux (cross-buffer read/write edges).
+                        let len = rng.u64_in(2..n);
+                        sys.gpu_merge_into(s, data[g], len / 2, len, aux[g], &waits)
+                    }
+                    2 => {
+                        // Device-to-device copy with ranges that overlap
+                        // other ops' windows.
+                        let len = rng.u64_in(1..n / 2);
+                        let src_off = rng.u64_in(0..n - len);
+                        let dst_off = rng.u64_in(0..n - len);
+                        let dst = data[(g + 1) % gpus];
+                        sys.memcpy(s, data[g], src_off, dst, dst_off, len, &waits, Phase::Merge)
+                    }
+                    _ => sys.delay(
+                        s,
+                        SimDuration::from_micros(rng.u64_in(1..32)),
+                        &waits,
+                        Phase::Other,
+                    ),
+                };
+                issued.push(op);
+            }
+            sys.synchronize();
+            let mut out: Vec<Vec<u32>> = Vec::new();
+            for g in 0..gpus {
+                out.push(sys.world().slice(data[g], 0, n).to_vec());
+                out.push(sys.world().slice(aux[g], 0, n).to_vec());
+            }
+            out
+        };
+        assert_eq!(run(1), run(4), "seed {seed}: world contents diverged");
     }
 }
 
