@@ -1,0 +1,140 @@
+//! Single-node kernel microbenchmarks: classic LSB radix vs the OneSweep
+//! kernel vs merge-path merge sort.
+//!
+//! These are the data-effect kernels that dominate the *wall clock* of a
+//! full-fidelity simulated sort (the simulated clocks come from the cost
+//! model and never change). Cases cover the sizes the effect executor
+//! actually sees per GPU (1M–32M keys) across uniform, duplicate-heavy
+//! Zipf, sorted, and reverse-sorted inputs; the parallel variants run at
+//! the pool width, so on a multi-worker pool (`MSORT_POOL_THREADS >= 2`)
+//! the chained-lookback scatter path is exercised for real.
+//!
+//! The run doubles as a regression guard: at the largest benched size the
+//! OneSweep kernel must not be slower than the classic LSB radix it
+//! replaced (10% noise allowance); a violation aborts the bench.
+//!
+//! `MSORT_BENCH_QUICK=1` shrinks the matrix for CI smoke runs. Results
+//! seed `BENCH_kernels.json` via `MSORT_BENCH_JSON=<dir>`.
+
+use msort_bench::Harness;
+use msort_cpu::pool;
+use msort_data::{generate, Distribution};
+use std::hint::black_box;
+
+fn quick() -> bool {
+    std::env::var_os("MSORT_BENCH_QUICK").is_some()
+}
+
+fn dist_label(dist: Distribution) -> &'static str {
+    match dist {
+        Distribution::Uniform => "uniform",
+        Distribution::ZipfDuplicates { .. } => "zipf",
+        Distribution::Sorted => "sorted",
+        Distribution::ReverseSorted => "reverse",
+        _ => "other",
+    }
+}
+
+fn size_label(n: usize) -> String {
+    if n >= 1 << 20 {
+        format!("{}m", n >> 20)
+    } else {
+        format!("{}k", n >> 10)
+    }
+}
+
+fn main() {
+    let samples = if quick() { 3 } else { 5 };
+    let sizes: &[usize] = if quick() {
+        &[1 << 18]
+    } else {
+        &[1 << 20, 1 << 23, 1 << 25]
+    };
+    let dists = [
+        Distribution::Uniform,
+        Distribution::ZipfDuplicates { skew_permille: 800 },
+        Distribution::Sorted,
+        Distribution::ReverseSorted,
+    ];
+    let threads = pool::threads();
+    let mut h = Harness::new("kernels").sample_size(samples);
+
+    for &n in sizes {
+        let sl = size_label(n);
+        let mut aux = vec![0u32; n];
+        for dist in dists {
+            let dl = dist_label(dist);
+            let input: Vec<u32> = generate(dist, n, 42);
+            h.bench_throughput(&format!("lsb_radix/{sl}/{dl}"), n as u64, || {
+                let mut d = input.clone();
+                msort_cpu::lsb_radix::lsb_radix_sort_with_aux(&mut d, &mut aux);
+                black_box(d.len())
+            });
+            h.bench_throughput(&format!("onesweep/{sl}/{dl}"), n as u64, || {
+                let mut d = input.clone();
+                msort_cpu::onesweep_sort_with_aux(&mut d, &mut aux);
+                black_box(d.len())
+            });
+        }
+        // Merge sort is comparison bound — one distribution carries the
+        // signal; the branchless inner loop shows up most on uniform keys
+        // (the data-dependent branch is unpredictable there).
+        let uniform: Vec<u32> = generate(Distribution::Uniform, n, 42);
+        h.bench_throughput(&format!("merge_path/{sl}/uniform"), n as u64, || {
+            let mut d = uniform.clone();
+            msort_cpu::merge_path_sort(&mut d);
+            black_box(d.len())
+        });
+        // Parallel variants at the pool width (on a 1-thread pool these
+        // take the sequential fallback by design — same output, same code
+        // path the dispatch would pick).
+        h.bench_throughput(
+            &format!("par_lsb_radix/{sl}/uniform/t{threads}"),
+            n as u64,
+            || {
+                let mut d = uniform.clone();
+                msort_cpu::parallel_lsb_radix_sort_with_aux(&mut d, &mut aux, threads);
+                black_box(d.len())
+            },
+        );
+        h.bench_throughput(
+            &format!("par_onesweep/{sl}/uniform/t{threads}"),
+            n as u64,
+            || {
+                let mut d = uniform.clone();
+                msort_cpu::parallel_onesweep_sort_with_aux(&mut d, &mut aux, threads);
+                black_box(d.len())
+            },
+        );
+    }
+
+    // Regression guard: OneSweep must not regress below the kernel it
+    // replaced at the largest benched size (uniform keys). 10% headroom
+    // absorbs scheduler noise on shared CI runners.
+    let largest = size_label(*sizes.last().expect("at least one size"));
+    let median = |id: String| {
+        h.results()
+            .iter()
+            .find(|r| r.id == id)
+            .map(|r| r.median())
+            .filter(|d| !d.is_zero())
+    };
+    if let (Some(lsb), Some(ones)) = (
+        median(format!("lsb_radix/{largest}/uniform")),
+        median(format!("onesweep/{largest}/uniform")),
+    ) {
+        assert!(
+            ones.as_secs_f64() <= lsb.as_secs_f64() * 1.10,
+            "OneSweep regressed below the classic LSB radix at {largest} keys: \
+             onesweep {ones:?} vs lsb {lsb:?}"
+        );
+        println!(
+            "guard: onesweep/{largest} {:.0} ms vs lsb_radix/{largest} {:.0} ms ({:.2}x)",
+            ones.as_secs_f64() * 1e3,
+            lsb.as_secs_f64() * 1e3,
+            lsb.as_secs_f64() / ones.as_secs_f64(),
+        );
+    }
+
+    h.finish();
+}

@@ -1,0 +1,80 @@
+//! One-off tuning probe (not shipped in CI): seq vs parallel onesweep and
+//! copy vs par_copy around their dispatch floors.
+use msort_data::{generate, Distribution};
+use std::time::Instant;
+
+fn med(mut v: Vec<f64>) -> f64 {
+    v.sort_by(f64::total_cmp);
+    v[v.len() / 2]
+}
+
+fn main() {
+    let threads = msort_cpu::pool::threads();
+    println!("pool threads = {threads}");
+    for shift in [14usize, 15, 16, 17, 18, 20] {
+        let n = 1usize << shift;
+        let input: Vec<u32> = generate(Distribution::Uniform, n, 7);
+        let mut aux = vec![0u32; n];
+        let reps = (1 << 24) / n.max(1);
+        let mut seq = Vec::new();
+        let mut par = Vec::new();
+        for _ in 0..7 {
+            let t = Instant::now();
+            for _ in 0..reps {
+                let mut d = input.clone();
+                msort_cpu::onesweep_sort_with_aux(&mut d, &mut aux);
+                std::hint::black_box(d.len());
+            }
+            seq.push(t.elapsed().as_secs_f64() / reps as f64);
+            let t = Instant::now();
+            for _ in 0..reps {
+                let mut d = input.clone();
+                msort_cpu::parallel_onesweep_sort_with_aux(&mut d, &mut aux, threads);
+                std::hint::black_box(d.len());
+            }
+            par.push(t.elapsed().as_secs_f64() / reps as f64);
+        }
+        println!(
+            "n=2^{shift}: seq {:.1} us, par {:.1} us ({:.2}x)",
+            med(seq.clone()) * 1e6,
+            med(par.clone()) * 1e6,
+            med(seq) / med(par),
+        );
+    }
+
+    // Copy floor: serial copy_from_slice vs a pool-split copy, same split
+    // rule as msort-gpu's par_copy.
+    for shift in [18usize, 20, 22] {
+        let n = (1usize << shift) / 4; // bytes -> u32 keys
+        let src: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(0x9e37_79b9)).collect();
+        let mut dst = vec![0u32; n];
+        let reps = (1 << 26) / n.max(1);
+        let mut ser = Vec::new();
+        let mut par = Vec::new();
+        for _ in 0..7 {
+            let t = Instant::now();
+            for _ in 0..reps {
+                dst.copy_from_slice(&src);
+                std::hint::black_box(dst[0]);
+            }
+            ser.push(t.elapsed().as_secs_f64() / reps as f64);
+            let t = Instant::now();
+            for _ in 0..reps {
+                let chunk = n.div_ceil(threads.min(8));
+                msort_cpu::pool::scope(|s| {
+                    for (d, sr) in dst.chunks_mut(chunk).zip(src.chunks(chunk)) {
+                        s.spawn(move || d.copy_from_slice(sr));
+                    }
+                });
+                std::hint::black_box(dst[0]);
+            }
+            par.push(t.elapsed().as_secs_f64() / reps as f64);
+        }
+        println!(
+            "copy 2^{shift} B: serial {:.1} us, pooled {:.1} us ({:.2}x)",
+            med(ser.clone()) * 1e6,
+            med(par.clone()) * 1e6,
+            med(ser) / med(par),
+        );
+    }
+}

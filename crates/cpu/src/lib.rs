@@ -6,6 +6,10 @@
 //! * [`lsb_radix`] — out-of-place least-significant-digit radix sort, the
 //!   algorithm family behind Thrust/CUB `sort` and the Polychroniou & Ross
 //!   CPU LSB radix sort used as one of the paper's CPU baselines.
+//! * [`onesweep`] — OneSweep-style single-pass radix sort (one global
+//!   histogram pass over all digit positions, chained-lookback scatter,
+//!   software write combining); the kernel the device-sort dispatch now
+//!   routes Thrust/CUB-family sorts to.
 //! * [`msb_radix`] — recursive in-place most-significant-digit radix sort,
 //!   the family behind Stehle & Jacobsen's GPU sort.
 //! * [`mergesort`] — bottom-up merge sort with a merge-path style
@@ -38,6 +42,7 @@ pub mod lsb_radix;
 pub mod mergesort;
 pub mod msb_radix;
 pub mod multiway;
+pub mod onesweep;
 pub mod par_lsb_radix;
 pub mod paradis;
 pub mod parsort;
@@ -48,6 +53,9 @@ pub use lsb_radix::lsb_radix_sort;
 pub use mergesort::{merge_path_sort, parallel_merge_into, parallel_merge_path_sort};
 pub use msb_radix::msb_radix_sort;
 pub use multiway::{multiway_merge, parallel_multiway_merge, LoserTree};
+pub use onesweep::{
+    onesweep_sort, onesweep_sort_with_aux, parallel_onesweep_sort, parallel_onesweep_sort_with_aux,
+};
 pub use par_lsb_radix::{parallel_lsb_radix_sort, parallel_lsb_radix_sort_with_aux};
 pub use paradis::{paradis_sort, ParadisConfig};
 pub use parsort::parallel_sort;

@@ -1,0 +1,599 @@
+//! OneSweep-style single-pass radix sort.
+//!
+//! The classic parallel LSB radix sort ([`crate::par_lsb_radix`]) sweeps the
+//! keys **twice per digit**: a histogram pass to size the per-thread output
+//! regions, then the scatter itself — `2d` full reads for `d` digit passes.
+//! OneSweep (Adinets & Merrill, "Onesweep: A Faster Least Significant Digit
+//! Radix Sort for GPUs", the kernel family behind the GPUSorting exemplar
+//! that beats CUB's `DeviceRadixSort`) removes the per-pass histogram sweep:
+//!
+//! * **one** global histogram pass up front computes the bucket totals of
+//!   *every* digit position in a single scan (totals are permutation
+//!   invariant, so they stay valid for all later passes);
+//! * each digit pass is then a **single scatter sweep**: the input is cut
+//!   into fixed-size tiles; a tile counts its own digits while its keys are
+//!   cache resident, resolves its global write offsets by *chained prefix
+//!   propagation* from its predecessor tile (the CPU analogue of decoupled
+//!   lookback: publish local counts, acquire the running prefix of tile
+//!   `t-1`, publish the inclusive prefix for tile `t+1`), and scatters
+//!   straight from cache.
+//!
+//! Keys therefore stream from memory `1 + d` times instead of `2d`. Two
+//! further single-thread wins over [`crate::lsb_radix`]:
+//!
+//! * **Wider digits.** 11-bit digits (2048 buckets) need 3 passes for
+//!   32-bit keys and 6 for 64-bit keys, vs 4 and 8 at the classic 8-bit
+//!   width — 25% fewer key reads *and* writes end to end. The histogram
+//!   working set (6 × 16 KiB) still sits in L2.
+//! * **Software write combining** (opt-in, `MSORT_WC_SCATTER=1`). A
+//!   2048-bucket scatter touches 2048 distinct output cache lines (and, at
+//!   large sizes, 2048 distinct TLB pages) in round-robin. Buffering
+//!   [`WC_KEYS`] keys per bucket in a cache-resident staging block and
+//!   flushing whole batches turns the random single-key stores into short
+//!   streaming bursts, amortizing the cache-line and TLB misses across the
+//!   batch. On virtualized hosts the staging copy costs more than it saves
+//!   (measured numbers at [`wc_enabled`]), so the default is the plain
+//!   scatter.
+//!
+//! Determinism: tiles have a **fixed** size (never derived from the thread
+//! count), the scatter is stable (within a bucket, keys keep tile order and
+//! in-tile order), and stable LSD radix output is unique — so the sequential
+//! kernel, the parallel kernel, and [`crate::lsb_radix`] all produce
+//! bit-identical outputs for every `MSORT_POOL_THREADS` setting. That is the
+//! property the effect-executor determinism suite pins.
+
+use msort_data::keys::{RadixImage, SortKey};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+
+/// Digit width in bits. See the module docs for why 11 beats 8 here.
+pub const RADIX_BITS: u32 = 11;
+
+/// Number of buckets per digit pass.
+pub const RADIX_BUCKETS: usize = 1 << RADIX_BITS;
+
+/// Keys buffered per bucket before a write-combining flush. 16 keys is one
+/// full cache line of `u32` (two of `u64`): large enough to amortize the
+/// line/TLB miss of the flush target, small enough that the whole staging
+/// block (2048 × 16 keys) stays cache resident.
+const WC_KEYS: usize = 16;
+
+/// Whether the scatter should stage stores through the software
+/// write-combining block ([`scatter_wc`]) instead of storing keys directly
+/// ([`scatter_plain`]).
+///
+/// Measured on the reference 1-core CI container (release, 32M uniform
+/// `u32`): plain scatter 635 ms vs write-combined 856 ms — the staging
+/// copy roughly doubles store traffic, and under virtualized (EPT) paging
+/// the TLB-miss cost it amortizes on bare metal never materializes, so WC
+/// *loses* 35% there and at every size down to 8M (273 ms vs 190 ms at
+/// 8-bit digits). Default is therefore off; set `MSORT_WC_SCATTER=1` on
+/// bare-metal hosts with real TLB pressure (2048 scatter streams × 4 KiB
+/// pages exceed any L2 DTLB once the output no longer fits). The choice
+/// never affects output bytes — both scatters are stable — only wall
+/// clock, so flipping it cannot break serial-vs-pool bit-identity.
+fn wc_enabled() -> bool {
+    use std::sync::OnceLock;
+    static WC: OnceLock<bool> = OnceLock::new();
+    *WC.get_or_init(|| std::env::var_os("MSORT_WC_SCATTER").is_some_and(|v| v == "1"))
+}
+
+/// Tile size (in keys) of the chained-lookback scatter. Constant — never a
+/// function of the thread count — so the output-position assignment is
+/// identical for every pool width. 32 Ki keys keep a tile (plus its
+/// write-combining block and two 16 KiB count tables) L2 resident between
+/// the count and the scatter, and put two tiles — the minimum that can
+/// overlap — exactly at the device dispatch floor
+/// (`msort_gpu::primitives::PARALLEL_MIN_KEYS`, 64 Ki).
+const TILE: usize = 1 << 15;
+
+/// Below this many keys (= two tiles) the parallel entry point falls back
+/// to the sequential kernel: a single tile has no scatter overlap to win
+/// and would pay the lookback state setup for nothing.
+const PARALLEL_FLOOR: usize = 2 * TILE;
+
+/// Number of digit passes needed to cover `R::BITS` at [`RADIX_BITS`] per
+/// pass (the last pass covers the remaining high bits).
+#[must_use]
+fn pass_count<R: RadixImage>() -> usize {
+    R::BITS.div_ceil(RADIX_BITS) as usize
+}
+
+/// Sort `data` in place with the sequential OneSweep kernel, allocating the
+/// auxiliary buffer internally.
+pub fn onesweep_sort<K: SortKey>(data: &mut [K]) {
+    if data.len() <= 1 {
+        return;
+    }
+    let mut aux = vec![data[0]; data.len()];
+    onesweep_sort_with_aux(data, &mut aux);
+}
+
+/// Sort `data` in place with the sequential OneSweep kernel using a
+/// caller-provided auxiliary buffer (`aux.len() >= data.len()`).
+///
+/// # Panics
+/// Panics if `aux.len() < data.len()`.
+pub fn onesweep_sort_with_aux<K: SortKey>(data: &mut [K], aux: &mut [K]) {
+    onesweep_sort_with_aux_impl(data, aux, wc_enabled());
+}
+
+/// [`onesweep_sort_with_aux`] with the write-combining decision explicit,
+/// so tests can pin both scatter paths regardless of the environment.
+fn onesweep_sort_with_aux_impl<K: SortKey>(data: &mut [K], aux: &mut [K], use_wc: bool) {
+    let n = data.len();
+    assert!(
+        aux.len() >= n,
+        "auxiliary buffer must cover the input length"
+    );
+    if n <= 1 {
+        return;
+    }
+    let aux = &mut aux[..n];
+
+    // One global histogram pass: bucket totals of every digit position.
+    let passes = pass_count::<K::Radix>();
+    let mut hists = vec![vec![0usize; RADIX_BUCKETS]; passes];
+    scan_all_digits(data, &mut hists);
+
+    let mut wc = use_wc.then(|| WcBlock::new(data[0]));
+    let mut offsets = vec![0usize; RADIX_BUCKETS];
+    let mut in_data = true;
+    for (p, hist) in hists.iter().enumerate() {
+        // A pass whose digit is constant across the input moves nothing.
+        if hist.contains(&n) {
+            continue;
+        }
+        let shift = p as u32 * RADIX_BITS;
+        exclusive_scan(hist, &mut offsets);
+        let (src, dst): (&[K], SendPtr<K>) = if in_data {
+            (&*data, SendPtr(aux.as_mut_ptr()))
+        } else {
+            (&*aux, SendPtr(data.as_mut_ptr()))
+        };
+        // SAFETY: `offsets` is the exclusive scan of the full bucket totals
+        // for this pass, so every key scatters to a unique in-bounds slot of
+        // the opposite ping-pong buffer.
+        match &mut wc {
+            Some(wc) => unsafe { scatter_wc(src, dst, shift, &mut offsets, wc) },
+            None => unsafe { scatter_plain(src, dst, shift, &mut offsets) },
+        }
+        in_data = !in_data;
+    }
+    if !in_data {
+        data.copy_from_slice(aux);
+    }
+}
+
+/// Sort `data` in place with the parallel OneSweep kernel: `threads` pool
+/// workers pull fixed-size tiles off a shared ticket and resolve their
+/// scatter offsets by chained prefix propagation. Falls back to
+/// [`onesweep_sort_with_aux`] below the parallel floor; the output is
+/// bit-identical either way.
+pub fn parallel_onesweep_sort<K: SortKey>(data: &mut [K], threads: usize) {
+    if data.len() <= 1 {
+        return;
+    }
+    let mut aux = vec![data[0]; data.len()];
+    parallel_onesweep_sort_with_aux(data, &mut aux, threads);
+}
+
+/// [`parallel_onesweep_sort`] with a caller-provided auxiliary buffer
+/// (`aux.len() >= data.len()`), so the GPU runtime's device-style scratch
+/// allocations are reused instead of reallocated.
+///
+/// # Panics
+/// Panics if `aux.len() < data.len()`.
+pub fn parallel_onesweep_sort_with_aux<K: SortKey>(data: &mut [K], aux: &mut [K], threads: usize) {
+    parallel_onesweep_sort_with_aux_impl(data, aux, threads, wc_enabled());
+}
+
+/// [`parallel_onesweep_sort_with_aux`] with the write-combining decision
+/// explicit, so tests can pin both scatter paths regardless of the
+/// environment.
+fn parallel_onesweep_sort_with_aux_impl<K: SortKey>(
+    data: &mut [K],
+    aux: &mut [K],
+    threads: usize,
+    use_wc: bool,
+) {
+    let n = data.len();
+    assert!(
+        aux.len() >= n,
+        "auxiliary buffer must cover the input length"
+    );
+    let threads = threads.max(1).min(n.max(1));
+    if n <= 1 {
+        return;
+    }
+    let aux = &mut aux[..n];
+    if threads == 1 || n < PARALLEL_FLOOR {
+        onesweep_sort_with_aux_impl(data, aux, use_wc);
+        return;
+    }
+
+    // Global histogram pass, parallel over stripes. Totals are stripe-order
+    // independent, but the reduction still runs in fixed stripe order.
+    let passes = pass_count::<K::Radix>();
+    let stripe = n.div_ceil(threads);
+    let mut stripe_hists: Vec<Vec<usize>> =
+        vec![vec![0usize; passes * RADIX_BUCKETS]; n.div_ceil(stripe)];
+    crate::pool::scope(|scope| {
+        for (chunk, hist) in data.chunks(stripe).zip(stripe_hists.iter_mut()) {
+            scope.spawn(move || {
+                for key in chunk {
+                    let img = key.to_radix();
+                    for p in 0..passes {
+                        hist[p * RADIX_BUCKETS + img.digit(p as u32 * RADIX_BITS, RADIX_BITS)] += 1;
+                    }
+                }
+            });
+        }
+    });
+    let mut hists = vec![vec![0usize; RADIX_BUCKETS]; passes];
+    for sh in &stripe_hists {
+        for (p, hist) in hists.iter_mut().enumerate() {
+            for (t, &c) in hist.iter_mut().zip(&sh[p * RADIX_BUCKETS..]) {
+                *t += c;
+            }
+        }
+    }
+
+    // Chained-lookback state, reused across passes. `counts[t * B + b]` is
+    // the *inclusive* prefix (tiles 0..=t) of bucket b once `done[t]` is
+    // set; tile counts fit u32 because TILE < 2^32.
+    let tiles = n.div_ceil(TILE);
+    let counts: Vec<AtomicU32> = (0..tiles * RADIX_BUCKETS)
+        .map(|_| AtomicU32::new(0))
+        .collect();
+    let done: Vec<AtomicU32> = (0..tiles).map(|_| AtomicU32::new(0)).collect();
+    let ticket = AtomicUsize::new(0);
+
+    let mut bases = vec![0usize; RADIX_BUCKETS];
+    let mut in_data = true;
+    for (p, hist) in hists.iter().enumerate() {
+        if hist.contains(&n) {
+            continue;
+        }
+        let shift = p as u32 * RADIX_BITS;
+        exclusive_scan(hist, &mut bases);
+        for d in &done {
+            d.store(0, Ordering::Relaxed);
+        }
+        ticket.store(0, Ordering::Relaxed);
+
+        let (src, dst): (&[K], SendPtr<K>) = if in_data {
+            // SAFETY: `data` and `aux` are distinct allocations of length n;
+            // the raw-derived views only erase the ping-pong borrow.
+            (
+                unsafe { std::slice::from_raw_parts(data.as_ptr(), n) },
+                SendPtr(aux.as_mut_ptr()),
+            )
+        } else {
+            (
+                unsafe { std::slice::from_raw_parts(aux.as_ptr(), n) },
+                SendPtr(data.as_mut_ptr()),
+            )
+        };
+
+        let workers = threads.min(tiles);
+        crate::pool::scope(|scope| {
+            for _ in 0..workers {
+                let (counts, done, ticket, bases) = (&counts, &done, &ticket, &bases);
+                scope.spawn(move || {
+                    let mut local = vec![0u32; RADIX_BUCKETS];
+                    let mut offsets = vec![0usize; RADIX_BUCKETS];
+                    let mut wc = use_wc.then(|| WcBlock::new(src[0]));
+                    loop {
+                        let t = ticket.fetch_add(1, Ordering::Relaxed);
+                        if t >= tiles {
+                            break;
+                        }
+                        let tile = &src[t * TILE..((t + 1) * TILE).min(n)];
+                        // Count this tile's digits (the tile is now cache
+                        // resident for the scatter below).
+                        local.iter_mut().for_each(|c| *c = 0);
+                        for key in tile {
+                            local[key.to_radix().digit(shift, RADIX_BITS)] += 1;
+                        }
+                        // Chained prefix resolution: acquire the inclusive
+                        // prefix of tile t-1, publish ours for tile t+1.
+                        // Progress is guaranteed because tickets are issued
+                        // in tile order: tile t-1 is always already running
+                        // on some worker when tile t waits for it.
+                        if t > 0 {
+                            let mut spins = 0u32;
+                            while done[t - 1].load(Ordering::Acquire) == 0 {
+                                spins += 1;
+                                if spins < 1 << 10 {
+                                    std::hint::spin_loop();
+                                } else {
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                        let prev =
+                            (t > 0).then(|| &counts[(t - 1) * RADIX_BUCKETS..t * RADIX_BUCKETS]);
+                        let own = &counts[t * RADIX_BUCKETS..(t + 1) * RADIX_BUCKETS];
+                        for (b, (own_c, &loc)) in own.iter().zip(&local).enumerate() {
+                            let excl = prev.map_or(0, |pc| pc[b].load(Ordering::Relaxed));
+                            own_c.store(excl + loc, Ordering::Relaxed);
+                            offsets[b] = bases[b] + excl as usize;
+                        }
+                        done[t].store(1, Ordering::Release);
+                        // SAFETY: [bases[b] + excl[b], bases[b] + incl[b])
+                        // ranges are pairwise disjoint across (tile, bucket)
+                        // pairs by the prefix construction and in bounds of
+                        // the length-n destination.
+                        match &mut wc {
+                            Some(wc) => unsafe {
+                                scatter_wc(tile, dst, shift, &mut offsets, wc);
+                            },
+                            None => unsafe {
+                                scatter_plain(tile, dst, shift, &mut offsets);
+                            },
+                        }
+                    }
+                });
+            }
+        });
+        in_data = !in_data;
+    }
+    if !in_data {
+        data.copy_from_slice(aux);
+    }
+}
+
+/// Fill one histogram per digit pass in a single scan over `data`.
+fn scan_all_digits<K: SortKey>(data: &[K], hists: &mut [Vec<usize>]) {
+    for key in data {
+        let img = key.to_radix();
+        for (p, hist) in hists.iter_mut().enumerate() {
+            hist[img.digit(p as u32 * RADIX_BITS, RADIX_BITS)] += 1;
+        }
+    }
+}
+
+/// Exclusive prefix scan of `hist` into `out`.
+fn exclusive_scan(hist: &[usize], out: &mut [usize]) {
+    let mut acc = 0usize;
+    for (o, &c) in out.iter_mut().zip(hist) {
+        *o = acc;
+        acc += c;
+    }
+}
+
+/// Software write-combining staging block: [`WC_KEYS`] key slots per bucket
+/// plus a fill counter per bucket.
+struct WcBlock<K> {
+    slots: Vec<K>,
+    fill: Vec<u32>,
+}
+
+impl<K: Copy> WcBlock<K> {
+    fn new(init: K) -> Self {
+        Self {
+            slots: vec![init; RADIX_BUCKETS * WC_KEYS],
+            fill: vec![0u32; RADIX_BUCKETS],
+        }
+    }
+}
+
+/// Scatter `src` into `dst` through the write-combining block. `offsets[d]`
+/// must be the absolute destination index of the next key with digit `d`;
+/// on return all buffered keys are drained and `offsets` is advanced.
+///
+/// # Safety
+/// For every key, the destination slot `offsets[digit]` (as advanced by the
+/// scatter) must be in bounds of `dst` and not written by anyone else.
+unsafe fn scatter_wc<K: SortKey>(
+    src: &[K],
+    dst: SendPtr<K>,
+    shift: u32,
+    offsets: &mut [usize],
+    wc: &mut WcBlock<K>,
+) {
+    for &key in src {
+        let d = key.to_radix().digit(shift, RADIX_BITS);
+        // SAFETY: d < RADIX_BUCKETS by the digit mask; fill[d] < WC_KEYS is
+        // restored below whenever a batch completes.
+        unsafe {
+            let f = *wc.fill.get_unchecked(d);
+            *wc.slots.get_unchecked_mut(d * WC_KEYS + f as usize) = key;
+            *wc.fill.get_unchecked_mut(d) = f + 1;
+            if f as usize + 1 == WC_KEYS {
+                let base = *offsets.get_unchecked(d);
+                std::ptr::copy_nonoverlapping(
+                    wc.slots.as_ptr().add(d * WC_KEYS),
+                    dst.0.add(base),
+                    WC_KEYS,
+                );
+                *offsets.get_unchecked_mut(d) = base + WC_KEYS;
+                *wc.fill.get_unchecked_mut(d) = 0;
+            }
+        }
+    }
+    // Drain partial batches in bucket order (keys stay in arrival order per
+    // bucket, so stability is preserved).
+    for (d, fill) in wc.fill.iter_mut().enumerate() {
+        let f = *fill as usize;
+        if f > 0 {
+            // SAFETY: same disjoint-region argument as the batch flush.
+            unsafe {
+                std::ptr::copy_nonoverlapping(
+                    wc.slots.as_ptr().add(d * WC_KEYS),
+                    dst.0.add(offsets[d]),
+                    f,
+                );
+            }
+            offsets[d] += f;
+            *fill = 0;
+        }
+    }
+}
+
+/// Plain one-key-at-a-time scatter for inputs too small to benefit from
+/// write combining.
+///
+/// # Safety
+/// Same contract as [`scatter_wc`].
+unsafe fn scatter_plain<K: SortKey>(src: &[K], dst: SendPtr<K>, shift: u32, offsets: &mut [usize]) {
+    for &key in src {
+        let d = key.to_radix().digit(shift, RADIX_BITS);
+        // SAFETY: per the function contract the slot is in bounds and
+        // exclusively ours.
+        unsafe { dst.write(offsets[d], key) };
+        offsets[d] += 1;
+    }
+}
+
+/// `Send` raw-pointer wrapper for disjoint-region scatters. Accessed only
+/// through [`SendPtr::write`] / explicit `copy_nonoverlapping` so closures
+/// capture the wrapper, not the raw pointer (edition-2021 closures capture
+/// individual fields). Shared with [`crate::par_lsb_radix`].
+#[derive(Clone, Copy)]
+pub(crate) struct SendPtr<T>(pub(crate) *mut T);
+
+// SAFETY: dereferences are guarded by region disjointness at the use site.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+
+impl<T: Copy> SendPtr<T> {
+    /// # Safety
+    /// `i` must be in bounds and no other thread may write slot `i`.
+    #[inline]
+    pub(crate) unsafe fn write(self, i: usize, v: T) {
+        unsafe { self.0.add(i).write(v) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msort_data::{generate, is_sorted, same_multiset, Distribution};
+
+    fn check<K: SortKey + PartialEq>(dist: Distribution, n: usize, seed: u64) {
+        let input: Vec<K> = generate(dist, n, seed);
+        let mut seq = input.clone();
+        onesweep_sort(&mut seq);
+        assert!(is_sorted(&seq), "{dist:?} n={n} not sorted");
+        assert!(same_multiset(&input, &seq), "{dist:?} n={n} lost keys");
+        for threads in [2usize, 4] {
+            let mut par = input.clone();
+            parallel_onesweep_sort(&mut par, threads);
+            assert_eq!(par, seq, "{dist:?} n={n} threads={threads} differs");
+        }
+    }
+
+    #[test]
+    fn sorts_across_distributions() {
+        for dist in Distribution::paper_set() {
+            check::<u32>(dist, 50_000, 42);
+        }
+    }
+
+    #[test]
+    fn sorts_all_key_types() {
+        check::<u32>(Distribution::Uniform, 20_000, 1);
+        check::<i32>(Distribution::Uniform, 20_000, 2);
+        check::<f32>(Distribution::Normal, 20_000, 3);
+        check::<u64>(Distribution::Uniform, 20_000, 4);
+        check::<i64>(Distribution::Uniform, 20_000, 5);
+        check::<f64>(Distribution::Normal, 20_000, 6);
+    }
+
+    #[test]
+    fn handles_edge_sizes() {
+        for n in [0, 1, 2, 255, 256, 257, PARALLEL_FLOOR - 1, PARALLEL_FLOOR] {
+            check::<u32>(Distribution::Uniform, n, 7);
+        }
+    }
+
+    #[test]
+    fn tile_boundaries_exercised() {
+        // Straddle one and two tile boundaries so the lookback chain runs.
+        check::<u32>(Distribution::Uniform, TILE + 123, 8);
+        check::<u64>(Distribution::Uniform, 2 * TILE + 45, 9);
+    }
+
+    #[test]
+    fn matches_lsb_radix_exactly() {
+        // Stable LSD radix output is unique: OneSweep must agree with the
+        // 8-bit LSB kernel bit for bit despite the different digit width.
+        for dist in [
+            Distribution::Uniform,
+            Distribution::ZipfDuplicates {
+                skew_permille: 1500,
+            },
+        ] {
+            let input: Vec<u64> = generate(dist, 150_000, 10);
+            let mut a = input.clone();
+            let mut b = input;
+            onesweep_sort(&mut a);
+            crate::lsb_radix::lsb_radix_sort(&mut b);
+            assert_eq!(a, b, "{dist:?}");
+        }
+    }
+
+    #[test]
+    fn constant_input_skips_all_passes() {
+        check::<u32>(Distribution::Constant, 10_000, 11);
+        check::<u64>(Distribution::Constant, 200_000, 12);
+    }
+
+    #[test]
+    fn narrow_range_skips_high_passes() {
+        let mut v: Vec<u32> = (0..100_000u32).map(|i| (i * 7) % 1024).collect();
+        let orig = v.clone();
+        parallel_onesweep_sort(&mut v, 4);
+        assert!(is_sorted(&v));
+        assert!(same_multiset(&orig, &v));
+    }
+
+    #[test]
+    fn with_aux_accepts_oversized_scratch() {
+        let input: Vec<u32> = generate(Distribution::Uniform, 30_000, 13);
+        let mut a = input.clone();
+        let mut b = input;
+        let mut aux = vec![0u32; a.len() + 77];
+        parallel_onesweep_sort_with_aux(&mut a, &mut aux, 4);
+        parallel_onesweep_sort(&mut b, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "auxiliary buffer")]
+    fn short_aux_panics() {
+        let mut d = [3u32, 1, 2];
+        let mut aux = [0u32; 2];
+        onesweep_sort_with_aux(&mut d, &mut aux);
+    }
+
+    #[test]
+    fn more_threads_than_tiles() {
+        check::<u32>(Distribution::Uniform, PARALLEL_FLOOR + 17, 14);
+    }
+
+    #[test]
+    fn write_combining_path_bit_identical() {
+        // Both scatter paths are stable, so the WC decision must never
+        // change a single output byte — sequential and parallel, at a size
+        // that spans multiple tiles and drains partial WC batches.
+        for n in [5_000usize, TILE + 999] {
+            let input: Vec<u64> = generate(
+                Distribution::ZipfDuplicates {
+                    skew_permille: 1200,
+                },
+                n,
+                15,
+            );
+            let mut plain = input.clone();
+            let mut wc = input.clone();
+            let mut aux = vec![0u64; n];
+            onesweep_sort_with_aux_impl(&mut plain, &mut aux, false);
+            onesweep_sort_with_aux_impl(&mut wc, &mut aux, true);
+            assert_eq!(plain, wc, "sequential WC path differs at n={n}");
+            let mut par_wc = input.clone();
+            parallel_onesweep_sort_with_aux_impl(&mut par_wc, &mut aux, 4, true);
+            assert_eq!(plain, par_wc, "parallel WC path differs at n={n}");
+        }
+    }
+}

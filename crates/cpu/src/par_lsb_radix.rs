@@ -12,6 +12,7 @@
 //! * buffers ping-pong between passes, constant digits skip their pass.
 
 use crate::lsb_radix::{BUCKETS, DIGIT_BITS};
+use crate::onesweep::SendPtr;
 use msort_data::keys::{RadixImage, SortKey};
 
 /// Sort `data` in place using the parallel LSB radix sort with `threads`
@@ -119,24 +120,6 @@ pub fn parallel_lsb_radix_sort_with_aux<K: SortKey>(data: &mut [K], aux: &mut [K
 
     if !in_data {
         data.copy_from_slice(aux);
-    }
-}
-
-/// `Send` raw-pointer wrapper for the disjoint-region scatter. Accessed
-/// only through [`SendPtr::write`] so closures capture the wrapper, not
-/// the raw pointer (edition-2021 closures capture individual fields).
-#[derive(Clone, Copy)]
-struct SendPtr<T>(*mut T);
-
-// SAFETY: dereferences are guarded by region disjointness at the use site.
-unsafe impl<T: Send> Send for SendPtr<T> {}
-
-impl<T: Copy> SendPtr<T> {
-    /// # Safety
-    /// `i` must be in bounds and no other thread may write slot `i`.
-    #[inline]
-    unsafe fn write(self, i: usize, v: T) {
-        unsafe { self.0.add(i).write(v) }
     }
 }
 

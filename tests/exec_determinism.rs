@@ -85,6 +85,35 @@ fn outputs_and_reports_bit_identical_across_effect_threads() {
     }
 }
 
+/// Sizes chosen so the per-GPU device sorts land just below and just above
+/// the parallel-kernel dispatch floor (`PARALLEL_MIN_KEYS`, re-tuned with
+/// the OneSweep kernels): with 4 GPUs, `2 * floor` total keys puts every
+/// chunk at half the floor (sequential OneSweep) and `8 * floor` puts every
+/// chunk at twice the floor (chained-lookback OneSweep, multi-tile). Both
+/// sides must stay bit-identical across effect budgets — the dispatch
+/// depends only on chunk size, never on who executes the effect.
+#[test]
+fn dispatch_floor_straddle_bit_identical() {
+    let platform = Platform::dgx_a100();
+    let floor = msort_gpu::primitives::PARALLEL_MIN_KEYS as u64;
+    for n in [2 * floor, 8 * floor] {
+        for algo in ["p2p", "het"] {
+            for dist in [Distribution::Uniform, DISTS[2]] {
+                let (out_serial, rep_serial) = run_once(&platform, algo, dist, n, 1);
+                let (out_pool, rep_pool) = run_once(&platform, algo, dist, n, 4);
+                assert_eq!(
+                    out_serial, out_pool,
+                    "{algo}/{dist:?} n={n}: output differs across effect budgets"
+                );
+                assert_eq!(
+                    rep_serial, rep_pool,
+                    "{algo}/{dist:?} n={n}: SortReport differs across effect budgets"
+                );
+            }
+        }
+    }
+}
+
 /// Sampled fidelity takes different code paths (scaled physical payloads);
 /// the invariant must hold there too.
 #[test]

@@ -1,0 +1,173 @@
+//! Property tests for the PR 6 kernels: the OneSweep single-pass radix
+//! sort (sequential, chained-lookback parallel, and the write-combining
+//! scatter variant) and the branchless merge-path merge.
+//!
+//! Three invariant families:
+//!
+//! * **Equivalence** — every kernel produces exactly `sort_unstable`'s
+//!   output (radix order equals numeric order for unsigned keys) across
+//!   random, adversarial, and paper-distribution inputs, for u32 and u64.
+//! * **Bit-identity across thread counts** — the parallel OneSweep chunks
+//!   by fixed-size tiles, never by the worker count, so its output at 1, 2
+//!   and 4 threads is byte-for-byte the sequential kernel's output. This is
+//!   the property the effect executor's determinism contract rests on.
+//! * **Edge cases** — empty, singleton, all-duplicate, already-sorted,
+//!   reverse-sorted, and tile-boundary-straddling lengths.
+//!
+//! Offline environment: deterministic seeded loops over the in-tree [`Rng`]
+//! stand in for `proptest`, as in `tests/properties.rs`.
+
+use multi_gpu_sort::cpu::{
+    merge_path_sort, onesweep_sort, parallel_onesweep_sort, parallel_onesweep_sort_with_aux,
+};
+use multi_gpu_sort::data::Rng;
+use multi_gpu_sort::prelude::*;
+
+const CASES: u64 = 32;
+
+fn random_vec_u32(rng: &mut Rng, max_len: usize) -> Vec<u32> {
+    let len = rng.usize_in(0..max_len);
+    (0..len).map(|_| rng.u32()).collect()
+}
+
+fn random_vec_u64(rng: &mut Rng, max_len: usize) -> Vec<u64> {
+    let len = rng.usize_in(0..max_len);
+    (0..len).map(|_| rng.u64()).collect()
+}
+
+#[test]
+fn onesweep_matches_std_u32() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let v = random_vec_u32(&mut rng, 3000);
+        let mut expected = v.clone();
+        expected.sort_unstable();
+        let mut got = v.clone();
+        onesweep_sort(&mut got);
+        assert_eq!(got, expected, "seed {seed}");
+    }
+}
+
+#[test]
+fn onesweep_matches_std_u64() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let v = random_vec_u64(&mut rng, 3000);
+        let mut expected = v.clone();
+        expected.sort_unstable();
+        let mut got = v.clone();
+        onesweep_sort(&mut got);
+        assert_eq!(got, expected, "seed {seed}");
+    }
+}
+
+#[test]
+fn onesweep_matches_std_across_distributions() {
+    for dist in Distribution::paper_set() {
+        let v: Vec<u32> = generate(dist, 50_000, 23);
+        let mut expected = v.clone();
+        expected.sort_unstable();
+        let mut got = v;
+        onesweep_sort(&mut got);
+        assert_eq!(got, expected, "{dist:?}");
+    }
+}
+
+#[test]
+fn onesweep_edge_cases() {
+    // Lengths around the kernel's internal boundaries: empty, singleton,
+    // one short of / exactly at / one past small powers of two, and a
+    // couple of lengths that straddle 32 Ki-key scatter tiles.
+    for len in [
+        0usize,
+        1,
+        2,
+        3,
+        255,
+        256,
+        257,
+        (1 << 15) - 1,
+        (1 << 15) + 5,
+        (1 << 16) + 1,
+    ] {
+        let mut rng = Rng::seed_from_u64(len as u64);
+        let v: Vec<u32> = (0..len).map(|_| rng.u32()).collect();
+        let mut expected = v.clone();
+        expected.sort_unstable();
+        let mut got = v;
+        onesweep_sort(&mut got);
+        assert_eq!(got, expected, "len {len}");
+    }
+    // All-duplicate input exercises the constant-digit pass skip on every
+    // pass at once.
+    let mut dup = vec![0xDEAD_BEEFu32; 10_000];
+    onesweep_sort(&mut dup);
+    assert!(dup.iter().all(|&k| k == 0xDEAD_BEEF));
+    // Already-sorted and reverse-sorted inputs.
+    let mut sorted: Vec<u64> = (0..20_000u64).collect();
+    onesweep_sort(&mut sorted);
+    assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+    let mut rev: Vec<u64> = (0..20_000u64).rev().collect();
+    onesweep_sort(&mut rev);
+    assert_eq!(rev, (0..20_000u64).collect::<Vec<_>>());
+}
+
+#[test]
+fn parallel_onesweep_bit_identical_across_thread_counts() {
+    // Long enough to span multiple scatter tiles so the lookback chain
+    // actually runs at width > 1.
+    for dist in [
+        Distribution::Uniform,
+        Distribution::ZipfDuplicates { skew_permille: 800 },
+        Distribution::ReverseSorted,
+    ] {
+        let input: Vec<u32> = generate(dist, 100_000, 77);
+        let mut reference = input.clone();
+        onesweep_sort(&mut reference);
+        for threads in [1usize, 2, 4] {
+            let mut par = input.clone();
+            parallel_onesweep_sort(&mut par, threads);
+            assert_eq!(par, reference, "{dist:?} threads={threads}");
+        }
+    }
+}
+
+#[test]
+fn parallel_onesweep_with_aux_bit_identical() {
+    let input: Vec<u64> = generate(Distribution::Uniform, 120_000, 91);
+    let mut reference = input.clone();
+    onesweep_sort(&mut reference);
+    for threads in [2usize, 4] {
+        let mut par = input.clone();
+        // Oversized aux: only the first n slots may be used.
+        let mut aux = vec![0u64; input.len() + 33];
+        parallel_onesweep_sort_with_aux(&mut par, &mut aux, threads);
+        assert_eq!(par, reference, "threads={threads}");
+    }
+}
+
+#[test]
+fn branchless_merge_path_matches_std() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(1000 + seed);
+        let v = random_vec_u32(&mut rng, 4000);
+        let mut expected = v.clone();
+        expected.sort_unstable();
+        let mut got = v.clone();
+        merge_path_sort(&mut got);
+        assert_eq!(got, expected, "seed {seed}");
+    }
+}
+
+#[test]
+fn branchless_merge_path_edge_cases() {
+    for len in [0usize, 1, 2, 5, 4095, 4096, 4097] {
+        let mut rng = Rng::seed_from_u64(len as u64);
+        let v: Vec<u64> = (0..len).map(|_| rng.u64()).collect();
+        let mut expected = v.clone();
+        expected.sort_unstable();
+        let mut got = v;
+        merge_path_sort(&mut got);
+        assert_eq!(got, expected, "len {len}");
+    }
+}
