@@ -1,0 +1,95 @@
+//! Five-algorithm rank bench: P2P, RP, HET, sample sort, and multiway
+//! mergesort on each paper platform, at paper scale under sampled
+//! fidelity.
+//!
+//! Two outputs per platform:
+//!
+//! * the **simulated five-way ranking** — each algorithm's simulated
+//!   total on a 1 Gi-key run, sorted fastest-first and baked into the
+//!   benchmark ids (`DgxA100/rank0_sample`, ...), so the committed
+//!   `BENCH_algorithms.json` records which family wins on which
+//!   interconnect generation;
+//! * the **wall-clock cost** of driving each simulated run, the usual
+//!   harness-regression signal (the simulated clocks come from the cost
+//!   model and never change; the wall clock is what CI can regress).
+//!
+//! `MSORT_BENCH_QUICK=1` shrinks the run for CI smoke; full sizes seed
+//! `BENCH_algorithms.json` via `MSORT_BENCH_JSON=<dir>`.
+
+use msort_bench::Harness;
+use msort_core::{
+    run_sort, HetConfig, MwmsConfig, P2pConfig, RpConfig, RunConfig, SampleSortConfig,
+};
+use msort_data::{generate, Distribution};
+use msort_topology::{Platform, PlatformId};
+use std::hint::black_box;
+
+fn quick() -> bool {
+    std::env::var_os("MSORT_BENCH_QUICK").is_some()
+}
+
+const ALGOS: [&str; 5] = ["p2p", "rp", "het", "sample", "mwms"];
+
+fn config_for(algo: &str, g: usize, scale: u64) -> RunConfig {
+    let c = match algo {
+        "p2p" => RunConfig::p2p(P2pConfig::new(g)),
+        "rp" => RunConfig::rp(RpConfig::new(g)),
+        "het" => RunConfig::het(HetConfig::new(g)),
+        "sample" => RunConfig::sample(SampleSortConfig::new(g)),
+        "mwms" => RunConfig::mwms(MwmsConfig::new(g)),
+        _ => unreachable!("unknown algorithm '{algo}'"),
+    };
+    c.sampled(scale)
+}
+
+fn main() {
+    // 1 Gi keys across a 4-GPU gang: multiway mergesort's transient 2n
+    // concatenation (8 GB of u32 keys) fits the smallest paper GPU
+    // (32 GB V100), so all five families run everywhere.
+    let (n, scale): (u64, u64) = if quick() {
+        (1 << 22, 1 << 10)
+    } else {
+        (1 << 30, 1 << 18)
+    };
+    let g = 4usize;
+    let samples = if quick() { 3 } else { 5 };
+    let mut h = Harness::new("algorithms").sample_size(samples);
+
+    for id in PlatformId::paper_set() {
+        let platform = Platform::paper(id);
+        let input: Vec<u32> = generate(Distribution::Uniform, (n / scale) as usize, 71);
+
+        // One run per algorithm fixes the simulated totals (they are
+        // deterministic; repetition would measure nothing new).
+        let mut ranked: Vec<(&str, u64)> = ALGOS
+            .iter()
+            .map(|&algo| {
+                let mut d = input.clone();
+                let report = run_sort(&platform, &config_for(algo, g, scale), &mut d, n);
+                assert!(report.validated, "{algo} on {id:?} must validate");
+                (algo, report.total.0)
+            })
+            .collect();
+        ranked.sort_by_key(|&(_, total)| total);
+        println!(
+            "five-way ranking on {id:?} ({} Mi keys, {g} GPUs): {}",
+            n >> 20,
+            ranked
+                .iter()
+                .map(|(a, t)| format!("{a} ({:.1} ms)", *t as f64 / 1e6))
+                .collect::<Vec<_>>()
+                .join(" < "),
+        );
+
+        // Wall-clock benches, ids carrying the simulated rank.
+        for (rank, &(algo, _)) in ranked.iter().enumerate() {
+            h.bench_throughput(&format!("{id:?}/rank{rank}_{algo}"), n, || {
+                let mut d = input.clone();
+                let report = run_sort(&platform, &config_for(algo, g, scale), &mut d, n);
+                black_box(report.total)
+            });
+        }
+    }
+
+    h.finish();
+}

@@ -10,8 +10,8 @@
 //! optionally writes a Chrome trace of the run.
 
 use msort_core::{
-    cpu_only_sort, het_sort, p2p_sort, rp_sort, single_gpu_sort, HetConfig, LargeDataApproach,
-    P2pConfig, RpConfig, SortReport,
+    cpu_only_sort, het_sort, mwms_sort, p2p_sort, rp_sort, sample_sort, single_gpu_sort, HetConfig,
+    LargeDataApproach, MwmsConfig, P2pConfig, RpConfig, SampleSortConfig, SortReport,
 };
 use msort_data::{generate, DataType, Distribution};
 use msort_gpu::Fidelity;
@@ -57,7 +57,7 @@ impl Default for Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: simulate [--platform ac922|delta|dgx-a100] [--algo p2p|het|rp|1gpu|cpu]\n\
+        "usage: simulate [--platform ac922|delta|dgx-a100] [--algo p2p|het|rp|sample|mwms|1gpu|cpu]\n\
          \x20               [--gpus N] [--keys N|Xe9] [--dist uniform|normal|sorted|reverse|nearly|zipf]\n\
          \x20               [--type u32|i32|f32|u64|i64|f64|kv32|kv64] [--scale N] [--seed N]\n\
          \x20               [--multi-hop] [--approach 2n|3n] [--eager-merge]\n\
@@ -209,6 +209,22 @@ fn run_typed<K: msort_data::SortKey>(opts: &Options, platform: &Platform) -> Sor
                 ..RpConfig::new(opts.gpus)
             };
             rp_sort(platform, &cfg, &mut data, n)
+        }
+        "sample" => {
+            let cfg = SampleSortConfig {
+                fidelity,
+                algo: opts.primitive,
+                ..SampleSortConfig::new(opts.gpus)
+            };
+            sample_sort(platform, &cfg, &mut data, n)
+        }
+        "mwms" => {
+            let cfg = MwmsConfig {
+                fidelity,
+                algo: opts.primitive,
+                ..MwmsConfig::new(opts.gpus)
+            };
+            mwms_sort(platform, &cfg, &mut data, n)
         }
         "1gpu" => single_gpu_sort(platform, fidelity, opts.primitive, &mut data, n),
         "cpu" => cpu_only_sort(platform, fidelity, &mut data, n),

@@ -44,6 +44,7 @@ pub fn cpu_only_sort<K: SortKey>(
         validated: true,
         p2p_swapped_keys: 0,
         rerouted_transfers: 0,
+        max_partition_keys: 0,
     }
 }
 

@@ -435,6 +435,7 @@ fn run_pipeline<K: SortKey>(
             validated: true,
             p2p_swapped_keys: 0,
             rerouted_transfers: sys.rerouted_transfers(),
+            max_partition_keys: 0,
         };
     }
     let inputs: Vec<(BufId, u64, u64)> = if let Some(eager_buf) = eager_buf {
@@ -495,6 +496,7 @@ fn run_pipeline<K: SortKey>(
         validated: true,
         p2p_swapped_keys: 0,
         rerouted_transfers: sys.rerouted_transfers(),
+        max_partition_keys: 0,
     }
 }
 
@@ -801,6 +803,7 @@ impl<K: SortKey> SortDriver<K> for HetDriver<K> {
             validated: self.validated,
             p2p_swapped_keys: 0,
             rerouted_transfers: sys.rerouted_transfers() - self.reroutes_at_start,
+            max_partition_keys: 0,
         }
     }
 }

@@ -12,6 +12,13 @@
 //!   multiway merge produces the output. Includes the large-data chunk-group
 //!   pipelines (2n and 3n approaches, Section 5.3) and optional eager
 //!   merging.
+//! * [`sample`] — **GPU sample sort** (after Leischner et al.):
+//!   oversampled splitters partition the raw chunks locally, one all-to-all
+//!   bucket exchange, then per-GPU final sorts — the scatter-heavy
+//!   interconnect profile.
+//! * [`mwms`] — **multiway mergesort** (after Karsin et al.): local chunk
+//!   sorts feed a pairwise merge tree across the GPUs — the merge-bound,
+//!   point-to-point interconnect profile.
 //! * [`pivot`] — Algorithm 1: leftmost-pivot selection over two sorted
 //!   sequences (and concatenated chunk views), plus the block-swap plan
 //!   derivation (which chunk pairs exchange which ranges).
@@ -48,17 +55,21 @@ pub mod baseline;
 pub mod exec;
 pub mod gpuset;
 pub mod het;
+pub mod mwms;
 pub mod p2p;
 pub mod pivot;
 pub mod report;
 pub mod rp;
 pub mod run;
+pub mod sample;
 
 pub use baseline::{cpu_only_sort, single_gpu_sort};
 pub use exec::{drive, DriverStep, SortDriver};
 pub use gpuset::{default_gpu_set, search_gpu_set};
 pub use het::{het_sort, HetConfig, HetDriver, LargeDataApproach};
+pub use mwms::{mwms_sort, MwmsConfig, MwmsDriver};
 pub use p2p::{best_p2p_route, p2p_sort, P2pConfig, P2pDriver};
 pub use report::{PhaseBreakdown, SortReport};
 pub use rp::{rp_sort, RpConfig, RpDriver};
 pub use run::{run_sort, Algorithm, RunConfig};
+pub use sample::{sample_sort, SampleSortConfig, SampleSortDriver};

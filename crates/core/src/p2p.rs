@@ -417,6 +417,7 @@ impl<K: SortKey> SortDriver<K> for P2pDriver<K> {
             validated: self.validated,
             p2p_swapped_keys: self.swapped_keys,
             rerouted_transfers: sys.rerouted_transfers() - self.reroutes_at_start,
+            max_partition_keys: 0,
         }
     }
 }

@@ -55,6 +55,11 @@ pub struct SortReport {
     /// after an injected link fault), counting planned detours and
     /// mid-flight re-routes; 0 on a healthy fabric.
     pub rerouted_transfers: u64,
+    /// Largest all-to-all receive partition, in logical keys (sample
+    /// sort's bucket-imbalance measure: with perfectly balanced splitters
+    /// this is `keys / gpus`). 0 for algorithms whose partitioning is
+    /// exact by construction (or that do not partition at all).
+    pub max_partition_keys: u64,
 }
 
 impl SortReport {
@@ -131,6 +136,7 @@ mod tests {
             validated: true,
             p2p_swapped_keys: 123,
             rerouted_transfers: 0,
+            max_partition_keys: 0,
         };
         assert!((r.mkeys_per_sec() - 20.0).abs() < 1e-9);
         assert!(r.summary().contains("P2P sort"));
@@ -151,6 +157,7 @@ mod tests {
             validated: true,
             p2p_swapped_keys: 0,
             rerouted_transfers: 0,
+            max_partition_keys: 0,
         };
         assert_eq!(r.mkeys_per_sec(), 0.0);
         assert!(r.mkeys_per_sec().is_finite());

@@ -427,6 +427,7 @@ impl<K: SortKey> SortDriver<K> for RpDriver<K> {
             validated: self.validated,
             p2p_swapped_keys: self.exchanged_keys,
             rerouted_transfers: sys.rerouted_transfers() - self.reroutes_at_start,
+            max_partition_keys: 0,
         }
     }
 }

@@ -28,9 +28,11 @@
 
 use crate::exec::drive;
 use crate::het::{het_sort_on, HetConfig};
+use crate::mwms::{MwmsConfig, MwmsDriver};
 use crate::p2p::{P2pConfig, P2pDriver};
 use crate::report::SortReport;
 use crate::rp::{RpConfig, RpDriver};
+use crate::sample::{SampleSortConfig, SampleSortDriver};
 use crate::SortDriver;
 use msort_data::SortKey;
 use msort_gpu::{Fidelity, GpuSystem};
@@ -47,6 +49,10 @@ pub enum Algorithm {
     Rp(RpConfig),
     /// HET sort (GPU chunk sorts + host multiway merge).
     Het(HetConfig),
+    /// GPU sample sort (splitter partition + one all-to-all + local sorts).
+    SampleSort(SampleSortConfig),
+    /// Multiway mergesort (pairwise merge tree over the interconnect).
+    MultiwayMerge(MwmsConfig),
 }
 
 impl Algorithm {
@@ -57,6 +63,8 @@ impl Algorithm {
             Algorithm::P2p(_) => "P2P sort",
             Algorithm::Rp(_) => "RP sort",
             Algorithm::Het(_) => "HET sort",
+            Algorithm::SampleSort(_) => "Sample sort",
+            Algorithm::MultiwayMerge(_) => "Multiway mergesort",
         }
     }
 }
@@ -146,6 +154,23 @@ impl RunConfig {
         Self::with_algorithm(Algorithm::Het(config), fidelity, faults)
     }
 
+    /// Run GPU sample sort. Lifts `fidelity` and `faults` out of `config`.
+    #[must_use]
+    pub fn sample(mut config: SampleSortConfig) -> Self {
+        let faults = std::mem::replace(&mut config.faults, FaultPlan::new());
+        let fidelity = config.fidelity;
+        Self::with_algorithm(Algorithm::SampleSort(config), fidelity, faults)
+    }
+
+    /// Run multiway mergesort. Lifts `fidelity` and `faults` out of
+    /// `config`.
+    #[must_use]
+    pub fn mwms(mut config: MwmsConfig) -> Self {
+        let faults = std::mem::replace(&mut config.faults, FaultPlan::new());
+        let fidelity = config.fidelity;
+        Self::with_algorithm(Algorithm::MultiwayMerge(config), fidelity, faults)
+    }
+
     /// Set the simulation fidelity.
     #[must_use]
     pub fn with_fidelity(mut self, fidelity: Fidelity) -> Self {
@@ -212,7 +237,8 @@ impl RunConfig {
 /// recorder.
 ///
 /// # Panics
-/// Panics if `config.algorithm` is `None`, or on the shape constraints of
+/// Panics if `config.algorithm` is `None` (construct it with
+/// `RunConfig::p2p/rp/het/sample/mwms`), or on the shape constraints of
 /// the selected algorithm (see its classic entry point's docs).
 pub fn run_sort<K: SortKey>(
     platform: &Platform,
@@ -223,7 +249,7 @@ pub fn run_sort<K: SortKey>(
     let algorithm = config
         .algorithm
         .as_ref()
-        .expect("RunConfig has no algorithm; construct it with RunConfig::p2p/rp/het");
+        .expect("RunConfig has no algorithm; construct it with RunConfig::p2p/rp/het/sample/mwms");
     let mut sys: GpuSystem<'_, K> = config.build_system(platform);
     let report = match algorithm {
         Algorithm::P2p(c) => {
@@ -250,6 +276,26 @@ pub fn run_sort<K: SortKey>(
             let mut c = c.clone();
             c.fidelity = config.fidelity;
             het_sort_on(platform, &c, &mut sys, data, logical_len)
+        }
+        Algorithm::SampleSort(c) => {
+            let mut c = c.clone();
+            c.fidelity = config.fidelity;
+            let input = std::mem::take(data);
+            let mut driver = SampleSortDriver::new(&mut sys, &c, input, logical_len);
+            drive(&mut sys, &mut driver);
+            let report = driver.report(&sys);
+            *data = driver.take_output();
+            report
+        }
+        Algorithm::MultiwayMerge(c) => {
+            let mut c = c.clone();
+            c.fidelity = config.fidelity;
+            let input = std::mem::take(data);
+            let mut driver = MwmsDriver::new(&mut sys, &c, input, logical_len);
+            drive(&mut sys, &mut driver);
+            let report = driver.report(&sys);
+            *data = driver.take_output();
+            report
         }
     };
     debug_assert!(

@@ -1,0 +1,613 @@
+//! GPU sample sort — the splitter-based multi-GPU sort of Leischner,
+//! Osipov & Sanders (arXiv 0909.5649), lifted to the multi-GPU setting.
+//!
+//! Where RP sort partitions *sorted* chunks exactly by multisequence
+//! selection, sample sort partitions *unsorted* chunks approximately by an
+//! oversampled splitter set, and only sorts after the exchange:
+//!
+//! 1. chunks copy to the GPUs (no local sort — the partition pass works on
+//!    raw keys);
+//! 2. the host draws `oversample × g` evenly spaced samples per chunk,
+//!    sorts the combined sample, and keeps `g − 1` splitters (deterministic
+//!    sampling: stride midpoints, no RNG, so runs are bit-reproducible from
+//!    the data alone);
+//! 3. every GPU histograms + stably scatters its chunk into `g` contiguous
+//!    buckets in one partition pass ([`msort_gpu::primitives::device_partition`],
+//!    backed by the OneSweep-style tiled counting scatter in
+//!    `msort_cpu::sample`);
+//! 4. one all-to-all exchange ships bucket `i` of every chunk to GPU `i`;
+//! 5. each GPU sorts its received partition, and the chunks gather back in
+//!    GPU order — globally sorted by the splitter property.
+//!
+//! Splitters compare `(radix image, sample position)` lexicographically, so
+//! duplicate-heavy inputs still split into bounded buckets (a plain key
+//! comparison would dump every duplicate of a hot key into one bucket).
+//! The receive partitions are only *approximately* `n/g`; the realized
+//! imbalance is reported as [`SortReport::max_partition_keys`] and the
+//! receive buffers are sized from the exact histogram counts.
+//!
+//! The interconnect profile sits between P2P sort and RP sort: like RP it
+//! exchanges keys exactly once (all-to-all), but it moves *unsorted* keys
+//! and replaces RP's k-way merge with a full local sort — trading merge
+//! bandwidth for sort throughput, which wins when the per-GPU sort is fast
+//! relative to the fabric (NVSwitch) and loses when the partition pass and
+//! the second sort cannot hide behind transfer time.
+//!
+//! Like the other sorts, the phases live in a resumable driver
+//! ([`SampleSortDriver`]); [`sample_sort`] drives it alone.
+
+use crate::exec::{DriverStep, SortDriver};
+use crate::gpuset::default_gpu_set;
+use crate::report::{PhaseBreakdown, SortReport};
+use msort_cpu::sample::{bucket_counts, select_splitters, Splitter};
+use msort_data::{is_sorted, SortKey};
+use msort_gpu::{BufId, Fidelity, GpuSystem, OpId, Phase, StreamId};
+use msort_sim::{FaultPlan, GpuSortAlgo, SimDuration, SimTime};
+use msort_topology::Platform;
+
+/// Configuration for [`sample_sort`].
+#[derive(Debug, Clone)]
+pub struct SampleSortConfig {
+    /// Number of GPUs (any `g >= 1`; the bucket exchange does not need a
+    /// power of two).
+    pub gpus: usize,
+    /// Explicit GPU set (overrides the default; the all-to-all is
+    /// order-insensitive, so only membership matters).
+    pub gpu_set: Option<Vec<usize>>,
+    /// Single-GPU sorting primitive for the post-exchange final sorts.
+    pub algo: GpuSortAlgo,
+    /// Simulation fidelity.
+    pub fidelity: Fidelity,
+    /// Scheduled link faults to inject (empty: pristine fabric).
+    pub faults: FaultPlan,
+    /// Samples drawn per chunk per bucket. Higher values tighten the
+    /// bucket-imbalance bound at the cost of a longer (host-side) splitter
+    /// selection; the classic sample-sort analysis suggests `O(log n)`.
+    pub oversample: usize,
+}
+
+impl SampleSortConfig {
+    /// Default configuration.
+    #[must_use]
+    pub fn new(gpus: usize) -> Self {
+        Self {
+            gpus,
+            gpu_set: None,
+            algo: GpuSortAlgo::ThrustLike,
+            fidelity: Fidelity::Full,
+            faults: FaultPlan::new(),
+            oversample: 32,
+        }
+    }
+
+    /// Use sampled fidelity with the given factor.
+    #[must_use]
+    pub fn sampled(mut self, scale: u64) -> Self {
+        self.fidelity = Fidelity::Sampled { scale };
+        self
+    }
+
+    /// Use an explicit GPU set.
+    #[must_use]
+    pub fn with_set(mut self, set: Vec<usize>) -> Self {
+        self.gpu_set = Some(set);
+        self
+    }
+
+    /// Use the given per-chunk-per-bucket oversampling factor.
+    #[must_use]
+    pub fn with_oversample(mut self, oversample: usize) -> Self {
+        self.oversample = oversample;
+        self
+    }
+}
+
+/// Where the driver is in the sample sort's phase sequence.
+enum SampleState {
+    /// Nothing enqueued yet.
+    Start,
+    /// HtoD drained; splitter selection + partition + exchange next.
+    Partition,
+    /// Exchange drained; per-GPU final sorts next.
+    FinalSort,
+    /// Final sorts drained; gather next.
+    Gather,
+    /// Gather enqueued; next step reads the output.
+    Gathering,
+    /// Output taken from the host buffer; nothing left to do.
+    Finished,
+}
+
+/// Sample sort as a resumable [`SortDriver`] over a caller-provided
+/// [`GpuSystem`]. Construction allocates the partition-phase buffers; the
+/// data-dependent receive buffers are sized from the splitter histogram
+/// mid-run. Timing starts at the first [`SampleSortDriver::step`].
+pub struct SampleSortDriver<K: SortKey> {
+    order: Vec<usize>,
+    algo: GpuSortAlgo,
+    oversample: usize,
+    logical_len: u64,
+    chunk: u64,
+    scale: u64,
+    host_in: BufId,
+    host_out: BufId,
+    /// Per GPU: (primary chunk, partition scatter target).
+    bufs: Vec<(BufId, BufId)>,
+    /// Per GPU: receive buffer, allocated after splitter selection.
+    recv: Vec<BufId>,
+    /// Per GPU: final-sort scratch, allocated once the partition buffers
+    /// are freed (keeps the footprint at `max(2 + r, 2r)` chunks).
+    recv_aux: Vec<BufId>,
+    /// Per GPU: logical keys received in the exchange.
+    recv_len: Vec<u64>,
+    copy_in: Vec<StreamId>,
+    copy_out: Vec<StreamId>,
+    compute: Vec<StreamId>,
+    host_stream: StreamId,
+    state: SampleState,
+    t0: SimTime,
+    t_in: SimTime,
+    t_exchanged: SimTime,
+    t_sorted: SimTime,
+    t_end: SimTime,
+    exchanged_keys: u64,
+    max_partition_keys: u64,
+    reroutes_at_start: u64,
+    output: Option<Vec<K>>,
+    validated: bool,
+    released: bool,
+}
+
+impl<K: SortKey> SampleSortDriver<K> {
+    /// Prepare a sample sort of `data` (physical payload for `logical_len`
+    /// keys) on `sys`: import the input and pre-allocate the per-GPU
+    /// primary and scatter buffers (the receive buffers are data-dependent
+    /// and allocated after splitter selection).
+    ///
+    /// # Panics
+    /// Panics if `logical_len` is not divisible by `gpus × scale` (chunks
+    /// must hold whole samples), if the buffers exceed GPU memory, or if
+    /// `config.fidelity` disagrees with the system's fidelity.
+    pub fn new(
+        sys: &mut GpuSystem<'_, K>,
+        config: &SampleSortConfig,
+        data: Vec<K>,
+        logical_len: u64,
+    ) -> Self {
+        let g = config.gpus;
+        // The bucket exchange is order-insensitive (one all-to-all, no
+        // staged pairings), so membership matters but ordering does not —
+        // same policy as RP sort.
+        let order: Vec<usize> = config.gpu_set.clone().unwrap_or_else(|| {
+            if g.is_power_of_two() {
+                default_gpu_set(sys.platform(), g)
+            } else {
+                (0..g).collect()
+            }
+        });
+        assert_eq!(order.len(), g, "gpu_set must list exactly `gpus` GPUs");
+        let scale = config.fidelity.scale();
+        assert_eq!(
+            scale,
+            sys.world().scale(),
+            "driver fidelity must match the system's"
+        );
+        assert!(
+            logical_len.is_multiple_of(g as u64 * scale),
+            "input length must divide evenly into {g} chunks of whole samples"
+        );
+        let chunk = logical_len / g as u64;
+
+        let host_in = sys.world_mut().import_host(0, data, logical_len);
+        let host_out = sys.world_mut().alloc_host(0, logical_len);
+
+        // Partition-phase buffers: the primary chunk and the scatter
+        // target of the local partition pass. The receive buffers are
+        // sized from the actual histogram when the splitters are known.
+        let bufs: Vec<(BufId, BufId)> = order
+            .iter()
+            .map(|&gpu| {
+                (
+                    sys.world_mut().alloc_gpu(gpu, chunk),
+                    sys.world_mut().alloc_gpu(gpu, chunk),
+                )
+            })
+            .collect();
+        let copy_in: Vec<_> = (0..g).map(|_| sys.stream()).collect();
+        let copy_out: Vec<_> = (0..g).map(|_| sys.stream()).collect();
+        let compute: Vec<_> = (0..g).map(|_| sys.stream()).collect();
+        let host_stream = sys.stream();
+
+        Self {
+            order,
+            algo: config.algo,
+            oversample: config.oversample,
+            logical_len,
+            chunk,
+            scale,
+            host_in,
+            host_out,
+            bufs,
+            recv: Vec::with_capacity(g),
+            recv_aux: Vec::with_capacity(g),
+            recv_len: vec![0; g],
+            copy_in,
+            copy_out,
+            compute,
+            host_stream,
+            state: SampleState::Start,
+            t0: SimTime::ZERO,
+            t_in: SimTime::ZERO,
+            t_exchanged: SimTime::ZERO,
+            t_sorted: SimTime::ZERO,
+            t_end: SimTime::ZERO,
+            exchanged_keys: 0,
+            max_partition_keys: 0,
+            reroutes_at_start: sys.rerouted_transfers(),
+            output: None,
+            validated: false,
+            released: false,
+        }
+    }
+}
+
+impl<K: SortKey> SortDriver<K> for SampleSortDriver<K> {
+    fn step(&mut self, sys: &mut GpuSystem<'_, K>) -> DriverStep {
+        let g = self.order.len();
+        match self.state {
+            SampleState::Start => {
+                // ---- Phase 1: scatter the raw chunks (no local sort). ----
+                self.t0 = sys.now();
+                let mut wait = Vec::with_capacity(g);
+                for i in 0..g {
+                    wait.push(sys.memcpy(
+                        self.copy_in[i],
+                        self.host_in,
+                        i as u64 * self.chunk,
+                        self.bufs[i].0,
+                        0,
+                        self.chunk,
+                        &[],
+                        Phase::HtoD,
+                    ));
+                }
+                self.state = SampleState::Partition;
+                DriverStep::Wait(wait)
+            }
+            SampleState::Partition => {
+                self.t_in = sys.now();
+                let mut wait = Vec::new();
+
+                // ---- Phase 2: splitter selection (host side, over the
+                // raw device chunks). Deterministic stride sampling: the
+                // splitter set depends only on the data, so runs are
+                // bit-reproducible from the seed. ----
+                let views: Vec<&[K]> = (0..g)
+                    .map(|i| sys.world().slice(self.bufs[i].0, 0, self.chunk))
+                    .collect();
+                let splitters: Vec<Splitter<K>> = select_splitters(&views, g, self.oversample);
+                // Physical per-(chunk, bucket) histogram; `resize` only
+                // matters for the degenerate empty-input case (no samples,
+                // one catch-all bucket).
+                let counts: Vec<Vec<u64>> = views
+                    .iter()
+                    .map(|v| {
+                        let mut c = bucket_counts(v, &splitters);
+                        c.resize(g, 0);
+                        c
+                    })
+                    .collect();
+                drop(views);
+                // Selection cost: each GPU contributes an O(oversample·g)
+                // sample; model it like the pivot selections of the other
+                // sorts, once per contributing chunk.
+                let split_cost = sys.cost_model().pivot_selection(self.chunk);
+                let split_op = sys.delay(
+                    self.host_stream,
+                    SimDuration(split_cost.0 * g as u64),
+                    &[],
+                    Phase::Partition,
+                );
+                wait.push(split_op);
+
+                // Receive partition sizes (physical), and the realized
+                // imbalance for the report.
+                let recv_phys: Vec<u64> = (0..g)
+                    .map(|i| counts.iter().map(|c| c[i]).sum::<u64>())
+                    .collect();
+                self.max_partition_keys = recv_phys.iter().copied().max().unwrap_or(0) * self.scale;
+                for (i, &phys) in recv_phys.iter().enumerate() {
+                    self.recv_len[i] = phys * self.scale;
+                    let gpu = self.order[i];
+                    let buf = sys.world_mut().alloc_gpu(gpu, self.recv_len[i]);
+                    self.recv.push(buf);
+                }
+
+                // ---- Phase 3: local partition pass on every GPU. ----
+                let part_ops: Vec<OpId> = (0..g)
+                    .map(|j| {
+                        sys.gpu_partition(
+                            self.compute[j],
+                            self.bufs[j].0,
+                            (0, self.chunk),
+                            self.bufs[j].1,
+                            splitters.clone(),
+                            &[split_op],
+                        )
+                    })
+                    .collect();
+
+                // ---- Phase 4: the all-to-all bucket exchange. Copies
+                // stage their source when they *start* (after the
+                // partition op completes), so they ship the scattered
+                // buckets. ----
+                let mut recv_off = vec![0u64; g];
+                #[allow(clippy::needless_range_loop)] // i and j index counts and bufs together
+                for j in 0..g {
+                    let mut send_off = 0u64;
+                    for i in 0..g {
+                        let len = counts[j][i] * self.scale;
+                        if len == 0 {
+                            continue;
+                        }
+                        let s = sys.stream();
+                        let op = sys.memcpy(
+                            s,
+                            self.bufs[j].0,
+                            send_off,
+                            self.recv[i],
+                            recv_off[i],
+                            len,
+                            &[part_ops[j]],
+                            Phase::Merge,
+                        );
+                        if i != j {
+                            self.exchanged_keys += len;
+                        }
+                        send_off += len;
+                        recv_off[i] += len;
+                        wait.push(op);
+                    }
+                }
+                wait.extend(part_ops);
+                self.state = SampleState::FinalSort;
+                DriverStep::Wait(wait)
+            }
+            SampleState::FinalSort => {
+                // ---- Phase 5: per-GPU sort of the received partition.
+                // The partition-phase buffers are dead now; freeing them
+                // caps the per-GPU footprint at max(2 + r, 2r) chunks for
+                // realized imbalance r. ----
+                self.t_exchanged = sys.now();
+                for &(a, b) in &self.bufs {
+                    sys.world_mut().free(a);
+                    sys.world_mut().free(b);
+                }
+                for i in 0..g {
+                    let aux = sys.world_mut().alloc_gpu(self.order[i], self.recv_len[i]);
+                    self.recv_aux.push(aux);
+                }
+                let wait: Vec<OpId> = (0..g)
+                    .map(|i| {
+                        sys.gpu_sort(
+                            self.compute[i],
+                            self.algo,
+                            self.recv[i],
+                            (0, self.recv_len[i]),
+                            self.recv_aux[i],
+                            &[],
+                        )
+                    })
+                    .collect();
+                self.state = SampleState::Gather;
+                DriverStep::Wait(wait)
+            }
+            SampleState::Gather => {
+                // ---- Phase 6: gather in GPU order (bucket i's keys all
+                // precede bucket i+1's in splitter order). ----
+                self.t_sorted = sys.now();
+                let mut wait = Vec::with_capacity(g);
+                let mut out_off = 0u64;
+                for i in 0..g {
+                    if self.recv_len[i] == 0 {
+                        continue;
+                    }
+                    wait.push(sys.memcpy(
+                        self.copy_out[i],
+                        self.recv[i],
+                        0,
+                        self.host_out,
+                        out_off,
+                        self.recv_len[i],
+                        &[],
+                        Phase::DtoH,
+                    ));
+                    out_off += self.recv_len[i];
+                }
+                debug_assert_eq!(out_off, self.logical_len, "buckets partition the input");
+                self.state = SampleState::Gathering;
+                DriverStep::Wait(wait)
+            }
+            SampleState::Gathering => {
+                self.t_end = sys.now();
+                let output = sys.world().buffer(self.host_out).data.clone();
+                self.validated = is_sorted(&output);
+                self.output = Some(output);
+                self.state = SampleState::Finished;
+                DriverStep::Done
+            }
+            SampleState::Finished => DriverStep::Done,
+        }
+    }
+
+    fn take_output(&mut self) -> Vec<K> {
+        self.output.take().expect("sample sort has not finished")
+    }
+
+    fn validated(&self) -> bool {
+        self.validated
+    }
+
+    fn release(&mut self, sys: &mut GpuSystem<'_, K>) {
+        if self.released {
+            return;
+        }
+        self.released = true;
+        sys.world_mut().free(self.host_in);
+        sys.world_mut().free(self.host_out);
+        // `free` is idempotent, so the partition buffers (already freed
+        // mid-run on the happy path) are safe to free again after an
+        // abandoned run.
+        for &(a, b) in &self.bufs {
+            sys.world_mut().free(a);
+            sys.world_mut().free(b);
+        }
+        for &b in self.recv.iter().chain(&self.recv_aux) {
+            sys.world_mut().free(b);
+        }
+    }
+
+    fn report(&self, sys: &GpuSystem<'_, K>) -> SortReport {
+        SortReport {
+            algorithm: "Sample sort".into(),
+            platform: sys.platform().id.name().into(),
+            gpus: self.order.clone(),
+            keys: self.logical_len,
+            bytes: self.logical_len * K::DATA_TYPE.key_bytes(),
+            total: self.t_end.since(self.t0),
+            phases: PhaseBreakdown {
+                htod: self.t_in.since(self.t0),
+                // Splitter selection + partition pass + all-to-all: the
+                // inter-GPU phase, reported as the merge slot of the
+                // paper's four-phase breakdown.
+                merge: self.t_exchanged.since(self.t_in),
+                sort: self.t_sorted.since(self.t_exchanged),
+                dtoh: self.t_end.since(self.t_sorted),
+            },
+            validated: self.validated,
+            p2p_swapped_keys: self.exchanged_keys,
+            rerouted_transfers: sys.rerouted_transfers() - self.reroutes_at_start,
+            max_partition_keys: self.max_partition_keys,
+        }
+    }
+}
+
+/// Sort `data` (physical payload for `logical_len` keys) with GPU sample
+/// sort.
+///
+/// # Panics
+/// Panics if `logical_len` is not divisible by `gpus × scale` (chunks must
+/// hold whole samples) or the buffers exceed GPU memory.
+pub fn sample_sort<K: SortKey>(
+    platform: &Platform,
+    config: &SampleSortConfig,
+    data: &mut Vec<K>,
+    logical_len: u64,
+) -> SortReport {
+    crate::run::run_sort(
+        platform,
+        &crate::run::RunConfig::sample(config.clone()),
+        data,
+        logical_len,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msort_data::{generate, same_multiset, Distribution};
+    use msort_topology::PlatformId;
+
+    fn run(
+        platform: &Platform,
+        gpus: usize,
+        dist: Distribution,
+        n: u64,
+        seed: u64,
+    ) -> (SortReport, Vec<u32>, Vec<u32>) {
+        let input: Vec<u32> = generate(dist, n as usize, seed);
+        let mut data = input.clone();
+        let report = sample_sort(platform, &SampleSortConfig::new(gpus), &mut data, n);
+        (report, input, data)
+    }
+
+    #[test]
+    fn sorts_on_all_platforms() {
+        for id in PlatformId::paper_set() {
+            let p = Platform::paper(id);
+            let (report, input, output) = run(&p, 4, Distribution::Uniform, 1 << 14, 3);
+            assert!(report.validated, "{id:?}");
+            assert!(same_multiset(&input, &output), "{id:?}");
+        }
+    }
+
+    #[test]
+    fn sorts_all_distributions() {
+        let p = Platform::dgx_a100();
+        for dist in Distribution::paper_set() {
+            let (report, input, output) = run(&p, 4, dist, 1 << 14, 5);
+            assert!(report.validated, "{dist:?}");
+            assert!(same_multiset(&input, &output), "{dist:?}");
+        }
+    }
+
+    #[test]
+    fn duplicate_heavy_input_stays_bounded() {
+        // The (key, position) splitter tie-break splits hot keys across
+        // buckets; without it a 1500-permille Zipf would dump most of the
+        // input on one GPU.
+        let p = Platform::dgx_a100();
+        let n = 1u64 << 15;
+        let g = 8;
+        let (report, input, output) = run(
+            &p,
+            g,
+            Distribution::ZipfDuplicates {
+                skew_permille: 1500,
+            },
+            n,
+            7,
+        );
+        assert!(report.validated);
+        assert!(same_multiset(&input, &output));
+        assert!(
+            report.max_partition_keys <= 2 * (n / g as u64),
+            "bucket imbalance {} exceeds 2x the ideal {}",
+            report.max_partition_keys,
+            n / g as u64
+        );
+    }
+
+    #[test]
+    fn non_power_of_two_gpu_count() {
+        let p = Platform::dgx_a100();
+        let n = 3 * (1 << 12);
+        let (report, input, output) = run(&p, 3, Distribution::Uniform, n, 9);
+        assert!(report.validated);
+        assert!(same_multiset(&input, &output));
+        assert_eq!(report.gpus.len(), 3);
+    }
+
+    #[test]
+    fn exchanges_once_like_rp() {
+        // Sample sort's defining property: at most one all-to-all, so the
+        // exchanged volume is bounded by n (strictly less: the diagonal
+        // bucket stays local).
+        let p = Platform::dgx_a100();
+        let n = 1u64 << 16;
+        let (report, _, _) = run(&p, 4, Distribution::Uniform, n, 11);
+        assert!(report.p2p_swapped_keys < n);
+        assert!(report.p2p_swapped_keys > 0);
+    }
+
+    #[test]
+    fn sampled_fidelity_runs() {
+        let p = Platform::dgx_a100();
+        let scale = 1u64 << 10;
+        let n = (1u64 << 24) / (scale * 8) * (scale * 8);
+        let mut data: Vec<u32> = generate(Distribution::Uniform, (n / scale) as usize, 13);
+        let report = sample_sort(&p, &SampleSortConfig::new(8).sampled(scale), &mut data, n);
+        assert!(report.validated);
+        assert_eq!(report.keys, n);
+    }
+}

@@ -19,6 +19,9 @@
 //! * [`multiway`] — loser-tree k-way merging and a gnu_parallel-style
 //!   parallel multiway merge via multisequence selection, used by HET sort's
 //!   final CPU merge phase.
+//! * [`sample`] — deterministic oversampled splitter selection and the
+//!   stable bucket partition (counting scatter), the host kernels behind
+//!   the GPU sample sort's local partition phase.
 //! * [`parsort`] — a parallel comparison sort (chunked sort + parallel
 //!   multiway merge), standing in for library primitives such as
 //!   `gnu_parallel::sort` / TBB `parallel_sort`.
@@ -47,6 +50,7 @@ pub mod par_lsb_radix;
 pub mod paradis;
 pub mod parsort;
 pub mod pool;
+pub mod sample;
 pub mod stream;
 
 pub use lsb_radix::lsb_radix_sort;
@@ -59,6 +63,7 @@ pub use onesweep::{
 pub use par_lsb_radix::{parallel_lsb_radix_sort, parallel_lsb_radix_sort_with_aux};
 pub use paradis::{paradis_sort, ParadisConfig};
 pub use parsort::parallel_sort;
+pub use sample::{bucket_counts, bucket_of, partition_by_splitters, select_splitters, Splitter};
 
 /// Number of worker threads to use for the parallel algorithms.
 ///

@@ -1,0 +1,371 @@
+//! Sample-sort host kernels: oversampled splitter selection and the
+//! stable bucket partition (the scatter phase of GPU sample sort,
+//! Leischner/Osipov/Sanders).
+//!
+//! Sample sort cuts an input into `b` buckets by `b − 1` *splitters*
+//! drawn from the data itself, scatters every key into its bucket, and
+//! sorts each bucket independently. Two properties matter for this
+//! workspace and shape the API:
+//!
+//! * **Determinism.** Splitters are drawn at *evenly spaced positions*
+//!   (the midpoints of `count` equal strides), never by an RNG — the
+//!   multi-GPU driver requires bit-reproducible runs from the data alone,
+//!   across every pool width and effect-executor budget. An evenly spaced
+//!   sample of an arbitrary input is exactly as representative as a
+//!   random one unless the input correlates value with position at the
+//!   stride wavelength, which no paper distribution does.
+//! * **Duplicate robustness.** A splitter is a `(key, position)` pair and
+//!   the bucket order is lexicographic on `(radix image, position)`. For
+//!   duplicate-heavy inputs (Zipf, constant) a key-only comparison would
+//!   dump every copy of a frequent key into one bucket; the position
+//!   tie-break spreads equal keys across buckets by *where they sit*,
+//!   bounding bucket imbalance without sacrificing the sorted-concatenation
+//!   property (bucket `i` keys still compare `<=` bucket `i+1` keys).
+//!
+//! The scatter reuses the OneSweep machinery's shape: fixed-size tiles
+//! (never a function of the worker count), per-tile histograms, a serial
+//! per-(tile, bucket) offset resolution, and a parallel scatter through
+//! [`SendPtr`] into disjoint destination ranges. Output bytes are the
+//! stable partition of the input — unique — so every thread count
+//! produces identical bytes.
+
+use crate::onesweep::SendPtr;
+use msort_data::keys::RadixImage;
+use msort_data::SortKey;
+
+/// Scatter tile size in keys. Constant (like the OneSweep tile) so the
+/// (tile, bucket) offset assignment never depends on the thread count.
+const TILE: usize = 1 << 15;
+
+/// A splitter: a sampled key plus the chunk-local position it was drawn
+/// from. Ordering is lexicographic on `(radix image, position)`.
+pub type Splitter<K> = (K, u64);
+
+/// The bucket index of `key` at chunk-local position `pos` under
+/// `splitters` (which must be sorted by `(radix, position)`): the number
+/// of splitters that compare `<= (key, pos)`. `splitters.len() + 1`
+/// buckets exist in total.
+#[inline]
+#[must_use]
+pub fn bucket_of<K: SortKey>(key: K, pos: u64, splitters: &[Splitter<K>]) -> usize {
+    let probe = (key.to_radix(), pos);
+    splitters.partition_point(|&(sk, sp)| (sk.to_radix(), sp) <= probe)
+}
+
+/// Draw `buckets − 1` splitters from `chunks` by oversampling: each chunk
+/// contributes up to `buckets × oversample` keys at evenly spaced
+/// positions; the pooled sample is sorted and the splitters taken at
+/// every `1/buckets` quantile of it.
+///
+/// Returns fewer than `buckets − 1` splitters only when the chunks hold
+/// no keys at all (then zero: a single bucket).
+#[must_use]
+pub fn select_splitters<K: SortKey>(
+    chunks: &[&[K]],
+    buckets: usize,
+    oversample: usize,
+) -> Vec<Splitter<K>> {
+    assert!(buckets >= 1, "at least one bucket");
+    let per_chunk = buckets * oversample.max(1);
+    let mut samples: Vec<Splitter<K>> = Vec::with_capacity(per_chunk * chunks.len());
+    for chunk in chunks {
+        let count = per_chunk.min(chunk.len());
+        for t in 0..count {
+            // Stride midpoints: position (2t+1)/(2·count) of the chunk.
+            let pos = (2 * t + 1) * chunk.len() / (2 * count);
+            samples.push((chunk[pos], pos as u64));
+        }
+    }
+    if samples.is_empty() {
+        return Vec::new();
+    }
+    samples.sort_unstable_by_key(|&(k, p)| (k.to_radix(), p));
+    (1..buckets)
+        .map(|b| samples[b * samples.len() / buckets])
+        .collect()
+}
+
+/// Per-bucket key counts of `data` under `splitters`, with each key's
+/// position taken as its index in `data`. `counts.len()` is
+/// `splitters.len() + 1` and the counts sum to `data.len()`.
+#[must_use]
+pub fn bucket_counts<K: SortKey>(data: &[K], splitters: &[Splitter<K>]) -> Vec<u64> {
+    let decoded = decode(splitters);
+    let mut counts = vec![0u64; splitters.len() + 1];
+    for (i, key) in data.iter().enumerate() {
+        counts[bucket_of_decoded(key.to_radix(), i as u64, &decoded)] += 1;
+    }
+    counts
+}
+
+/// Stable in-place bucket partition of `data` under `splitters`, using
+/// `aux` as scratch (`aux.len() >= data.len()`). Returns the bucket
+/// boundaries: `boundaries[b]..boundaries[b+1]` is bucket `b`, with
+/// `boundaries[0] == 0` and `boundaries.last() == data.len()`.
+///
+/// Within a bucket, keys keep their input order (the scatter is stable),
+/// so the output bytes are unique and identical for every `threads`
+/// value — the property the effect-executor determinism suite pins.
+///
+/// # Panics
+/// Panics if `aux.len() < data.len()` or `splitters` is not sorted by
+/// `(radix, position)`.
+pub fn partition_by_splitters<K: SortKey>(
+    data: &mut [K],
+    aux: &mut [K],
+    splitters: &[Splitter<K>],
+    threads: usize,
+) -> Vec<usize> {
+    let n = data.len();
+    assert!(
+        aux.len() >= n,
+        "auxiliary buffer must cover the input length"
+    );
+    let buckets = splitters.len() + 1;
+    let decoded = decode(splitters);
+    assert!(
+        decoded.windows(2).all(|w| w[0] <= w[1]),
+        "splitters must be sorted by (radix, position)"
+    );
+    if n == 0 {
+        return vec![0; buckets + 1];
+    }
+    let aux = &mut aux[..n];
+    let tiles = n.div_ceil(TILE);
+
+    // Per-tile histograms (parallel; totals are tile-order invariant).
+    let mut tile_counts = vec![0usize; tiles * buckets];
+    let run_parallel = threads > 1 && tiles > 1;
+    if run_parallel {
+        let src: &[K] = data;
+        let decoded = &decoded;
+        crate::pool::scope(|scope| {
+            for (t, counts) in tile_counts.chunks_mut(buckets).enumerate() {
+                scope.spawn(move || tile_histogram(src, t, decoded, counts));
+            }
+        });
+    } else {
+        for (t, counts) in tile_counts.chunks_mut(buckets).enumerate() {
+            tile_histogram(data, t, &decoded, counts);
+        }
+    }
+
+    // Bucket boundaries and per-(tile, bucket) scatter offsets, resolved
+    // serially in fixed tile order — the stable-partition assignment.
+    let mut boundaries = vec![0usize; buckets + 1];
+    for b in 0..buckets {
+        let total: usize = (0..tiles).map(|t| tile_counts[t * buckets + b]).sum();
+        boundaries[b + 1] = boundaries[b] + total;
+    }
+    let mut offsets = vec![0usize; tiles * buckets];
+    for b in 0..buckets {
+        let mut acc = boundaries[b];
+        for t in 0..tiles {
+            offsets[t * buckets + b] = acc;
+            acc += tile_counts[t * buckets + b];
+        }
+    }
+
+    // Scatter into `aux` (disjoint (tile, bucket) ranges), then copy back.
+    let dst = SendPtr(aux.as_mut_ptr());
+    if run_parallel {
+        let src: &[K] = data;
+        let decoded = &decoded;
+        crate::pool::scope(|scope| {
+            for (t, offs) in offsets.chunks_mut(buckets).enumerate() {
+                // SAFETY: `offs[b]` walks `[offsets[t][b], offsets[t][b] +
+                // tile_counts[t][b])` — pairwise disjoint across
+                // (tile, bucket) by the prefix construction and in bounds
+                // of the length-n destination.
+                scope.spawn(move || unsafe { tile_scatter(src, t, decoded, dst, offs) });
+            }
+        });
+    } else {
+        for (t, offs) in offsets.chunks_mut(buckets).enumerate() {
+            // SAFETY: same disjoint-range argument as the parallel branch.
+            unsafe { tile_scatter(data, t, &decoded, dst, offs) };
+        }
+    }
+    data.copy_from_slice(aux);
+    boundaries
+}
+
+/// Count tile `t`'s keys per bucket into `counts`.
+fn tile_histogram<K: SortKey>(
+    data: &[K],
+    t: usize,
+    decoded: &[(K::Radix, u64)],
+    counts: &mut [usize],
+) {
+    let n = data.len();
+    let tile = &data[t * TILE..((t + 1) * TILE).min(n)];
+    for (i, key) in tile.iter().enumerate() {
+        counts[bucket_of_decoded(key.to_radix(), (t * TILE + i) as u64, decoded)] += 1;
+    }
+}
+
+/// Scatter tile `t`'s keys to their bucket slots, advancing `offs`.
+///
+/// # Safety
+/// For every bucket `b`, the range `offs[b]` walks must be in bounds of
+/// the destination and written by no other tile.
+unsafe fn tile_scatter<K: SortKey>(
+    data: &[K],
+    t: usize,
+    decoded: &[(K::Radix, u64)],
+    dst: SendPtr<K>,
+    offs: &mut [usize],
+) {
+    let n = data.len();
+    let tile = &data[t * TILE..((t + 1) * TILE).min(n)];
+    for (i, &key) in tile.iter().enumerate() {
+        let b = bucket_of_decoded(key.to_radix(), (t * TILE + i) as u64, decoded);
+        // SAFETY: per the function contract the slot is exclusively ours.
+        unsafe { dst.write(offs[b], key) };
+        offs[b] += 1;
+    }
+}
+
+/// Pre-decoded splitters: `(radix image, position)`.
+fn decode<K: SortKey>(splitters: &[Splitter<K>]) -> Vec<(K::Radix, u64)> {
+    splitters.iter().map(|&(k, p)| (k.to_radix(), p)).collect()
+}
+
+#[inline]
+fn bucket_of_decoded<R: RadixImage>(radix: R, pos: u64, decoded: &[(R, u64)]) -> usize {
+    let probe = (radix, pos);
+    decoded.partition_point(|&s| s <= probe)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msort_data::{generate, same_multiset, Distribution};
+
+    fn check_partition<K: SortKey + PartialEq>(dist: Distribution, n: usize, g: usize, seed: u64) {
+        let input: Vec<K> = generate(dist, n, seed);
+        let views: Vec<&[K]> = input.chunks(n.div_ceil(g).max(1)).collect();
+        let splitters = select_splitters(&views, g, 32);
+        assert!(splitters.len() < g);
+
+        let mut data = input.clone();
+        let mut aux = vec![input.first().copied().unwrap_or(data[0]); n];
+        let bounds = partition_by_splitters(&mut data, &mut aux, &splitters, 1);
+        assert_eq!(bounds.len(), splitters.len() + 2);
+        assert_eq!(*bounds.last().unwrap(), n);
+        assert!(same_multiset(&input, &data), "{dist:?} lost keys");
+        // Bucket b's keys all compare <= bucket b+1's keys.
+        for b in 1..bounds.len() - 1 {
+            if bounds[b] > bounds[b - 1] && bounds[b + 1] > bounds[b] {
+                let last_prev = data[bounds[b] - 1];
+                let first_next = data[bounds[b]];
+                assert!(
+                    last_prev.to_radix() <= first_next.to_radix(),
+                    "{dist:?}: bucket boundary {b} out of order"
+                );
+            }
+        }
+        // Every key sits in the bucket `bucket_counts` predicted.
+        let counts = bucket_counts(&input, &splitters);
+        for (b, w) in bounds.windows(2).enumerate() {
+            assert_eq!(counts[b], (w[1] - w[0]) as u64, "{dist:?} bucket {b}");
+        }
+        // Parallel partitions are bit-identical.
+        for threads in [2usize, 4] {
+            let mut par = input.clone();
+            let b2 = partition_by_splitters(&mut par, &mut aux, &splitters, threads);
+            assert_eq!(par, data, "{dist:?} threads={threads}");
+            assert_eq!(b2, bounds);
+        }
+    }
+
+    #[test]
+    fn partitions_across_distributions_u32() {
+        for dist in Distribution::paper_set() {
+            check_partition::<u32>(dist, 80_000, 8, 11);
+        }
+    }
+
+    #[test]
+    fn partitions_u64_and_floats() {
+        check_partition::<u64>(Distribution::Uniform, 70_000, 4, 12);
+        check_partition::<f32>(Distribution::Normal, 70_000, 4, 13);
+    }
+
+    #[test]
+    fn duplicate_heavy_input_stays_balanced() {
+        // The (key, position) tie-break must spread a constant input
+        // near-evenly across buckets.
+        let g = 8;
+        let n = 64_000;
+        let input = vec![42u32; n];
+        let views: Vec<&[u32]> = input.chunks(n / g).collect();
+        let splitters = select_splitters(&views, g, 32);
+        let counts = {
+            // Per-chunk counts, as the multi-GPU driver computes them.
+            let mut per_bucket = vec![0u64; g];
+            for v in &views {
+                for (b, c) in bucket_counts(v, &splitters).iter().enumerate() {
+                    per_bucket[b] += c;
+                }
+            }
+            per_bucket
+        };
+        let max = counts.iter().copied().max().unwrap();
+        assert!(
+            max as usize <= 2 * n / g,
+            "constant input imbalanced: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let splitters: Vec<Splitter<u32>> = select_splitters(&[&[][..]], 4, 8);
+        assert!(splitters.is_empty());
+        let mut data: Vec<u32> = vec![];
+        let mut aux: Vec<u32> = vec![];
+        assert_eq!(
+            partition_by_splitters(&mut data, &mut aux, &splitters, 4).len(),
+            2
+        );
+        let mut one = vec![7u32];
+        let mut aux = vec![0u32];
+        let b = partition_by_splitters(&mut one, &mut aux, &[], 4);
+        assert_eq!(b, vec![0, 1]);
+        assert_eq!(one, vec![7]);
+    }
+
+    #[test]
+    fn bucket_of_matches_partition_point_semantics() {
+        let splitters: Vec<Splitter<u32>> = vec![(10, 5), (10, 9), (20, 0)];
+        assert_eq!(bucket_of(5u32, 0, &splitters), 0);
+        assert_eq!(bucket_of(10u32, 5, &splitters), 1); // ties go left of later splitters
+        assert_eq!(bucket_of(10u32, 7, &splitters), 1);
+        assert_eq!(bucket_of(10u32, 9, &splitters), 2);
+        assert_eq!(bucket_of(15u32, 0, &splitters), 2);
+        assert_eq!(bucket_of(25u32, 0, &splitters), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "auxiliary buffer")]
+    fn short_aux_panics() {
+        let mut d = vec![3u32, 1, 2];
+        let mut aux = vec![0u32; 2];
+        let _ = partition_by_splitters(&mut d, &mut aux, &[], 1);
+    }
+
+    #[test]
+    fn tile_straddling_is_bit_identical() {
+        let n = super::TILE * 2 + 321;
+        let input: Vec<u64> = generate(Distribution::ZipfDuplicates { skew_permille: 900 }, n, 17);
+        let views: Vec<&[u64]> = input.chunks(n / 4).collect();
+        let splitters = select_splitters(&views, 4, 16);
+        let mut aux = vec![0u64; n];
+        let mut serial = input.clone();
+        let b1 = partition_by_splitters(&mut serial, &mut aux, &splitters, 1);
+        let mut par = input.clone();
+        let b2 = partition_by_splitters(&mut par, &mut aux, &splitters, 4);
+        assert_eq!(serial, par);
+        assert_eq!(b1, b2);
+    }
+}

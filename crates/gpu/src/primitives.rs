@@ -105,6 +105,35 @@ pub fn device_merge_into_with<K: SortKey>(src: &[K], mid: usize, dst: &mut [K], 
     }
 }
 
+/// Stably partition `data` into `splitters.len() + 1` contiguous buckets
+/// (sample sort's local scatter pass), using `aux` as the scatter target.
+/// Returns the bucket boundaries (a `buckets + 1` prefix-sum vector).
+pub fn device_partition<K: SortKey>(
+    data: &mut [K],
+    aux: &mut [K],
+    splitters: &[(K, u64)],
+) -> Vec<usize> {
+    device_partition_with(data, aux, splitters, msort_cpu::pool::threads())
+}
+
+/// [`device_partition`] with an explicit worker budget. Above
+/// [`PARALLEL_MIN_KEYS`] the histogram and scatter passes tile across the
+/// pool (fixed 32 Ki-key tiles, so the output never depends on the
+/// budget); below it the sequential path wins on dispatch overhead.
+pub fn device_partition_with<K: SortKey>(
+    data: &mut [K],
+    aux: &mut [K],
+    splitters: &[(K, u64)],
+    threads: usize,
+) -> Vec<usize> {
+    let budget = if data.len() >= PARALLEL_MIN_KEYS {
+        threads
+    } else {
+        1
+    };
+    msort_cpu::partition_by_splitters(data, &mut aux[..data.len()], splitters, budget)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -57,6 +57,8 @@ pub enum Phase {
     Sort,
     /// Merge work (P2P swaps + local merges, or the CPU multiway merge).
     Merge,
+    /// Splitter-based bucket partitioning (sample sort's local scatter).
+    Partition,
     /// Anything else (pivot selection, bookkeeping).
     Other,
 }
@@ -122,6 +124,15 @@ enum Effect<K> {
         inputs: Vec<(BufId, u64, u64)>,
         dst: BufId,
     },
+    /// Stable splitter partition of `data[range]` into contiguous buckets
+    /// (sample sort's local scatter). `splitters` are `(key, position)`
+    /// pairs in the global sample order.
+    DevicePartition {
+        data: BufId,
+        range: (u64, u64),
+        aux: BufId,
+        splitters: Vec<(K, u64)>,
+    },
     #[allow(dead_code)]
     Marker(std::marker::PhantomData<K>),
 }
@@ -135,6 +146,7 @@ impl<K> Effect<K> {
             Effect::HostSort { .. } => "cpu sort",
             Effect::HostMultiwayMerge { .. } => "cpu multiway merge",
             Effect::DeviceMultiwayMerge { .. } => "gpu multiway merge",
+            Effect::DevicePartition { .. } => "gpu partition",
         }
     }
 }
@@ -632,6 +644,47 @@ impl<'p, K: SortKey> GpuSystem<'p, K> {
                 },
             },
             Phase::Sort,
+        )
+    }
+
+    /// Enqueue an on-GPU splitter partition of `data[range]`: the keys are
+    /// stably scattered into `buckets = splitters.len() + 1` contiguous
+    /// runs via `aux` (sample sort's local partition pass — one histogram
+    /// pass plus one scatter pass, bandwidth-bound like a merge).
+    /// Splitters are `(key, sample position)` pairs; comparison is
+    /// lexicographic on the radix image so duplicate-heavy inputs still
+    /// split evenly.
+    pub fn gpu_partition(
+        &mut self,
+        stream: StreamId,
+        data: BufId,
+        range: (u64, u64),
+        aux: BufId,
+        splitters: Vec<(K, u64)>,
+        waits: &[OpId],
+    ) -> OpId {
+        let gpu = match self.world.location(data) {
+            Location::Gpu { index } => index,
+            Location::Host { .. } => panic!("gpu_partition requires a device buffer"),
+        };
+        debug_assert_eq!(self.world.location(aux), Location::Gpu { index: gpu });
+        let model = self.platform().topology.gpu_model(gpu);
+        let duration = self
+            .cost
+            .gpu_partition(model, (range.1 - range.0) * K::DATA_TYPE.key_bytes());
+        self.push_op(
+            stream,
+            waits,
+            OpKind::Fixed {
+                duration,
+                effect: Effect::DevicePartition {
+                    data,
+                    range,
+                    aux,
+                    splitters,
+                },
+            },
+            Phase::Partition,
         )
     }
 
@@ -1287,6 +1340,47 @@ impl<'p, K: SortKey> GpuSystem<'p, K> {
             }
             Effect::DeviceMultiwayMerge { inputs, dst } => {
                 self.submit_multiway_merge(inputs, dst, 0, threads);
+            }
+            Effect::DevicePartition {
+                data,
+                range,
+                aux,
+                splitters,
+            } => {
+                let lo = self.world.physical(range.0);
+                let hi = self.world.physical(range.1);
+                let n = hi - lo;
+                if n == 0 {
+                    return;
+                }
+                let (d, a) = self.world.two_mut(data, aux);
+                let d = RawSlice::new(&mut d[lo..hi]);
+                let a = RawSlice::new(&mut a[..n]);
+                self.exec.submit(
+                    vec![
+                        Access {
+                            buf: data.0,
+                            lo,
+                            hi,
+                            write: true,
+                        },
+                        Access {
+                            buf: aux.0,
+                            lo: 0,
+                            hi: n,
+                            write: true,
+                        },
+                    ],
+                    move || {
+                        // SAFETY: write accesses cover both views (see above).
+                        primitives::device_partition_with(
+                            unsafe { d.as_mut() },
+                            unsafe { a.as_mut() },
+                            &splitters,
+                            threads,
+                        );
+                    },
+                );
             }
         }
     }

@@ -35,6 +35,7 @@ impl Phase {
             Phase::DtoH => "DtoH",
             Phase::Sort => "sort",
             Phase::Merge => "merge",
+            Phase::Partition => "partition",
             Phase::Other => "other",
         }
     }
@@ -48,6 +49,7 @@ impl Phase {
             "DtoH" => Some(Phase::DtoH),
             "sort" => Some(Phase::Sort),
             "merge" => Some(Phase::Merge),
+            "partition" => Some(Phase::Partition),
             "other" => Some(Phase::Other),
             _ => None,
         }
@@ -295,6 +297,7 @@ mod tests {
             Phase::DtoH,
             Phase::Sort,
             Phase::Merge,
+            Phase::Partition,
             Phase::Other,
         ] {
             assert_eq!(Phase::from_label(phase.label()), Some(phase));

@@ -68,6 +68,28 @@ pub fn estimate_job_cost(platform: &Platform, job: &SortJob, dt: DataType) -> Si
             JobAlgo::Het => model
                 .cpu_multiway_merge(job.keys * kb, g as usize)
                 .as_secs_f64(),
+            JobAlgo::SampleSort => {
+                // One local partition pass, then the all-to-all ships
+                // (g-1)/g of the chunk (the second sort is the `sort`
+                // term — sample sort's only sort runs post-exchange on a
+                // chunk-sized partition).
+                model.gpu_partition(gm, chunk_bytes).as_secs_f64()
+                    + chunk_bytes as f64 * (g - 1) as f64 / g as f64 / p2p_rate
+            }
+            JobAlgo::MultiwayMerge => {
+                // ceil(log2 g) pairwise levels: level l (1-based) ships a
+                // 2^(l-1)-chunk loser run point-to-point and merges
+                // 2^l chunks on the winner; plus the gather is one full-n
+                // DtoH instead of per-GPU chunks.
+                let levels = (g as f64).log2().ceil() as u32;
+                let mut secs = 0.0;
+                for l in 1..=levels {
+                    let run_bytes = chunk_bytes as f64 * f64::from(1u32 << (l - 1));
+                    secs += run_bytes / p2p_rate;
+                    secs += model.gpu_merge(gm, (2.0 * run_bytes) as u64).as_secs_f64();
+                }
+                secs + (job.keys * kb - chunk_bytes) as f64 / host_rate
+            }
         }
     };
     SimDuration::from_secs_f64(copy + sort + merge)
@@ -89,6 +111,16 @@ pub fn device_footprint_keys(job: &SortJob, scale: u64) -> u64 {
         JobAlgo::Rp => 3 * chunk + 2 * g * scale,
         // The in-core 2n pipeline double-buffers the chunk.
         JobAlgo::Het => 2 * chunk,
+        // Partition phase holds chunk + scatter target + the receive
+        // partition; the final sort holds 2x the receive partition. The
+        // receive partition is approximately a chunk but can reach ~2x on
+        // skewed data (the splitter oversampling bound), so admission
+        // budgets for the worst case.
+        JobAlgo::SampleSort => 4 * chunk,
+        // The final merge concatenates all n keys next to its n-key
+        // output on one GPU: a transient 2n, the steepest footprint of
+        // the five families.
+        JobAlgo::MultiwayMerge => 2 * g * chunk,
     }
 }
 
@@ -110,19 +142,32 @@ mod tests {
     #[test]
     fn cost_is_positive_for_every_algorithm() {
         let p = Platform::dgx_a100();
-        for algo in [JobAlgo::P2p, JobAlgo::Rp, JobAlgo::Het] {
+        for algo in JobAlgo::all() {
             let j = SortJob::new(TenantId(0), 1 << 16).with_algo(algo);
             assert!(estimate_job_cost(&p, &j, DataType::U64) > SimDuration::ZERO);
         }
     }
 
     #[test]
-    fn footprints_rank_rp_heaviest() {
-        let j = |algo| SortJob::new(TenantId(0), 1 << 16).with_algo(algo);
+    fn footprints_rank_multiway_merge_heaviest() {
+        // 4 GPUs: at g=2 the sample-sort and merge-tree footprints tie
+        // (both 2n); the gap opens with the gang size.
+        let j = |algo| {
+            SortJob::new(TenantId(0), 1 << 16)
+                .with_algo(algo)
+                .with_gpus(4)
+        };
         let p2p = device_footprint_keys(&j(JobAlgo::P2p), 1);
         let rp = device_footprint_keys(&j(JobAlgo::Rp), 1);
         let het = device_footprint_keys(&j(JobAlgo::Het), 1);
+        let sample = device_footprint_keys(&j(JobAlgo::SampleSort), 1);
+        let mwms = device_footprint_keys(&j(JobAlgo::MultiwayMerge), 1);
         assert!(rp > p2p, "RP's 3n footprint must exceed P2P's 2n");
         assert_eq!(p2p, het);
+        assert!(sample > rp, "sample sort budgets for bucket imbalance");
+        assert!(
+            mwms > sample,
+            "the merge tree's 2n-on-one-GPU peak tops the table"
+        );
     }
 }

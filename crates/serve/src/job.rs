@@ -35,6 +35,13 @@ pub enum JobAlgo {
     /// Heterogeneous sort with the CPU multiway merge
     /// ([`msort_core::het`]), in-core.
     Het,
+    /// GPU sample sort ([`msort_core::sample`]): splitter partition plus
+    /// one all-to-all bucket exchange; any gang size.
+    SampleSort,
+    /// Multiway mergesort ([`msort_core::mwms`]): pairwise merge tree;
+    /// any gang size (odd runs get byes). The final merge transiently
+    /// needs `2n` keys on one GPU — the steepest footprint.
+    MultiwayMerge,
 }
 
 impl JobAlgo {
@@ -45,7 +52,21 @@ impl JobAlgo {
             JobAlgo::P2p => "P2P sort",
             JobAlgo::Rp => "RP sort",
             JobAlgo::Het => "HET sort",
+            JobAlgo::SampleSort => "Sample sort",
+            JobAlgo::MultiwayMerge => "Multiway mergesort",
         }
+    }
+
+    /// All five algorithm families, in report order.
+    #[must_use]
+    pub fn all() -> [JobAlgo; 5] {
+        [
+            JobAlgo::P2p,
+            JobAlgo::Rp,
+            JobAlgo::Het,
+            JobAlgo::SampleSort,
+            JobAlgo::MultiwayMerge,
+        ]
     }
 }
 

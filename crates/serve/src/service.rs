@@ -24,8 +24,8 @@ use crate::placement::PlacementPolicy;
 use crate::queue::{QueuePolicy, QueueView};
 use crate::report::{JobOutcome, RejectReason, RejectedJob, ServiceReport};
 use msort_core::{
-    DriverStep, HetConfig, HetDriver, P2pConfig, P2pDriver, RpConfig, RpDriver, RunConfig,
-    SortDriver,
+    DriverStep, HetConfig, HetDriver, MwmsConfig, MwmsDriver, P2pConfig, P2pDriver, RpConfig,
+    RpDriver, RunConfig, SampleSortConfig, SampleSortDriver, SortDriver,
 };
 use msort_data::{generate, is_sorted, same_multiset, SortKey};
 use msort_gpu::{Fidelity, GpuSystem, OpId};
@@ -480,6 +480,18 @@ impl<'p, K: SortKey> SortService<'p, K> {
                 c.fidelity = self.fidelity;
                 Box::new(HetDriver::new(&mut self.sys, &c, data, job.keys))
             }
+            JobAlgo::SampleSort => {
+                let mut c = SampleSortConfig::new(job.gpus);
+                c.gpu_set = Some(gang.clone());
+                c.fidelity = self.fidelity;
+                Box::new(SampleSortDriver::new(&mut self.sys, &c, data, job.keys))
+            }
+            JobAlgo::MultiwayMerge => {
+                let mut c = MwmsConfig::new(job.gpus);
+                c.gpu_set = Some(gang.clone());
+                c.fidelity = self.fidelity;
+                Box::new(MwmsDriver::new(&mut self.sys, &c, data, job.keys))
+            }
         };
         let started = self.sys.now();
         let track = if self.recorder.is_enabled() {
@@ -626,7 +638,7 @@ mod tests {
     #[test]
     fn every_algorithm_runs_under_the_service() {
         let p = Platform::dgx_a100();
-        for algo in [JobAlgo::P2p, JobAlgo::Rp, JobAlgo::Het] {
+        for algo in JobAlgo::all() {
             let svc = SortService::<u64>::new(&p, ServeConfig::new());
             let report = svc.run(vec![(
                 SimTime::ZERO,

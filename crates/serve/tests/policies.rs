@@ -2,7 +2,11 @@
 //! policies, and per-tenant fairness, all on seeded deterministic
 //! workloads.
 
-use msort_serve::{PlacementPolicy, QueuePolicy, ServeConfig, SortJob, SortService, TenantId};
+use msort_data::DataType;
+use msort_serve::{
+    estimate_job_cost, JobAlgo, PlacementPolicy, QueuePolicy, ServeConfig, SortJob, SortService,
+    TenantId,
+};
 use msort_sim::SimTime;
 use msort_topology::Platform;
 
@@ -208,6 +212,77 @@ fn weights_bias_the_fair_share() {
     // Full drain: everyone eventually completes everything.
     assert_eq!(report.tenant_stats()[0].jobs, 8);
     assert_eq!(report.tenant_stats()[1].jobs, 8);
+}
+
+/// Cost-model regression for the two PR 7 algorithm families: SJF only
+/// works if the calibrated estimates *rank* jobs the way the simulator
+/// actually serves them. For SampleSort and MultiwayMerge the solo
+/// estimates must order a bimodal mix with no inversion against the
+/// measured service times, and SJF must still collapse the median
+/// against FIFO when the elephant runs those algorithms.
+#[test]
+fn sjf_cost_model_ranks_sample_and_mwms_jobs_without_inversion() {
+    let p = Platform::dgx_a100();
+    for algo in [JobAlgo::SampleSort, JobAlgo::MultiwayMerge] {
+        // 1) Estimate vs. measurement: solo-run a small and a large job of
+        //    this family; the cost model's ordering must match the
+        //    simulator's measured service times.
+        let job = |keys: u64, seed: u64| {
+            SortJob::new(TenantId(0), keys)
+                .with_algo(algo)
+                .with_gpus(4)
+                .with_seed(seed)
+        };
+        let small = job(1 << 12, 5);
+        let large = job(1 << 18, 6);
+        let est_small = estimate_job_cost(&p, &small, DataType::U32);
+        let est_large = estimate_job_cost(&p, &large, DataType::U32);
+        assert!(
+            est_small < est_large,
+            "{}: estimate inverted: {est_small:?} !< {est_large:?}",
+            algo.name()
+        );
+        let solo = |j: SortJob| {
+            let r = run(&p, ServeConfig::new(), vec![(SimTime::ZERO, j)]);
+            assert!(r.all_validated(), "{}", algo.name());
+            r.outcomes[0].service_time()
+        };
+        let meas_small = solo(small);
+        let meas_large = solo(large);
+        assert!(
+            meas_small < meas_large,
+            "{}: measured service times inverted",
+            algo.name()
+        );
+
+        // 2) The ranking pays off end to end: elephant-first bimodal burst,
+        //    SJF must reorder and beat FIFO on median latency.
+        let mut arrivals = vec![(SimTime::ZERO, job(1 << 18, 11))];
+        for i in 0..6 {
+            arrivals.push((SimTime::ZERO, job(1 << 12, 100 + i)));
+        }
+        let config = |policy| {
+            ServeConfig::new()
+                .with_policy(policy)
+                .with_fleet(vec![0, 1, 2, 3])
+        };
+        let fifo = run(&p, config(QueuePolicy::Fifo), arrivals.clone());
+        let sjf = run(&p, config(QueuePolicy::Sjf), arrivals);
+        assert!(
+            fifo.all_validated() && sjf.all_validated(),
+            "{}",
+            algo.name()
+        );
+        assert_eq!(sjf.outcomes.len(), 7);
+        assert!(
+            sjf.p50_latency() < fifo.p50_latency(),
+            "{}: SJF p50 {} must beat FIFO p50 {}",
+            algo.name(),
+            sjf.p50_latency(),
+            fifo.p50_latency()
+        );
+        assert_eq!(fifo.total_keys(), sjf.total_keys());
+    }
 }
 
 /// The same arrivals under the same config produce the identical report —

@@ -192,6 +192,15 @@ impl CostModel {
         SimDuration::from_secs_f64(secs)
     }
 
+    /// Duration of a splitter bucket partition of `bytes` on `gpu` (sample
+    /// sort's local scatter). One histogram pass plus one scatter pass over
+    /// the data — the same 2x-bytes memory traffic as a pairwise merge, so
+    /// it shares the merge bandwidth calibration.
+    #[must_use]
+    pub fn gpu_partition(&self, gpu: GpuModel, bytes: u64) -> SimDuration {
+        self.gpu_merge(gpu, bytes)
+    }
+
     /// Duration of an MGPU-style pairwise merge (the slower primitive the
     /// paper compares against in Section 5.2).
     #[must_use]

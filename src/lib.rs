@@ -54,9 +54,9 @@ pub use msort_trace as trace;
 /// The most common imports in one place.
 pub mod prelude {
     pub use msort_core::{
-        best_p2p_route, cpu_only_sort, drive, het_sort, p2p_sort, rp_sort, run_sort,
-        single_gpu_sort, Algorithm, HetConfig, LargeDataApproach, P2pConfig, PhaseBreakdown,
-        RpConfig, RunConfig, SortDriver, SortReport,
+        best_p2p_route, cpu_only_sort, drive, het_sort, mwms_sort, p2p_sort, rp_sort, run_sort,
+        sample_sort, single_gpu_sort, Algorithm, HetConfig, LargeDataApproach, MwmsConfig,
+        P2pConfig, PhaseBreakdown, RpConfig, RunConfig, SampleSortConfig, SortDriver, SortReport,
     };
     pub use msort_data::{generate, is_sorted, same_multiset, DataType, Distribution, SortKey};
     pub use msort_gpu::{Fidelity, GpuSystem, Phase};

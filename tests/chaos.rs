@@ -184,6 +184,101 @@ fn randomized_chaos_rp_sort() {
     }
 }
 
+/// Sample sort (splitter partition + all-to-all bucket exchange) under
+/// random faults: the exchange is the fault surface — every GPU pair
+/// carries a bucket copy, so a dead link mid-run forces reroutes.
+#[test]
+fn randomized_chaos_sample_sort() {
+    for seed in 300..304u64 {
+        let p = Platform::dgx_a100();
+        chaos_case(&p, seed, |p, faults| {
+            let n: u64 = 1 << 13;
+            let input = uniform(n as usize, seed);
+            let mut data = input.clone();
+            let config = RunConfig::sample(SampleSortConfig::new(4)).with_faults(faults);
+            let report = run_sort(p, &config, &mut data, n);
+            assert!(report.validated, "seed {seed}");
+            (input, data, report.total)
+        });
+    }
+}
+
+/// Multiway mergesort (pairwise merge tree) under random faults across
+/// two interconnect generations, including a non-power-of-two gang whose
+/// odd run rides a bye through level one.
+#[test]
+fn randomized_chaos_multiway_mergesort() {
+    for seed in 400..404u64 {
+        for (p, g) in [(Platform::delta_d22x(), 4), (Platform::ibm_ac922(), 3)] {
+            chaos_case(&p, seed, |p, faults| {
+                let n: u64 = 12_288; // divisible by both gang sizes
+                let input = uniform(n as usize, seed);
+                let mut data = input.clone();
+                let config = RunConfig::mwms(MwmsConfig::new(g)).with_faults(faults);
+                let report = run_sort(p, &config, &mut data, n);
+                assert!(report.validated, "seed {seed} on {}", p.id.name());
+                (input, data, report.total)
+            });
+        }
+    }
+}
+
+/// Targeted scenario for the new exchange phase: the DELTA 0--1 NVLink
+/// dies in the middle of sample sort's bucket exchange window. The
+/// all-to-all ships a bucket across every GPU pair, so the 0<->1 copies
+/// must reroute; the output must be byte-identical to the fault-free
+/// run's (faults bend routes and clocks, never data), and the faulted run
+/// must itself be bit-reproducible.
+#[test]
+fn delta_nvlink_death_mid_bucket_exchange() {
+    let p = Platform::delta_d22x();
+    let n: u64 = 1 << 14;
+    let input = uniform(n as usize, 0x5A3E);
+
+    let mut dry = input.clone();
+    let clean = sample_sort(&p, &SampleSortConfig::new(4), &mut dry, n);
+    assert!(clean.validated);
+    assert_eq!(clean.rerouted_transfers, 0);
+    assert!(clean.p2p_swapped_keys > 0, "the exchange must ship buckets");
+    // Halfway through the merge window (splitter partition + exchange):
+    // even if this lands during the partition kernels, the exchange
+    // copies that follow still find the link down.
+    let at = SimTime(clean.phases.htod.0 + clean.phases.merge.0 / 2);
+
+    let topo = &p.topology;
+    let link = topo
+        .link_between(topo.gpu(0), topo.gpu(1))
+        .expect("DELTA has a 0--1 NVLink");
+    let plan = FaultPlan::new().link_down(at, link);
+
+    let run = |input: &[u32]| {
+        let mut data = input.to_vec();
+        let config = RunConfig::sample(SampleSortConfig::new(4)).with_faults(plan.clone());
+        let report = run_sort(&p, &config, &mut data, n);
+        (report, data)
+    };
+    let (report, output) = run(&input);
+    assert!(
+        report.validated,
+        "sample sort must survive the NVLink death"
+    );
+    assert_sorted_permutation(&input, &output, "bucket exchange kill");
+    assert_eq!(output, dry, "faults must never change the sorted bytes");
+    assert!(
+        report.rerouted_transfers >= 1,
+        "bucket copies over the dead 0--1 NVLink must reroute"
+    );
+    assert!(
+        report.total >= clean.total,
+        "losing a link cannot make the exchange faster"
+    );
+
+    let (report2, output2) = run(&input);
+    assert_eq!(report.total, report2.total);
+    assert_eq!(report.rerouted_transfers, report2.rerouted_transfers);
+    assert_eq!(output, output2);
+}
+
 /// Fixed-seed chaos runs for CI: DELTA D22x, all three sorts where they
 /// apply, with the run repeated to pin bit-reproducibility. CI invokes
 /// `cargo test --release --test chaos chaos_fixed_seed`.

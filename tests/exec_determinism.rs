@@ -33,6 +33,8 @@ fn config_for(algo: &str, g: usize) -> RunConfig {
         "p2p" => RunConfig::p2p(P2pConfig::new(g)),
         "rp" => RunConfig::rp(RpConfig::new(g)),
         "het" => RunConfig::het(HetConfig::new(g)),
+        "sample" => RunConfig::sample(SampleSortConfig::new(g)),
+        "mwms" => RunConfig::mwms(MwmsConfig::new(g)),
         _ => unreachable!(),
     }
 }
@@ -68,7 +70,7 @@ fn outputs_and_reports_bit_identical_across_effect_threads() {
         } else {
             1 << 16
         };
-        for algo in ["p2p", "rp", "het"] {
+        for algo in ["p2p", "rp", "het", "sample", "mwms"] {
             for dist in DISTS {
                 let (out_serial, rep_serial) = run_once(&platform, algo, dist, n, 1);
                 let (out_pool, rep_pool) = run_once(&platform, algo, dist, n, 4);
@@ -161,5 +163,52 @@ fn service_report_bit_identical_across_effect_threads() {
     assert_eq!(
         reports[0], reports[1],
         "ServiceReport differs between effect_threads 1 and 4"
+    );
+}
+
+/// Faults compose with the effect pool: a DELTA NVLink killed in the
+/// middle of sample sort's splitter/bucket-exchange window must leave
+/// output bytes AND the full report (reroute counts, every simulated
+/// clock) bit-identical between the serial executor and a 4-thread pool.
+/// The exchange copies re-route while partition effects are still in
+/// flight on worker threads — exactly the interleaving the determinism
+/// contract has to be immune to.
+#[test]
+fn sample_sort_fault_mid_exchange_bit_identical_across_effect_threads() {
+    let platform = Platform::delta_d22x();
+    let n: u64 = 1 << 16;
+    // Fault-free dry run times the exchange window.
+    let mut dry: Vec<u32> = generate(Distribution::Uniform, n as usize, 21);
+    let clean = run_sort(
+        &platform,
+        &RunConfig::sample(SampleSortConfig::new(4)),
+        &mut dry,
+        n,
+    );
+    assert!(clean.validated);
+    let at = SimTime(clean.phases.htod.0 + clean.phases.merge.0 / 2);
+    let topo = &platform.topology;
+    let link = topo
+        .link_between(topo.gpu(0), topo.gpu(1))
+        .expect("DELTA has a 0--1 NVLink");
+    let plan = FaultPlan::new().link_down(at, link);
+
+    let mut runs = Vec::new();
+    for threads in [1usize, 4] {
+        let mut data: Vec<u32> = generate(Distribution::Uniform, n as usize, 21);
+        let cfg = RunConfig::sample(SampleSortConfig::new(4))
+            .with_faults(plan.clone())
+            .with_effect_threads(threads);
+        let report = run_sort(&platform, &cfg, &mut data, n);
+        assert!(report.validated, "threads={threads}");
+        assert!(
+            report.rerouted_transfers >= 1,
+            "threads={threads}: the dead link must force reroutes"
+        );
+        runs.push((data, format!("{report:?}")));
+    }
+    assert_eq!(
+        runs[0], runs[1],
+        "faulted sample sort differs between effect_threads 1 and 4"
     );
 }

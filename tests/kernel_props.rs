@@ -14,11 +14,19 @@
 //! * **Edge cases** — empty, singleton, all-duplicate, already-sorted,
 //!   reverse-sorted, and tile-boundary-straddling lengths.
 //!
+//! PR 7 adds the sample-sort host kernels to the same contract: the
+//! splitter partition must be a stable permutation with boundaries that
+//! match the predicted histogram, and the k-way merge must equal
+//! `sort_unstable` bit-for-bit at every pool width.
+//!
 //! Offline environment: deterministic seeded loops over the in-tree [`Rng`]
 //! stand in for `proptest`, as in `tests/properties.rs`.
 
+use multi_gpu_sort::cpu::multiway::{parallel_multiway_merge_with, ParallelMergeConfig};
 use multi_gpu_sort::cpu::{
-    merge_path_sort, onesweep_sort, parallel_onesweep_sort, parallel_onesweep_sort_with_aux,
+    bucket_counts, bucket_of, merge_path_sort, multiway_merge, onesweep_sort,
+    parallel_onesweep_sort, parallel_onesweep_sort_with_aux, partition_by_splitters,
+    select_splitters,
 };
 use multi_gpu_sort::data::Rng;
 use multi_gpu_sort::prelude::*;
@@ -169,5 +177,177 @@ fn branchless_merge_path_edge_cases() {
         let mut got = v;
         merge_path_sort(&mut got);
         assert_eq!(got, expected, "len {len}");
+    }
+}
+
+// ---- Sample-sort splitter partition (PR 7). ----
+
+/// Full permutation check for the splitter partition: the output must be
+/// exactly the naive stable partition (per-bucket key lists in input
+/// order, concatenated), with boundaries matching `bucket_counts`.
+fn check_splitter_partition<K: SortKey + PartialEq + std::fmt::Debug>(
+    input: &[K],
+    buckets: usize,
+    tag: &str,
+) {
+    let n = input.len();
+    let views: Vec<&[K]> = if n == 0 {
+        vec![input]
+    } else {
+        input.chunks(n.div_ceil(buckets)).collect()
+    };
+    let splitters = select_splitters(&views, buckets, 32);
+    assert!(splitters.len() < buckets, "{tag}");
+
+    // The naive reference: walk the input once, appending each key to its
+    // `bucket_of` bucket; concatenation is the expected stable partition.
+    let mut expect: Vec<Vec<K>> = vec![Vec::new(); splitters.len() + 1];
+    for (i, &key) in input.iter().enumerate() {
+        expect[bucket_of(key, i as u64, &splitters)].push(key);
+    }
+    let expected: Vec<K> = expect.iter().flatten().copied().collect();
+    let counts = bucket_counts(input, &splitters);
+    for (b, bucket) in expect.iter().enumerate() {
+        assert_eq!(counts[b] as usize, bucket.len(), "{tag} bucket {b}");
+    }
+
+    let mut reference: Option<(Vec<K>, Vec<usize>)> = None;
+    for threads in [1usize, 2, 4] {
+        let mut data = input.to_vec();
+        let mut aux = input.to_vec();
+        let bounds = partition_by_splitters(&mut data, &mut aux, &splitters, threads);
+        assert_eq!(
+            data, expected,
+            "{tag} threads={threads}: not the stable partition"
+        );
+        assert_eq!(*bounds.last().unwrap(), n, "{tag}");
+        for (b, w) in bounds.windows(2).enumerate() {
+            assert_eq!(counts[b] as usize, w[1] - w[0], "{tag} boundary {b}");
+        }
+        // Pool widths 1/2/4 must be byte-identical.
+        match &reference {
+            None => reference = Some((data, bounds)),
+            Some((d, bo)) => {
+                assert_eq!(&data, d, "{tag} threads={threads}");
+                assert_eq!(&bounds, bo, "{tag} threads={threads}");
+            }
+        }
+    }
+}
+
+#[test]
+fn splitter_partition_is_a_stable_permutation_u32() {
+    for dist in Distribution::paper_set() {
+        let input: Vec<u32> = generate(dist, 60_000, 41);
+        check_splitter_partition(&input, 8, &format!("u32 {dist:?}"));
+    }
+    for seed in 0..CASES / 4 {
+        let mut rng = Rng::seed_from_u64(5000 + seed);
+        let input = random_vec_u32(&mut rng, 5000);
+        let buckets = 1 + rng.usize_in(1..9);
+        check_splitter_partition(&input, buckets, &format!("u32 seed {seed}"));
+    }
+}
+
+#[test]
+fn splitter_partition_is_a_stable_permutation_u64() {
+    for dist in Distribution::paper_set() {
+        let input: Vec<u64> = generate(dist, 60_000, 43);
+        check_splitter_partition(&input, 4, &format!("u64 {dist:?}"));
+    }
+    for seed in 0..CASES / 4 {
+        let mut rng = Rng::seed_from_u64(6000 + seed);
+        let input = random_vec_u64(&mut rng, 5000);
+        let buckets = 1 + rng.usize_in(1..9);
+        check_splitter_partition(&input, buckets, &format!("u64 seed {seed}"));
+    }
+}
+
+#[test]
+fn splitter_partition_edge_cases() {
+    // Empty input, single bucket, and tile-straddling lengths.
+    check_splitter_partition::<u32>(&[], 4, "empty");
+    check_splitter_partition(&[9u32], 4, "singleton");
+    let dup = vec![7u64; 40_000];
+    check_splitter_partition(&dup, 8, "all-duplicate");
+    let straddle: Vec<u32> = generate(Distribution::Uniform, (1 << 15) + 17, 47);
+    check_splitter_partition(&straddle, 3, "tile straddle");
+}
+
+// ---- k-way merge vs. the standard library (PR 7). ----
+
+#[test]
+fn kway_merge_matches_std_at_every_pool_width() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(7000 + seed);
+        let k = rng.usize_in(1..9);
+        let mut runs: Vec<Vec<u64>> = (0..k).map(|_| random_vec_u64(&mut rng, 3000)).collect();
+        let mut all: Vec<u64> = Vec::new();
+        for r in &mut runs {
+            r.sort_unstable();
+            all.extend_from_slice(r);
+        }
+        all.sort_unstable();
+        let views: Vec<&[u64]> = runs.iter().map(Vec::as_slice).collect();
+
+        let mut sequential = vec![0u64; all.len()];
+        multiway_merge(&views, &mut sequential);
+        assert_eq!(sequential, all, "seed {seed}: loser tree vs std");
+
+        // Pool widths 1/2/4, with the sequential cutoff forced off so the
+        // parallel split path actually runs: all byte-identical.
+        for threads in [1usize, 2, 4] {
+            let mut out = vec![0u64; all.len()];
+            parallel_multiway_merge_with(
+                &views,
+                &mut out,
+                ParallelMergeConfig {
+                    threads,
+                    sequential_threshold: 0,
+                },
+            );
+            assert_eq!(out, all, "seed {seed} threads={threads}: parallel vs std");
+        }
+    }
+}
+
+#[test]
+fn kway_merge_duplicate_and_skewed_runs() {
+    // Runs of wildly different lengths plus heavy duplication: the
+    // multisequence split must still carve identical output at every
+    // width.
+    let runs: Vec<Vec<u32>> = vec![
+        generate(
+            Distribution::ZipfDuplicates {
+                skew_permille: 1400,
+            },
+            50_000,
+            3,
+        ),
+        vec![5u32; 10_000],
+        generate(Distribution::Uniform, 100, 4),
+        Vec::new(),
+        generate(Distribution::ReverseSorted, 20_000, 5),
+    ]
+    .into_iter()
+    .map(|mut r| {
+        r.sort_unstable();
+        r
+    })
+    .collect();
+    let views: Vec<&[u32]> = runs.iter().map(Vec::as_slice).collect();
+    let mut all: Vec<u32> = runs.iter().flatten().copied().collect();
+    all.sort_unstable();
+    for threads in [1usize, 2, 4] {
+        let mut out = vec![0u32; all.len()];
+        parallel_multiway_merge_with(
+            &views,
+            &mut out,
+            ParallelMergeConfig {
+                threads,
+                sequential_threshold: 0,
+            },
+        );
+        assert_eq!(out, all, "threads={threads}");
     }
 }

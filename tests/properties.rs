@@ -289,10 +289,11 @@ fn p2p_sort_any_input() {
 
 #[test]
 fn every_sort_every_platform_every_distribution() {
-    // The full cross product: P2P, HET and RP sort on each paper platform,
-    // over every key distribution the generator knows, must produce a
-    // sorted permutation of the input. One seeded case per combination —
-    // the seed tags reproduce any failure exactly.
+    // The full cross product: all FIVE algorithm families (P2P, HET, RP,
+    // sample sort, multiway mergesort) on each paper platform, over every
+    // key distribution the generator knows, must produce a sorted
+    // permutation of the input. One seeded case per combination — the
+    // seed tags reproduce any failure exactly.
     use multi_gpu_sort::core::{rp_sort, RpConfig};
     let distributions = [
         Distribution::Uniform,
@@ -334,10 +335,90 @@ fn every_sort_every_platform_every_distribution() {
             assert!(r.validated, "rp {}", tag());
             assert!(same_multiset(&input, &rp), "rp {}", tag());
 
-            // All three algorithms agree on the result.
+            let mut sample = input.clone();
+            let r = sample_sort(platform, &SampleSortConfig::new(4), &mut sample, n);
+            assert!(r.validated, "sample {}", tag());
+            assert!(same_multiset(&input, &sample), "sample {}", tag());
+
+            let mut mwms = input.clone();
+            let r = mwms_sort(platform, &MwmsConfig::new(4), &mut mwms, n);
+            assert!(r.validated, "mwms {}", tag());
+            assert!(same_multiset(&input, &mwms), "mwms {}", tag());
+
+            // All five algorithms agree on the result.
             assert_eq!(p2p, het, "p2p vs het {}", tag());
             assert_eq!(p2p, rp, "p2p vs rp {}", tag());
+            assert_eq!(p2p, sample, "p2p vs sample {}", tag());
+            assert_eq!(p2p, mwms, "p2p vs mwms {}", tag());
         }
+    }
+}
+
+#[test]
+fn five_algorithms_bit_reproducible_from_seed() {
+    // The whole run is a pure function of (seed, config): regenerating the
+    // input from the seed and re-running must reproduce the output bytes
+    // AND every field of the report (all simulated clocks included).
+    // `SortReport` has no `PartialEq` by design; its Debug rendering
+    // compares every field.
+    let platform = Platform::delta_d22x();
+    let n: u64 = 1 << 12;
+    let run = |algo: &str, seed: u64| -> (Vec<u32>, String) {
+        let mut data: Vec<u32> = generate(Distribution::Uniform, n as usize, seed);
+        let report = match algo {
+            "p2p" => p2p_sort(&platform, &P2pConfig::new(4), &mut data, n),
+            "rp" => {
+                use multi_gpu_sort::core::{rp_sort, RpConfig};
+                rp_sort(&platform, &RpConfig::new(4), &mut data, n)
+            }
+            "het" => het_sort(&platform, &HetConfig::new(4), &mut data, n),
+            "sample" => sample_sort(&platform, &SampleSortConfig::new(4), &mut data, n),
+            "mwms" => mwms_sort(&platform, &MwmsConfig::new(4), &mut data, n),
+            _ => unreachable!(),
+        };
+        assert!(report.validated, "{algo}");
+        (data, format!("{report:?}"))
+    };
+    for algo in ["p2p", "rp", "het", "sample", "mwms"] {
+        let (out_a, rep_a) = run(algo, 31_337);
+        let (out_b, rep_b) = run(algo, 31_337);
+        assert_eq!(out_a, out_b, "{algo}: output not reproducible from seed");
+        assert_eq!(rep_a, rep_b, "{algo}: report not reproducible from seed");
+        assert!(is_sorted(&out_a), "{algo}");
+    }
+}
+
+#[test]
+fn sample_sort_bucket_imbalance_bounded_on_skewed_input() {
+    // Duplicate-heavy Zipf input is sample sort's adversary: a key-only
+    // splitter comparison would dump every copy of the hot key into one
+    // bucket. The (key, position) tie-break bounds the largest receive
+    // partition — surfaced via `SortReport::max_partition_keys` — to ~2x
+    // the even share even at heavy skew.
+    let g = 8;
+    let n: u64 = 1 << 15;
+    for &skew_permille in &[1200u32, 1500] {
+        let dist = Distribution::ZipfDuplicates { skew_permille };
+        let input: Vec<u32> = generate(dist, n as usize, 0x5A17);
+        let mut data = input.clone();
+        let report = sample_sort(
+            &Platform::dgx_a100(),
+            &SampleSortConfig::new(g),
+            &mut data,
+            n,
+        );
+        assert!(report.validated, "skew {skew_permille}");
+        assert!(same_multiset(&input, &data), "skew {skew_permille}");
+        assert!(
+            report.max_partition_keys > 0,
+            "sample sort must report its largest bucket"
+        );
+        assert!(
+            report.max_partition_keys <= 2 * (n / g as u64),
+            "skew {skew_permille}: largest bucket {} exceeds 2x the even share {}",
+            report.max_partition_keys,
+            n / g as u64
+        );
     }
 }
 
