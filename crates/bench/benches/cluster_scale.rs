@@ -1,0 +1,62 @@
+//! Cluster scaling: the cross-node sort at 1/2/4/8 DGX A100 nodes.
+//!
+//! Holds keys-per-GPU fixed (weak scaling) and grows the node count, so
+//! the per-node work is constant and the delta between points is purely
+//! the node-level machinery: the scatter over node 0's NIC, the global
+//! splitter selection, the all-to-all bucket exchange over the fabric,
+//! and the gather. Alongside the wall-clock samples the bench checks the
+//! *simulated* decomposition: the share of the run the inter-node fabric
+//! is busy must grow monotonically with the node count (1 node ⇒ zero;
+//! more nodes ⇒ a larger fraction of every chunk crosses the NICs).
+//!
+//! `MSORT_BENCH_QUICK=1` shrinks the inputs for CI smoke runs.
+
+use msort_bench::Harness;
+use msort_cluster::dgx_a100_cluster;
+use msort_core::{cross_node_sort, CrossNodeConfig, InnerAlgo};
+use msort_data::{generate, Distribution};
+use msort_topology::Fabric;
+use std::hint::black_box;
+
+fn quick() -> bool {
+    std::env::var_os("MSORT_BENCH_QUICK").is_some()
+}
+
+fn main() {
+    let samples = if quick() { 2 } else { 5 };
+    let per_gpu: u64 = if quick() { 1 << 14 } else { 1 << 18 };
+    let mut h = Harness::new("cluster").sample_size(samples);
+
+    let mut shares: Vec<(usize, f64)> = Vec::new();
+    for nodes in [1usize, 2, 4, 8] {
+        let cluster = dgx_a100_cluster(nodes, Fabric::IbHdr);
+        let n = per_gpu * 8 * nodes as u64;
+        let input: Vec<u32> = generate(Distribution::Uniform, n as usize, 17);
+        let config = CrossNodeConfig::new(InnerAlgo::SampleSort);
+        let mut share = 0.0;
+        h.bench_throughput(&format!("cross_node/dgx_x{nodes}/ib-hdr"), n, || {
+            let mut d = input.clone();
+            let report = cross_node_sort(&cluster, &config, &mut d, n);
+            assert!(report.validated);
+            share = report.inter_node.as_secs_f64() / report.total.as_secs_f64();
+            black_box(report.total)
+        });
+        shares.push((nodes, share));
+    }
+
+    for w in shares.windows(2) {
+        let ((a, sa), (b, sb)) = (w[0], w[1]);
+        assert!(
+            sb > sa,
+            "inter-node share must grow with node count: {a} nodes -> {sa:.3}, {b} nodes -> {sb:.3}"
+        );
+    }
+    for (nodes, share) in &shares {
+        println!(
+            "inter-node fabric share at {nodes} node(s): {:.1}%",
+            100.0 * share
+        );
+    }
+
+    h.finish();
+}

@@ -3,20 +3,27 @@
 //! ```text
 //! simulate --platform dgx-a100 --algo p2p --gpus 4 --keys 2e9 \
 //!          --dist uniform --type u32 [--scale 2097152] [--multi-hop] \
+//!          [--nodes N] [--fabric ib-hdr|ib-ndr|slingshot] \
 //!          [--approach 2n|3n] [--eager-merge] [--trace out.json]
 //! ```
+//!
+//! With `--nodes N` (N > 1) the platform becomes an N-node cluster of the
+//! selected box joined by the `--fabric` interconnect, and the sort runs
+//! as the cross-node sort with `--algo` as the per-node inner sort.
 //!
 //! Prints the sort report (total simulated duration + phase breakdown) and
 //! optionally writes a Chrome trace of the run.
 
+use msort_cluster::cluster_of;
 use msort_core::{
-    cpu_only_sort, het_sort, mwms_sort, p2p_sort, rp_sort, sample_sort, single_gpu_sort, HetConfig,
-    LargeDataApproach, MwmsConfig, P2pConfig, RpConfig, SampleSortConfig, SortReport,
+    cpu_only_sort, cross_node_sort, het_sort, mwms_sort, p2p_sort, rp_sort, sample_sort,
+    single_gpu_sort, CrossNodeConfig, HetConfig, InnerAlgo, LargeDataApproach, MwmsConfig,
+    P2pConfig, RpConfig, SampleSortConfig, SortReport,
 };
 use msort_data::{generate, DataType, Distribution};
 use msort_gpu::Fidelity;
 use msort_sim::GpuSortAlgo;
-use msort_topology::{Platform, PlatformId};
+use msort_topology::{Fabric, Platform, PlatformId};
 
 /// Parsed command-line options.
 struct Options {
@@ -33,6 +40,8 @@ struct Options {
     primitive: GpuSortAlgo,
     trace: Option<String>,
     seed: u64,
+    nodes: usize,
+    fabric: Fabric,
 }
 
 impl Default for Options {
@@ -51,6 +60,8 @@ impl Default for Options {
             primitive: GpuSortAlgo::ThrustLike,
             trace: None,
             seed: 42,
+            nodes: 1,
+            fabric: Fabric::IbHdr,
         }
     }
 }
@@ -61,7 +72,13 @@ fn usage() -> ! {
          \x20               [--gpus N] [--keys N|Xe9] [--dist uniform|normal|sorted|reverse|nearly|zipf]\n\
          \x20               [--type u32|i32|f32|u64|i64|f64|kv32|kv64] [--scale N] [--seed N]\n\
          \x20               [--multi-hop] [--approach 2n|3n] [--eager-merge]\n\
-         \x20               [--primitive thrust|cub|stehle|mgpu] [--trace file.json]"
+         \x20               [--nodes N] [--fabric ib-hdr|ib-ndr|slingshot]\n\
+         \x20               [--primitive thrust|cub|stehle|mgpu] [--trace file.json]\n\
+         \n\
+         --nodes N (N > 1) simulates an N-node cluster of the chosen platform\n\
+         joined by the --fabric interconnect (default ib-hdr); the sort runs\n\
+         as the cross-node sort with --algo as the per-node inner sort and\n\
+         --gpus as the GPUs used per node."
     );
     std::process::exit(2);
 }
@@ -158,6 +175,21 @@ fn parse(args: &[String]) -> Option<Options> {
                     }
                 }
             }
+            "--nodes" => {
+                opts.nodes = value("--nodes")?.parse().ok()?;
+                if opts.nodes == 0 {
+                    eprintln!("--nodes must be at least 1");
+                    return None;
+                }
+            }
+            "--fabric" => {
+                let v = value("--fabric")?;
+                let Some(f) = Fabric::parse(&v) else {
+                    eprintln!("unknown fabric '{v}' (ib-hdr, ib-ndr, slingshot)");
+                    return None;
+                };
+                opts.fabric = f;
+            }
             "--multi-hop" => opts.multi_hop = true,
             "--eager-merge" => opts.eager_merge = true,
             "--trace" => opts.trace = Some(value("--trace")?),
@@ -174,7 +206,7 @@ fn parse(args: &[String]) -> Option<Options> {
 fn run_typed<K: msort_data::SortKey>(opts: &Options, platform: &Platform) -> SortReport {
     let scale = opts.scale.max(1);
     // Align the key count so every algorithm's chunking divides evenly.
-    let align = scale * opts.gpus.max(1) as u64 * 8;
+    let align = scale * opts.gpus.max(1) as u64 * 8 * opts.nodes as u64;
     let n = (opts.keys / align * align).max(align);
     let fidelity = if scale == 1 {
         Fidelity::Full
@@ -182,6 +214,24 @@ fn run_typed<K: msort_data::SortKey>(opts: &Options, platform: &Platform) -> Sor
         Fidelity::Sampled { scale }
     };
     let mut data: Vec<K> = generate(opts.dist, (n / scale) as usize, opts.seed);
+    if opts.nodes > 1 {
+        let inner = match opts.algo.as_str() {
+            "p2p" => InnerAlgo::P2p,
+            "het" => InnerAlgo::Het,
+            "rp" => InnerAlgo::Rp,
+            "sample" => InnerAlgo::SampleSort,
+            "mwms" => InnerAlgo::MultiwayMerge,
+            other => {
+                eprintln!("--nodes > 1 needs --algo p2p|het|rp|sample|mwms (got '{other}')");
+                usage()
+            }
+        };
+        let mut cfg = CrossNodeConfig::new(inner);
+        cfg.fidelity = fidelity;
+        cfg.algo = opts.primitive;
+        cfg.gpus_per_node = Some(opts.gpus);
+        return cross_node_sort(platform, &cfg, &mut data, n);
+    }
     match opts.algo.as_str() {
         "p2p" => {
             let mut cfg = P2pConfig {
@@ -238,12 +288,21 @@ fn run_typed<K: msort_data::SortKey>(opts: &Options, platform: &Platform) -> Sor
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(opts) = parse(&args) else { usage() };
-    let platform = Platform::paper(opts.platform);
-    if opts.gpus == 0 || opts.gpus > platform.gpu_count() {
+    let platform = if opts.nodes > 1 {
+        cluster_of(opts.platform, opts.nodes, opts.fabric)
+    } else {
+        Platform::paper(opts.platform)
+    };
+    let gpus_avail = if opts.nodes > 1 {
+        opts.platform.gpus_per_node()
+    } else {
+        platform.gpu_count()
+    };
+    if opts.gpus == 0 || opts.gpus > gpus_avail {
         eprintln!(
             "--gpus must be between 1 and {} on the {}",
-            platform.gpu_count(),
-            platform.id.name()
+            gpus_avail,
+            platform.name()
         );
         std::process::exit(2);
     }
@@ -284,6 +343,13 @@ fn main() {
         println!(
             "P2P exchange volume: {:.2} B keys",
             report.p2p_swapped_keys as f64 / 1e9
+        );
+    }
+    if report.inter_node > msort_sim::SimDuration::ZERO {
+        println!(
+            "inter-node fabric busy: {} ({:.0}% of total)",
+            report.inter_node,
+            100.0 * report.inter_node.as_secs_f64() / report.total.as_secs_f64()
         );
     }
 

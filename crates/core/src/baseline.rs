@@ -10,7 +10,7 @@ use crate::het::{het_sort, HetConfig};
 use crate::report::{PhaseBreakdown, SortReport};
 use msort_data::{is_sorted, SortKey};
 use msort_gpu::{Fidelity, GpuSystem};
-use msort_sim::{GpuSortAlgo, SimTime};
+use msort_sim::{GpuSortAlgo, SimDuration, SimTime};
 use msort_topology::Platform;
 
 /// Sort with the CPU-only baseline (PARADIS) and report.
@@ -45,6 +45,7 @@ pub fn cpu_only_sort<K: SortKey>(
         p2p_swapped_keys: 0,
         rerouted_transfers: 0,
         max_partition_keys: 0,
+        inter_node: SimDuration::ZERO,
     }
 }
 

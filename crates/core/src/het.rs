@@ -79,6 +79,10 @@ pub struct HetConfig {
     pub gpu_mem_budget: Option<u64>,
     /// Scheduled link faults to inject (empty: pristine fabric).
     pub faults: FaultPlan,
+    /// NUMA socket whose host memory stages the input and output (0 on
+    /// single-node platforms; the cross-node driver points each inner sort
+    /// at its node's home socket).
+    pub home_socket: usize,
 }
 
 impl HetConfig {
@@ -94,6 +98,7 @@ impl HetConfig {
             eager_merge: false,
             gpu_mem_budget: None,
             faults: FaultPlan::new(),
+            home_socket: 0,
         }
     }
 
@@ -138,6 +143,12 @@ impl HetConfig {
     #[must_use]
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+    /// Stage host buffers on `socket` instead of socket 0.
+    #[must_use]
+    pub fn with_home_socket(mut self, socket: usize) -> Self {
+        self.home_socket = socket;
         self
     }
 }
@@ -256,10 +267,11 @@ pub(crate) fn het_sort_on<K: SortKey>(
     let plan = ChunkPlan::compute(logical_len, g, max_chunk_keys, scale);
 
     let input = std::mem::take(data);
-    let host_in = sys.world_mut().import_host(0, input, logical_len);
+    let home = config.home_socket;
+    let host_in = sys.world_mut().import_host(home, input, logical_len);
     // Sorted sublists land here; the final merge writes to `host_out`.
-    let host_runs = sys.world_mut().alloc_host(0, logical_len);
-    let host_out = sys.world_mut().alloc_host(0, logical_len);
+    let host_runs = sys.world_mut().alloc_host(home, logical_len);
+    let host_out = sys.world_mut().alloc_host(home, logical_len);
 
     let report = run_pipeline(
         platform,
@@ -323,7 +335,7 @@ fn run_pipeline<K: SortKey>(
     // Eager outputs need their own staging area (the final merge writes
     // `host_out` while reading them).
     let eager_buf = if config.eager_merge && groups > 1 {
-        Some(sys.world_mut().alloc_host(0, logical_len))
+        Some(sys.world_mut().alloc_host(config.home_socket, logical_len))
     } else {
         None
     };
@@ -436,6 +448,7 @@ fn run_pipeline<K: SortKey>(
             p2p_swapped_keys: 0,
             rerouted_transfers: sys.rerouted_transfers(),
             max_partition_keys: 0,
+            inter_node: SimDuration::ZERO,
         };
     }
     let inputs: Vec<(BufId, u64, u64)> = if let Some(eager_buf) = eager_buf {
@@ -497,6 +510,7 @@ fn run_pipeline<K: SortKey>(
         p2p_swapped_keys: 0,
         rerouted_transfers: sys.rerouted_transfers(),
         max_partition_keys: 0,
+        inter_node: SimDuration::ZERO,
     }
 }
 
@@ -609,9 +623,10 @@ impl<K: SortKey> HetDriver<K> {
         );
         let buf_len = plan.max_len();
 
-        let host_in = sys.world_mut().import_host(0, data, logical_len);
-        let host_runs = sys.world_mut().alloc_host(0, logical_len);
-        let host_out = sys.world_mut().alloc_host(0, logical_len);
+        let home = config.home_socket;
+        let host_in = sys.world_mut().import_host(home, data, logical_len);
+        let host_runs = sys.world_mut().alloc_host(home, logical_len);
+        let host_out = sys.world_mut().alloc_host(home, logical_len);
 
         let nbuf = config.approach.buffers() as usize;
         let bufs: Vec<Vec<BufId>> = order
@@ -804,6 +819,7 @@ impl<K: SortKey> SortDriver<K> for HetDriver<K> {
             p2p_swapped_keys: 0,
             rerouted_transfers: sys.rerouted_transfers() - self.reroutes_at_start,
             max_partition_keys: 0,
+            inter_node: SimDuration::ZERO,
         }
     }
 }

@@ -19,6 +19,10 @@
 //! * [`mwms`] — **multiway mergesort** (after Karsin et al.): local chunk
 //!   sorts feed a pairwise merge tree across the GPUs — the merge-bound,
 //!   point-to-point interconnect profile.
+//! * [`cross_node`] — **cross-node sort**: a node-level sample sort over
+//!   the cluster platforms' NIC fabric, with any of the above running
+//!   inside every node; inter-node NIC flows and intra-node NVLink flows
+//!   contend in the same rate allocation.
 //! * [`pivot`] — Algorithm 1: leftmost-pivot selection over two sorted
 //!   sequences (and concatenated chunk views), plus the block-swap plan
 //!   derivation (which chunk pairs exchange which ranges).
@@ -52,6 +56,7 @@
 //! ```
 
 pub mod baseline;
+pub mod cross_node;
 pub mod exec;
 pub mod gpuset;
 pub mod het;
@@ -64,6 +69,7 @@ pub mod run;
 pub mod sample;
 
 pub use baseline::{cpu_only_sort, single_gpu_sort};
+pub use cross_node::{cross_node_sort, CrossNodeConfig, CrossNodeDriver, InnerAlgo};
 pub use exec::{drive, DriverStep, SortDriver};
 pub use gpuset::{default_gpu_set, search_gpu_set};
 pub use het::{het_sort, HetConfig, HetDriver, LargeDataApproach};

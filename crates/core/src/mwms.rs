@@ -37,7 +37,7 @@ use crate::gpuset::default_gpu_set;
 use crate::report::{PhaseBreakdown, SortReport};
 use msort_data::{is_sorted, SortKey};
 use msort_gpu::{BufId, Fidelity, GpuSystem, OpId, Phase, StreamId};
-use msort_sim::{FaultPlan, GpuSortAlgo, SimTime};
+use msort_sim::{FaultPlan, GpuSortAlgo, SimDuration, SimTime};
 use msort_topology::Platform;
 
 /// Configuration for [`mwms_sort`].
@@ -55,6 +55,10 @@ pub struct MwmsConfig {
     pub fidelity: Fidelity,
     /// Scheduled link faults to inject (empty: pristine fabric).
     pub faults: FaultPlan,
+    /// NUMA socket whose host memory stages the input and output (0 on
+    /// single-node platforms; the cross-node driver points each inner sort
+    /// at its node's home socket).
+    pub home_socket: usize,
 }
 
 impl MwmsConfig {
@@ -67,7 +71,15 @@ impl MwmsConfig {
             algo: GpuSortAlgo::ThrustLike,
             fidelity: Fidelity::Full,
             faults: FaultPlan::new(),
+            home_socket: 0,
         }
+    }
+
+    /// Stage host buffers on `socket` instead of socket 0.
+    #[must_use]
+    pub fn with_home_socket(mut self, socket: usize) -> Self {
+        self.home_socket = socket;
+        self
     }
 
     /// Use sampled fidelity with the given factor.
@@ -194,8 +206,9 @@ impl<K: SortKey> MwmsDriver<K> {
         );
         let chunk = logical_len / g as u64;
 
-        let host_in = sys.world_mut().import_host(0, data, logical_len);
-        let host_out = sys.world_mut().alloc_host(0, logical_len);
+        let home = config.home_socket;
+        let host_in = sys.world_mut().import_host(home, data, logical_len);
+        let host_out = sys.world_mut().alloc_host(home, logical_len);
 
         // Phase-1 buffers: primary chunk + sort scratch per GPU. The
         // scratch buffers die after the local sorts; merge-tree buffers
@@ -442,6 +455,7 @@ impl<K: SortKey> SortDriver<K> for MwmsDriver<K> {
             p2p_swapped_keys: self.exchanged_keys,
             rerouted_transfers: sys.rerouted_transfers() - self.reroutes_at_start,
             max_partition_keys: 0,
+            inter_node: SimDuration::ZERO,
         }
     }
 }

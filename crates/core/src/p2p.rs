@@ -27,7 +27,7 @@ use crate::pivot::{select_pivot, swap_plan, ConcatView, SwapPlan};
 use crate::report::{PhaseBreakdown, SortReport};
 use msort_data::{is_sorted, SortKey};
 use msort_gpu::{BufId, Fidelity, GpuSystem, OpId, Phase, StreamId};
-use msort_sim::{FaultPlan, GpuSortAlgo, SimTime};
+use msort_sim::{FaultPlan, GpuSortAlgo, SimDuration, SimTime};
 use msort_topology::{Endpoint, Platform, Route};
 
 /// Configuration for [`p2p_sort`].
@@ -51,6 +51,10 @@ pub struct P2pConfig {
     /// Scheduled link faults to inject (empty: pristine fabric, and the
     /// simulation is bit-identical to a build without fault support).
     pub faults: FaultPlan,
+    /// NUMA socket whose host memory stages the input and output (0 on
+    /// single-node platforms; the cross-node driver points each inner sort
+    /// at its node's home socket).
+    pub home_socket: usize,
 }
 
 impl P2pConfig {
@@ -65,6 +69,7 @@ impl P2pConfig {
             fidelity: Fidelity::Full,
             multi_hop: false,
             faults: FaultPlan::new(),
+            home_socket: 0,
         }
     }
 
@@ -95,6 +100,12 @@ impl P2pConfig {
     #[must_use]
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+    /// Stage host buffers on `socket` instead of socket 0.
+    #[must_use]
+    pub fn with_home_socket(mut self, socket: usize) -> Self {
+        self.home_socket = socket;
         self
     }
 }
@@ -222,8 +233,9 @@ impl<K: SortKey> P2pDriver<K> {
         );
         let chunk = logical_len / g as u64;
 
-        let host_in = sys.world_mut().import_host(0, data, logical_len);
-        let host_out = sys.world_mut().alloc_host(0, logical_len);
+        let home = config.home_socket;
+        let host_in = sys.world_mut().import_host(home, data, logical_len);
+        let host_out = sys.world_mut().alloc_host(home, logical_len);
 
         // Pre-allocate chunk + auxiliary buffers (the paper excludes
         // allocation from the timed region, and so do we).
@@ -418,6 +430,7 @@ impl<K: SortKey> SortDriver<K> for P2pDriver<K> {
             p2p_swapped_keys: self.swapped_keys,
             rerouted_transfers: sys.rerouted_transfers() - self.reroutes_at_start,
             max_partition_keys: 0,
+            inter_node: SimDuration::ZERO,
         }
     }
 }

@@ -60,6 +60,10 @@ pub struct SortReport {
     /// this is `keys / gpus`). 0 for algorithms whose partitioning is
     /// exact by construction (or that do not partition at all).
     pub max_partition_keys: u64,
+    /// Busy time of operations that crossed the inter-node fabric (the
+    /// cross-node sort's NIC traffic). [`SimDuration::ZERO`] for
+    /// single-node runs.
+    pub inter_node: SimDuration,
 }
 
 impl SortReport {
@@ -137,6 +141,7 @@ mod tests {
             p2p_swapped_keys: 123,
             rerouted_transfers: 0,
             max_partition_keys: 0,
+            inter_node: SimDuration::ZERO,
         };
         assert!((r.mkeys_per_sec() - 20.0).abs() < 1e-9);
         assert!(r.summary().contains("P2P sort"));
@@ -158,6 +163,7 @@ mod tests {
             p2p_swapped_keys: 0,
             rerouted_transfers: 0,
             max_partition_keys: 0,
+            inter_node: SimDuration::ZERO,
         };
         assert_eq!(r.mkeys_per_sec(), 0.0);
         assert!(r.mkeys_per_sec().is_finite());

@@ -35,7 +35,7 @@ use crate::report::{PhaseBreakdown, SortReport};
 use msort_cpu::multiway::multisequence_select;
 use msort_data::{is_sorted, SortKey};
 use msort_gpu::{BufId, Fidelity, GpuSystem, OpId, Phase, StreamId};
-use msort_sim::{FaultPlan, GpuSortAlgo, SimTime};
+use msort_sim::{FaultPlan, GpuSortAlgo, SimDuration, SimTime};
 use msort_topology::Platform;
 
 /// Configuration for [`rp_sort`].
@@ -53,6 +53,10 @@ pub struct RpConfig {
     pub fidelity: Fidelity,
     /// Scheduled link faults to inject (empty: pristine fabric).
     pub faults: FaultPlan,
+    /// NUMA socket whose host memory stages the input and output (0 on
+    /// single-node platforms; the cross-node driver points each inner sort
+    /// at its node's home socket).
+    pub home_socket: usize,
 }
 
 impl RpConfig {
@@ -65,6 +69,7 @@ impl RpConfig {
             algo: GpuSortAlgo::ThrustLike,
             fidelity: Fidelity::Full,
             faults: FaultPlan::new(),
+            home_socket: 0,
         }
     }
 
@@ -88,6 +93,12 @@ impl RpConfig {
     #[must_use]
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+    /// Stage host buffers on `socket` instead of socket 0.
+    #[must_use]
+    pub fn with_home_socket(mut self, socket: usize) -> Self {
+        self.home_socket = socket;
         self
     }
 }
@@ -177,8 +188,9 @@ impl<K: SortKey> RpDriver<K> {
         );
         let chunk = logical_len / g as u64;
 
-        let host_in = sys.world_mut().import_host(0, data, logical_len);
-        let host_out = sys.world_mut().alloc_host(0, logical_len);
+        let home = config.home_socket;
+        let host_in = sys.world_mut().import_host(home, data, logical_len);
+        let host_out = sys.world_mut().alloc_host(home, logical_len);
 
         // Buffers: primary chunk, aux (sort scratch + receive target), and
         // a merge output buffer per GPU — RP sort's 3n footprint is the
@@ -428,6 +440,7 @@ impl<K: SortKey> SortDriver<K> for RpDriver<K> {
             p2p_swapped_keys: self.exchanged_keys,
             rerouted_transfers: sys.rerouted_transfers() - self.reroutes_at_start,
             max_partition_keys: 0,
+            inter_node: SimDuration::ZERO,
         }
     }
 }

@@ -26,6 +26,7 @@
 //! assert!(!recorder.snapshot().unwrap().events.is_empty());
 //! ```
 
+use crate::cross_node::{drive_cross_node, CrossNodeConfig};
 use crate::exec::drive;
 use crate::het::{het_sort_on, HetConfig};
 use crate::mwms::{MwmsConfig, MwmsDriver};
@@ -53,6 +54,9 @@ pub enum Algorithm {
     SampleSort(SampleSortConfig),
     /// Multiway mergesort (pairwise merge tree over the interconnect).
     MultiwayMerge(MwmsConfig),
+    /// Cross-node sort (node-level sample sort over the NIC fabric, one of
+    /// the above running inside every node).
+    CrossNode(CrossNodeConfig),
 }
 
 impl Algorithm {
@@ -65,6 +69,7 @@ impl Algorithm {
             Algorithm::Het(_) => "HET sort",
             Algorithm::SampleSort(_) => "Sample sort",
             Algorithm::MultiwayMerge(_) => "Multiway mergesort",
+            Algorithm::CrossNode(_) => "Cross-node sort",
         }
     }
 }
@@ -169,6 +174,15 @@ impl RunConfig {
         let faults = std::mem::replace(&mut config.faults, FaultPlan::new());
         let fidelity = config.fidelity;
         Self::with_algorithm(Algorithm::MultiwayMerge(config), fidelity, faults)
+    }
+
+    /// Run the cross-node sort. Lifts `fidelity` and `faults` out of
+    /// `config`.
+    #[must_use]
+    pub fn cross_node(mut config: CrossNodeConfig) -> Self {
+        let faults = std::mem::replace(&mut config.faults, FaultPlan::new());
+        let fidelity = config.fidelity;
+        Self::with_algorithm(Algorithm::CrossNode(config), fidelity, faults)
     }
 
     /// Set the simulation fidelity.
@@ -296,6 +310,11 @@ pub fn run_sort<K: SortKey>(
             let report = driver.report(&sys);
             *data = driver.take_output();
             report
+        }
+        Algorithm::CrossNode(c) => {
+            let mut c = c.clone();
+            c.fidelity = config.fidelity;
+            drive_cross_node(&mut sys, &c, data, logical_len)
         }
     };
     debug_assert!(

@@ -60,6 +60,10 @@ pub struct SampleSortConfig {
     pub fidelity: Fidelity,
     /// Scheduled link faults to inject (empty: pristine fabric).
     pub faults: FaultPlan,
+    /// NUMA socket whose host memory stages the input and output (0 on
+    /// single-node platforms; the cross-node driver points each inner sort
+    /// at its node's home socket).
+    pub home_socket: usize,
     /// Samples drawn per chunk per bucket. Higher values tighten the
     /// bucket-imbalance bound at the cost of a longer (host-side) splitter
     /// selection; the classic sample-sort analysis suggests `O(log n)`.
@@ -76,8 +80,16 @@ impl SampleSortConfig {
             algo: GpuSortAlgo::ThrustLike,
             fidelity: Fidelity::Full,
             faults: FaultPlan::new(),
+            home_socket: 0,
             oversample: 32,
         }
+    }
+
+    /// Stage host buffers on `socket` instead of socket 0.
+    #[must_use]
+    pub fn with_home_socket(mut self, socket: usize) -> Self {
+        self.home_socket = socket;
+        self
     }
 
     /// Use sampled fidelity with the given factor.
@@ -198,8 +210,9 @@ impl<K: SortKey> SampleSortDriver<K> {
         );
         let chunk = logical_len / g as u64;
 
-        let host_in = sys.world_mut().import_host(0, data, logical_len);
-        let host_out = sys.world_mut().alloc_host(0, logical_len);
+        let home = config.home_socket;
+        let host_in = sys.world_mut().import_host(home, data, logical_len);
+        let host_out = sys.world_mut().alloc_host(home, logical_len);
 
         // Partition-phase buffers: the primary chunk and the scatter
         // target of the local partition pass. The receive buffers are
@@ -488,6 +501,7 @@ impl<K: SortKey> SortDriver<K> for SampleSortDriver<K> {
             p2p_swapped_keys: self.exchanged_keys,
             rerouted_transfers: sys.rerouted_transfers() - self.reroutes_at_start,
             max_partition_keys: self.max_partition_keys,
+            inter_node: SimDuration::ZERO,
         }
     }
 }

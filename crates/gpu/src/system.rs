@@ -688,6 +688,43 @@ impl<'p, K: SortKey> GpuSystem<'p, K> {
         )
     }
 
+    /// Enqueue a host-side splitter partition of `data[range]` into
+    /// `buckets = splitters.len() + 1` contiguous runs via `aux` — the
+    /// node-level bucket pass of the cross-node sort, run by the CPU over
+    /// its staging buffer. Costed as one read pass plus one scatter
+    /// (read + write) at the socket's combined stream rate.
+    pub fn host_partition(
+        &mut self,
+        stream: StreamId,
+        data: BufId,
+        range: (u64, u64),
+        aux: BufId,
+        splitters: Vec<(K, u64)>,
+        waits: &[OpId],
+    ) -> OpId {
+        assert!(
+            matches!(self.world.location(data), Location::Host { .. }),
+            "host_partition requires a host buffer"
+        );
+        debug_assert_eq!(self.world.location(aux), self.world.location(data));
+        let bytes = (range.1 - range.0) * K::DATA_TYPE.key_bytes();
+        let duration = SimDuration::from_secs_f64(3.0 * bytes as f64 / self.cost.cpu.merge_bw);
+        self.push_op(
+            stream,
+            waits,
+            OpKind::Fixed {
+                duration,
+                effect: Effect::DevicePartition {
+                    data,
+                    range,
+                    aux,
+                    splitters,
+                },
+            },
+            Phase::Partition,
+        )
+    }
+
     /// Enqueue a local pairwise merge: the sorted runs `src[..mid]` and
     /// `src[mid..len]` merge into `dst[..len]` (the `thrust::merge`
     /// pattern of P2P sort's merge phase).

@@ -92,7 +92,22 @@ pub fn estimate_job_cost(platform: &Platform, job: &SortJob, dt: DataType) -> Si
             }
         }
     };
-    SimDuration::from_secs_f64(copy + sort + merge)
+    // Inter-node surcharge on cluster platforms: the input scatters from
+    // node 0 over its NIC, each node ships (n-1)/n of its partition in the
+    // bucket all-to-all (nodes send concurrently, so per-node bytes), and
+    // the sorted partitions gather back through node 0's NIC. All three
+    // legs pace at the fabric's effective per-direction rate.
+    let inter_node = match platform.cluster {
+        Some(c) if c.nodes > 1 => {
+            let nodes = c.nodes as f64;
+            let nic_rate = c.fabric.effective_per_dir();
+            let bytes = (job.keys * kb) as f64;
+            let crossing = bytes * (nodes - 1.0) / nodes;
+            (2.0 * crossing + crossing / nodes) / nic_rate
+        }
+        _ => 0.0,
+    };
+    SimDuration::from_secs_f64(copy + sort + merge + inter_node)
 }
 
 /// Device memory footprint of `job`, in **logical keys per GPU** (the unit
@@ -146,6 +161,24 @@ mod tests {
             let j = SortJob::new(TenantId(0), 1 << 16).with_algo(algo);
             assert!(estimate_job_cost(&p, &j, DataType::U64) > SimDuration::ZERO);
         }
+    }
+
+    #[test]
+    fn cluster_platforms_cost_more_and_slower_fabrics_cost_most() {
+        let single = Platform::dgx_a100();
+        let job = SortJob::new(TenantId(0), 1 << 22).with_gpus(8);
+        let base = estimate_job_cost(&single, &job, DataType::U32);
+        let mut by_fabric = Vec::new();
+        for fabric in [msort_topology::Fabric::IbNdr, msort_topology::Fabric::IbHdr] {
+            let cluster = msort_cluster::dgx_a100_cluster(4, fabric);
+            let cost = estimate_job_cost(&cluster, &job, DataType::U32);
+            assert!(cost > base, "{fabric:?} adds an inter-node term");
+            by_fabric.push(cost);
+        }
+        assert!(
+            by_fabric[1] > by_fabric[0],
+            "HDR (24.1 GB/s) must cost more than NDR (48.2 GB/s)"
+        );
     }
 
     #[test]

@@ -23,11 +23,13 @@ pub struct ConstraintId(pub usize);
 
 /// Entries a [`ConstraintVec`] can hold without touching the heap.
 ///
-/// Routes on the paper's platforms have at most four hops; each hop loads at
-/// most two link constraints (direction + duplex) and each host-memory
-/// endpoint at most two (read/write + combined), so 12 covers every real
-/// route with headroom.
-const CONSTRAINT_VEC_INLINE: usize = 12;
+/// Each hop loads at most two link constraints (direction + duplex) and each
+/// host-memory endpoint at most two (read/write + combined). Routes on the
+/// single-box paper platforms have at most four hops; cluster routes that
+/// cross the inter-node fabric (socket → NIC → fabric switch → NIC →
+/// socket, plus the PCIe/NVLink legs on either side) reach about eight, so
+/// 20 keeps every real route inline. Longer lists spill transparently.
+const CONSTRAINT_VEC_INLINE: usize = 20;
 
 /// A flow's `(constraint, weight)` list with inline (smallvec-style)
 /// storage.

@@ -115,6 +115,12 @@ pub enum NodeKind {
     },
     /// NVSwitch fabric providing non-blocking all-to-all P2P.
     NvSwitch,
+    /// A network interface card (or an inter-node fabric switch): the
+    /// attachment point for InfiniBand / Slingshot links between nodes of
+    /// a cluster. NICs relay traffic like CPU sockets and PCIe switches
+    /// do, so routing, fault reroutes, and the rate allocator treat
+    /// inter-node links exactly like NVLink.
+    Nic,
 }
 
 /// A node with its display name.
@@ -146,6 +152,13 @@ pub enum LinkKind {
     Upi,
     /// AMD Infinity Fabric inter-socket (~102 GB/s per direction).
     InfinityFabric,
+    /// InfiniBand HDR 4x (200 Gbit/s ≈ 25 GB/s per direction theoretical).
+    InfiniBandHdr,
+    /// InfiniBand NDR 4x (400 Gbit/s ≈ 50 GB/s per direction theoretical).
+    InfiniBandNdr,
+    /// HPE Cray Slingshot-class NIC link (200 Gbit/s ≈ 25 GB/s per
+    /// direction theoretical).
+    Slingshot,
     /// User-defined technology for custom platforms.
     Custom,
 }
@@ -163,6 +176,9 @@ impl LinkKind {
             LinkKind::XBus => gbps(64.0),
             LinkKind::Upi => gbps(62.0),
             LinkKind::InfinityFabric => gbps(102.0),
+            LinkKind::InfiniBandHdr => gbps(25.0),
+            LinkKind::InfiniBandNdr => gbps(50.0),
+            LinkKind::Slingshot => gbps(25.0),
             LinkKind::Custom => f64::INFINITY,
         }
     }
@@ -178,6 +194,9 @@ impl LinkKind {
             LinkKind::Upi | LinkKind::XBus => 5.0,
             LinkKind::Pcie4 => 8.0,
             LinkKind::Pcie3 => 10.0,
+            // Inter-node hops are always the last resort: no intra-node
+            // transfer may ever prefer a detour through the fabric.
+            LinkKind::InfiniBandHdr | LinkKind::InfiniBandNdr | LinkKind::Slingshot => 12.0,
             LinkKind::Custom => 2.0,
         }
     }
@@ -193,6 +212,9 @@ impl LinkKind {
             LinkKind::XBus => "X-Bus",
             LinkKind::Upi => "UPI",
             LinkKind::InfinityFabric => "Infinity Fabric",
+            LinkKind::InfiniBandHdr => "InfiniBand HDR",
+            LinkKind::InfiniBandNdr => "InfiniBand NDR",
+            LinkKind::Slingshot => "Slingshot",
             LinkKind::Custom => "custom",
         }
     }
@@ -319,6 +341,18 @@ impl Topology {
             .count()
     }
 
+    /// All NIC nodes, in insertion order (includes fabric switches, which
+    /// are modeled as relay NICs).
+    #[must_use]
+    pub fn nics(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n.kind, NodeKind::Nic))
+            .map(|(i, _)| NodeId(i))
+            .collect()
+    }
+
     /// GPU model of GPU `index`.
     #[must_use]
     pub fn gpu_model(&self, index: usize) -> GpuModel {
@@ -387,6 +421,7 @@ impl Topology {
                 NodeKind::Gpu { .. } => ("ellipse", "palegreen"),
                 NodeKind::PcieSwitch => ("diamond", "lightgray"),
                 NodeKind::NvSwitch => ("hexagon", "gold"),
+                NodeKind::Nic => ("trapezium", "lightsalmon"),
             };
             let _ = writeln!(
                 out,
@@ -497,6 +532,14 @@ impl TopologyBuilder {
         self.push(Node {
             name: "NVSwitch".to_owned(),
             kind: NodeKind::NvSwitch,
+        })
+    }
+
+    /// Add a NIC (or inter-node fabric switch) node; returns its node id.
+    pub fn nic(&mut self, name: impl Into<String>) -> NodeId {
+        self.push(Node {
+            name: name.into(),
+            kind: NodeKind::Nic,
         })
     }
 
@@ -697,6 +740,41 @@ mod tests {
         ] {
             assert!(topo.validate().is_ok());
         }
+    }
+
+    #[test]
+    fn nic_nodes_and_fabric_links() {
+        assert_eq!(LinkKind::InfiniBandHdr.theoretical_per_dir(), gbps(25.0));
+        assert_eq!(LinkKind::InfiniBandNdr.theoretical_per_dir(), gbps(50.0));
+        assert_eq!(LinkKind::Slingshot.theoretical_per_dir(), gbps(25.0));
+        // Inter-node hops must never undercut any intra-node link kind.
+        for intra in [
+            LinkKind::NvLink3,
+            LinkKind::NvLink2 { bricks: 1 },
+            LinkKind::InfinityFabric,
+            LinkKind::XBus,
+            LinkKind::Upi,
+            LinkKind::Pcie4,
+            LinkKind::Pcie3,
+        ] {
+            assert!(LinkKind::InfiniBandHdr.hop_cost() > intra.hop_cost());
+            assert!(LinkKind::Slingshot.hop_cost() > intra.hop_cost());
+        }
+
+        let mut b = TopologyBuilder::new();
+        let c0 = b.cpu(0, tiny_mem());
+        let g0 = b.gpu(0, GpuModel::A100);
+        let nic = b.nic("Node 0 NIC 0");
+        let sw = b.nic("IB switch");
+        b.link(c0, g0, LinkKind::Pcie4, gbps(24.5));
+        b.link(c0, nic, LinkKind::InfiniBandHdr, gbps(24.1));
+        b.link(nic, sw, LinkKind::InfiniBandHdr, gbps(24.1));
+        let t = b.build();
+        assert_eq!(t.nics(), vec![nic, sw]);
+        assert!(t.validate().is_ok());
+        let dot = t.to_dot();
+        assert!(dot.contains("Node 0 NIC 0"));
+        assert!(dot.contains("InfiniBand HDR"));
     }
 
     #[test]

@@ -6,8 +6,8 @@
 //! compete for. This crate models exactly that structure:
 //!
 //! * [`graph`] — nodes (CPU sockets with their NUMA memory, PCIe switches,
-//!   GPUs, NVSwitch), links with per-direction and duplex capacities, and a
-//!   builder for custom systems;
+//!   GPUs, NVSwitch, NICs), links with per-direction and duplex capacities,
+//!   and a builder for custom systems;
 //! * [`route`] — shortest-path routing between host memory and GPU memory
 //!   endpoints;
 //! * [`constraint`] — translation of a route into the set of capacity
@@ -53,5 +53,5 @@ pub use graph::{
 };
 pub use health::{FabricHealth, LinkState};
 pub use placement::{best_gpu_set, score_gpu_set, SetScore};
-pub use platforms::{Platform, PlatformId};
+pub use platforms::{append_paper_node, ClusterLayout, Fabric, Platform, PlatformId};
 pub use route::{Endpoint, Route};

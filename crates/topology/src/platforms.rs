@@ -40,7 +40,7 @@
 //!   the saturation plateaus of the 4- and 8-GPU bars in Fig. 4.
 
 use crate::constraint::{ConstraintKind, ConstraintTable};
-use crate::graph::{gbps, GpuModel, LinkKind, MemSpec, Topology, TopologyBuilder};
+use crate::graph::{gbps, GpuModel, LinkKind, MemSpec, NodeId, Topology, TopologyBuilder};
 use crate::route::{Endpoint, Route};
 use crate::FlowRequest;
 
@@ -77,6 +77,47 @@ impl PlatformId {
             PlatformId::DeltaD22x,
             PlatformId::DgxA100,
         ]
+    }
+
+    /// GPUs in one box of this platform.
+    ///
+    /// # Panics
+    /// Panics for [`PlatformId::Custom`], which has no fixed shape.
+    #[must_use]
+    pub fn gpus_per_node(self) -> usize {
+        match self {
+            PlatformId::IbmAc922 | PlatformId::DeltaD22x => 4,
+            PlatformId::DgxA100 => 8,
+            PlatformId::Custom => panic!("custom platforms have no fixed node shape"),
+        }
+    }
+
+    /// The host CPU silicon of this platform.
+    #[must_use]
+    pub fn cpu_model(self) -> CpuModel {
+        match self {
+            PlatformId::IbmAc922 => CpuModel::Power9,
+            PlatformId::DeltaD22x => CpuModel::XeonGold6148,
+            PlatformId::DgxA100 => CpuModel::Epyc7742,
+            PlatformId::Custom => CpuModel::Custom,
+        }
+    }
+
+    /// The host-traversing-P2P calibration of this platform, if any.
+    #[must_use]
+    pub fn host_p2p_policy(self) -> Option<HostP2pPolicy> {
+        match self {
+            PlatformId::IbmAc922 => Some(HostP2pPolicy {
+                rate_cap: gbps(32.0),
+                duplex_weight: 1.22,
+            }),
+            PlatformId::DeltaD22x => Some(HostP2pPolicy {
+                rate_cap: gbps(9.0),
+                duplex_weight: 1.3,
+            }),
+            // All-to-all NVSwitch: P2P never traverses the host.
+            PlatformId::DgxA100 | PlatformId::Custom => None,
+        }
     }
 }
 
@@ -129,10 +170,131 @@ pub struct HostP2pPolicy {
     pub duplex_weight: f64,
 }
 
+/// Inter-node fabric technology for cluster platforms.
+///
+/// The *effective* per-direction rates are the sustained large-message
+/// GPU-to-GPU rates De Sensi et al. report in "Exploring GPU-to-GPU
+/// Communication: Insights into Supercomputer Interconnects" (arXiv
+/// 2408.14090): about 96% of line rate for 200 Gbit/s InfiniBand HDR and
+/// NDR halved lanes, slightly less for Slingshot 11's Ethernet-derived
+/// protocol. Theoretical rates are on the [`LinkKind`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fabric {
+    /// InfiniBand HDR 4x: 200 Gbit/s, ~24.1 GB/s sustained per direction.
+    IbHdr,
+    /// InfiniBand NDR 4x: 400 Gbit/s, ~48.2 GB/s sustained per direction.
+    IbNdr,
+    /// HPE Cray Slingshot 11: 200 Gbit/s, ~23.4 GB/s sustained per
+    /// direction.
+    Slingshot,
+}
+
+impl Fabric {
+    /// The link technology this fabric's links carry.
+    #[must_use]
+    pub fn link_kind(self) -> LinkKind {
+        match self {
+            Fabric::IbHdr => LinkKind::InfiniBandHdr,
+            Fabric::IbNdr => LinkKind::InfiniBandNdr,
+            Fabric::Slingshot => LinkKind::Slingshot,
+        }
+    }
+
+    /// Calibrated sustained per-direction rate of one fabric link
+    /// (bytes/s).
+    #[must_use]
+    pub fn effective_per_dir(self) -> f64 {
+        match self {
+            Fabric::IbHdr => gbps(24.1),
+            Fabric::IbNdr => gbps(48.2),
+            Fabric::Slingshot => gbps(23.4),
+        }
+    }
+
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Fabric::IbHdr => "InfiniBand HDR",
+            Fabric::IbNdr => "InfiniBand NDR",
+            Fabric::Slingshot => "Slingshot",
+        }
+    }
+
+    /// The CLI flag spelling (`--fabric ib-hdr|ib-ndr|slingshot`).
+    #[must_use]
+    pub fn flag(self) -> &'static str {
+        match self {
+            Fabric::IbHdr => "ib-hdr",
+            Fabric::IbNdr => "ib-ndr",
+            Fabric::Slingshot => "slingshot",
+        }
+    }
+
+    /// Parse a CLI flag spelling.
+    #[must_use]
+    pub fn parse(flag: &str) -> Option<Self> {
+        match flag {
+            "ib-hdr" => Some(Fabric::IbHdr),
+            "ib-ndr" => Some(Fabric::IbNdr),
+            "slingshot" => Some(Fabric::Slingshot),
+            _ => None,
+        }
+    }
+
+    /// All fabrics, for sweeps.
+    #[must_use]
+    pub const fn all() -> [Fabric; 3] {
+        [Fabric::IbHdr, Fabric::IbNdr, Fabric::Slingshot]
+    }
+}
+
+/// How a cluster platform's one big topology divides into nodes.
+///
+/// A cluster is a single [`Topology`] with globally dense GPU and socket
+/// indices: node `k` of a cluster of `g`-GPU, `s`-socket boxes owns GPUs
+/// `k*g .. (k+1)*g` and sockets `k*s .. (k+1)*s`, plus its NICs. The
+/// layout is pure bookkeeping — routing, allocation, and faults operate on
+/// the flat graph.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterLayout {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// GPUs per node.
+    pub gpus_per_node: usize,
+    /// CPU sockets per node.
+    pub sockets_per_node: usize,
+    /// NICs per node (one per socket).
+    pub nics_per_node: usize,
+    /// The inter-node fabric.
+    pub fabric: Fabric,
+}
+
+impl ClusterLayout {
+    /// The node owning global GPU index `gpu`.
+    #[must_use]
+    pub fn node_of_gpu(&self, gpu: usize) -> usize {
+        gpu / self.gpus_per_node
+    }
+
+    /// Global GPU indices of node `node`.
+    #[must_use]
+    pub fn node_gpus(&self, node: usize) -> std::ops::Range<usize> {
+        node * self.gpus_per_node..(node + 1) * self.gpus_per_node
+    }
+
+    /// The first (home) socket of node `node` — where that node's sorts
+    /// stage their host buffers.
+    #[must_use]
+    pub fn node_socket(&self, node: usize) -> usize {
+        node * self.sockets_per_node
+    }
+}
+
 /// A complete modeled system: topology + calibration policies.
 #[derive(Debug, Clone)]
 pub struct Platform {
-    /// Which system this is.
+    /// Which system this is (the *node* hardware, for clusters).
     pub id: PlatformId,
     /// The interconnect graph.
     pub topology: Topology,
@@ -140,6 +302,8 @@ pub struct Platform {
     pub cpu_model: CpuModel,
     /// Host-traversing-P2P calibration, if the platform needs one.
     pub host_p2p: Option<HostP2pPolicy>,
+    /// Node layout when this platform is a multi-node cluster.
+    pub cluster: Option<ClusterLayout>,
     table: ConstraintTable,
 }
 
@@ -152,15 +316,34 @@ impl Platform {
     /// [`msort_topology::graph::Topology::validate`].
     #[must_use]
     pub fn custom(topology: Topology, cpu_model: CpuModel) -> Self {
+        Self::from_parts(PlatformId::Custom, topology, cpu_model, None, None)
+    }
+
+    /// Assemble a platform from explicit parts, validating the topology and
+    /// building the constraint table. This is how constructors outside this
+    /// crate (notably `msort-cluster`) mint platforms.
+    ///
+    /// # Panics
+    /// Panics if the topology violates a structural invariant — see
+    /// [`crate::graph::Topology::validate`].
+    #[must_use]
+    pub fn from_parts(
+        id: PlatformId,
+        topology: Topology,
+        cpu_model: CpuModel,
+        host_p2p: Option<HostP2pPolicy>,
+        cluster: Option<ClusterLayout>,
+    ) -> Self {
         if let Err(e) = topology.validate() {
-            panic!("invalid custom topology: {e}");
+            panic!("invalid topology: {e}");
         }
         let table = ConstraintTable::new(&topology);
         Self {
-            id: PlatformId::Custom,
+            id,
             topology,
             cpu_model,
-            host_p2p: None,
+            host_p2p,
+            cluster,
             table,
         }
     }
@@ -179,173 +362,25 @@ impl Platform {
     /// The IBM Power System AC922 (Table 1a).
     #[must_use]
     pub fn ibm_ac922() -> Self {
-        let mem = MemSpec {
-            capacity_bytes: 256 * (1 << 30),
-            read_cap: gbps(141.0),
-            write_cap: gbps(109.0),
-            combined_cap: Some(gbps(137.0)),
-        };
-        let mut b = TopologyBuilder::new();
-        let c0 = b.cpu(0, mem);
-        let c1 = b.cpu(1, mem);
-        let gpus: Vec<_> = (0..4).map(|i| b.gpu(i, GpuModel::V100)).collect();
-        let nv3 = LinkKind::NvLink2 { bricks: 3 };
-        // CPU-GPU NVLink 2.0: 72 GB/s per direction, 127 GB/s duplex.
-        for &g in &gpus[..2] {
-            b.link_full(c0, g, nv3, gbps(72.0), gbps(72.0), Some(gbps(127.0)));
-        }
-        for &g in &gpus[2..] {
-            b.link_full(c1, g, nv3, gbps(72.0), gbps(72.0), Some(gbps(127.0)));
-        }
-        // GPU-GPU NVLink 2.0: full duplex (145 GB/s bidi measured).
-        b.link(gpus[0], gpus[1], nv3, gbps(72.5));
-        b.link(gpus[2], gpus[3], nv3, gbps(72.5));
-        // X-Bus: asymmetric sustained rates, 65 GB/s duplex.
-        b.link_full(
-            c0,
-            c1,
-            LinkKind::XBus,
-            gbps(41.0),
-            gbps(35.0),
-            Some(gbps(65.0)),
-        );
-        let topology = b.build();
-        let table = ConstraintTable::new(&topology);
-        Self {
-            id: PlatformId::IbmAc922,
-            topology,
-            cpu_model: CpuModel::Power9,
-            host_p2p: Some(HostP2pPolicy {
-                rate_cap: gbps(32.0),
-                duplex_weight: 1.22,
-            }),
-            table,
-        }
+        Self::one_paper_node(PlatformId::IbmAc922)
     }
 
     /// The DELTA System D22x M4 PS (Table 1b).
     #[must_use]
     pub fn delta_d22x() -> Self {
-        let mem = MemSpec {
-            capacity_bytes: 755 * (1 << 30),
-            read_cap: gbps(100.0),
-            write_cap: gbps(90.0),
-            combined_cap: Some(gbps(115.0)),
-        };
-        let mut b = TopologyBuilder::new();
-        let c0 = b.cpu(0, mem);
-        let c1 = b.cpu(1, mem);
-        let gpus: Vec<_> = (0..4).map(|i| b.gpu(i, GpuModel::V100)).collect();
-        // Each GPU has an exclusive PCIe 3.0 path to its socket.
-        for &g in &gpus[..2] {
-            b.link_full(
-                c0,
-                g,
-                LinkKind::Pcie3,
-                gbps(12.3),
-                gbps(13.0),
-                Some(gbps(20.0)),
-            );
-        }
-        for &g in &gpus[2..] {
-            b.link_full(
-                c1,
-                g,
-                LinkKind::Pcie3,
-                gbps(12.3),
-                gbps(13.0),
-                Some(gbps(20.0)),
-            );
-        }
-        // NVLink 2.0 P2P: two bricks on (0,1), (2,3), (0,2); one on (1,3).
-        let nv2 = LinkKind::NvLink2 { bricks: 2 };
-        b.link(gpus[0], gpus[1], nv2, gbps(48.5));
-        b.link(gpus[2], gpus[3], nv2, gbps(48.5));
-        b.link(gpus[0], gpus[2], nv2, gbps(48.5));
-        b.link(
-            gpus[1],
-            gpus[3],
-            LinkKind::NvLink2 { bricks: 1 },
-            gbps(24.0),
-        );
-        // UPI between sockets.
-        b.link(c0, c1, LinkKind::Upi, gbps(62.0));
-        let topology = b.build();
-        let table = ConstraintTable::new(&topology);
-        Self {
-            id: PlatformId::DeltaD22x,
-            topology,
-            cpu_model: CpuModel::XeonGold6148,
-            host_p2p: Some(HostP2pPolicy {
-                rate_cap: gbps(9.0),
-                duplex_weight: 1.3,
-            }),
-            table,
-        }
+        Self::one_paper_node(PlatformId::DeltaD22x)
     }
 
     /// The NVIDIA DGX A100 (Table 1c).
     #[must_use]
     pub fn dgx_a100() -> Self {
-        let mem = MemSpec {
-            capacity_bytes: 512 * (1 << 30),
-            read_cap: gbps(88.0),
-            write_cap: gbps(100.0),
-            combined_cap: Some(gbps(112.0)),
-        };
+        Self::one_paper_node(PlatformId::DgxA100)
+    }
+
+    fn one_paper_node(id: PlatformId) -> Self {
         let mut b = TopologyBuilder::new();
-        let c0 = b.cpu(0, mem);
-        let c1 = b.cpu(1, mem);
-        let gpus: Vec<_> = (0..8).map(|i| b.gpu(i, GpuModel::A100)).collect();
-        let nvswitch = b.nvswitch();
-        // One PCIe 4.0 switch per GPU *pair*: the shared uplink is the
-        // bottleneck the paper identifies in Figure 4.
-        for pair in 0..4 {
-            let sw = b.pcie_switch(format!("PCIe switch {pair}"));
-            let cpu = if pair < 2 { c0 } else { c1 };
-            b.link_full(
-                cpu,
-                sw,
-                LinkKind::Pcie4,
-                gbps(24.5),
-                gbps(25.5),
-                Some(gbps(39.0)),
-            );
-            for &g in &gpus[2 * pair..2 * pair + 2] {
-                b.link_full(
-                    sw,
-                    g,
-                    LinkKind::Pcie4,
-                    gbps(24.5),
-                    gbps(25.5),
-                    Some(gbps(39.0)),
-                );
-            }
-        }
-        // NVLink 3.0 into the NVSwitch fabric: non-blocking all-to-all.
-        for &g in &gpus {
-            b.link(g, nvswitch, LinkKind::NvLink3, gbps(265.0));
-        }
-        // AMD Infinity Fabric between sockets; duplex cap calibrated to the
-        // remote bidirectional plateau of Figure 4 (GPU pair (4,6): 61 GB/s).
-        b.link_full(
-            c0,
-            c1,
-            LinkKind::InfinityFabric,
-            gbps(102.0),
-            gbps(102.0),
-            Some(gbps(61.0)),
-        );
-        let topology = b.build();
-        let table = ConstraintTable::new(&topology);
-        Self {
-            id: PlatformId::DgxA100,
-            topology,
-            cpu_model: CpuModel::Epyc7742,
-            // All-to-all NVSwitch: P2P never traverses the host.
-            host_p2p: None,
-            table,
-        }
+        append_paper_node(&mut b, id, 0);
+        Self::from_parts(id, b.build(), id.cpu_model(), id.host_p2p_policy(), None)
     }
 
     /// The constraint table of this platform's topology.
@@ -364,7 +399,9 @@ impl Platform {
             (route.src, route.dst),
             (Endpoint::GpuMem { .. }, Endpoint::GpuMem { .. })
         );
-        if is_p2p && route.traverses_host(&self.topology) {
+        // Host-side P2P friction is a within-node phenomenon; flows that
+        // cross the inter-node fabric are paced by the NIC links instead.
+        if is_p2p && route.traverses_host(&self.topology) && !route.crosses_nic(&self.topology) {
             if let Some(policy) = self.host_p2p {
                 rate_cap = Some(policy.rate_cap);
                 for (id, weight) in &mut constraints {
@@ -397,12 +434,23 @@ impl Platform {
             .sum()
     }
 
+    /// Display name; cluster platforms include node count and fabric.
+    #[must_use]
+    pub fn name(&self) -> String {
+        match self.cluster {
+            Some(c) if c.nodes > 1 => {
+                format!("{}x {} ({})", c.nodes, self.id.name(), c.fabric.name())
+            }
+            _ => self.id.name().to_owned(),
+        }
+    }
+
     /// Multi-line, Table 1-style description of the platform.
     #[must_use]
     pub fn describe(&self) -> String {
         use std::fmt::Write as _;
         let mut s = String::new();
-        let _ = writeln!(s, "{}", self.id.name());
+        let _ = writeln!(s, "{}", self.name());
         let _ = writeln!(s, "  CPU: {}", self.cpu_model.name());
         let gpu_model = self.topology.gpu_model(0);
         let _ = writeln!(
@@ -449,6 +497,159 @@ impl Platform {
         }
         Self::custom(b.build(), CpuModel::Custom)
     }
+}
+
+/// Append one node's worth of a paper platform's hardware to `b`, using
+/// globally dense indices: node `k` gets CPU sockets `2k` and `2k + 1` and
+/// GPUs `k*g .. (k+1)*g`. Returns the node's CPU socket ids in socket
+/// order. The single-box constructors call this with `node = 0`; the
+/// cluster constructors in `msort-cluster` call it once per node and then
+/// wire the NICs and fabric on top.
+///
+/// # Panics
+/// Panics for [`PlatformId::Custom`], which has no fixed node shape.
+pub fn append_paper_node(b: &mut TopologyBuilder, id: PlatformId, node: usize) -> Vec<NodeId> {
+    match id {
+        PlatformId::IbmAc922 => append_ac922_node(b, node),
+        PlatformId::DeltaD22x => append_delta_node(b, node),
+        PlatformId::DgxA100 => append_dgx_node(b, node),
+        PlatformId::Custom => panic!("custom platforms have no per-node builder"),
+    }
+}
+
+fn append_ac922_node(b: &mut TopologyBuilder, node: usize) -> Vec<NodeId> {
+    let mem = MemSpec {
+        capacity_bytes: 256 * (1 << 30),
+        read_cap: gbps(141.0),
+        write_cap: gbps(109.0),
+        combined_cap: Some(gbps(137.0)),
+    };
+    let c0 = b.cpu(2 * node, mem);
+    let c1 = b.cpu(2 * node + 1, mem);
+    let g0 = 4 * node;
+    let gpus: Vec<_> = (g0..g0 + 4).map(|i| b.gpu(i, GpuModel::V100)).collect();
+    let nv3 = LinkKind::NvLink2 { bricks: 3 };
+    // CPU-GPU NVLink 2.0: 72 GB/s per direction, 127 GB/s duplex.
+    for &g in &gpus[..2] {
+        b.link_full(c0, g, nv3, gbps(72.0), gbps(72.0), Some(gbps(127.0)));
+    }
+    for &g in &gpus[2..] {
+        b.link_full(c1, g, nv3, gbps(72.0), gbps(72.0), Some(gbps(127.0)));
+    }
+    // GPU-GPU NVLink 2.0: full duplex (145 GB/s bidi measured).
+    b.link(gpus[0], gpus[1], nv3, gbps(72.5));
+    b.link(gpus[2], gpus[3], nv3, gbps(72.5));
+    // X-Bus: asymmetric sustained rates, 65 GB/s duplex.
+    b.link_full(
+        c0,
+        c1,
+        LinkKind::XBus,
+        gbps(41.0),
+        gbps(35.0),
+        Some(gbps(65.0)),
+    );
+    vec![c0, c1]
+}
+
+fn append_delta_node(b: &mut TopologyBuilder, node: usize) -> Vec<NodeId> {
+    let mem = MemSpec {
+        capacity_bytes: 755 * (1 << 30),
+        read_cap: gbps(100.0),
+        write_cap: gbps(90.0),
+        combined_cap: Some(gbps(115.0)),
+    };
+    let c0 = b.cpu(2 * node, mem);
+    let c1 = b.cpu(2 * node + 1, mem);
+    let g0 = 4 * node;
+    let gpus: Vec<_> = (g0..g0 + 4).map(|i| b.gpu(i, GpuModel::V100)).collect();
+    // Each GPU has an exclusive PCIe 3.0 path to its socket.
+    for &g in &gpus[..2] {
+        b.link_full(
+            c0,
+            g,
+            LinkKind::Pcie3,
+            gbps(12.3),
+            gbps(13.0),
+            Some(gbps(20.0)),
+        );
+    }
+    for &g in &gpus[2..] {
+        b.link_full(
+            c1,
+            g,
+            LinkKind::Pcie3,
+            gbps(12.3),
+            gbps(13.0),
+            Some(gbps(20.0)),
+        );
+    }
+    // NVLink 2.0 P2P: two bricks on (0,1), (2,3), (0,2); one on (1,3).
+    let nv2 = LinkKind::NvLink2 { bricks: 2 };
+    b.link(gpus[0], gpus[1], nv2, gbps(48.5));
+    b.link(gpus[2], gpus[3], nv2, gbps(48.5));
+    b.link(gpus[0], gpus[2], nv2, gbps(48.5));
+    b.link(
+        gpus[1],
+        gpus[3],
+        LinkKind::NvLink2 { bricks: 1 },
+        gbps(24.0),
+    );
+    // UPI between sockets.
+    b.link(c0, c1, LinkKind::Upi, gbps(62.0));
+    vec![c0, c1]
+}
+
+fn append_dgx_node(b: &mut TopologyBuilder, node: usize) -> Vec<NodeId> {
+    let mem = MemSpec {
+        capacity_bytes: 512 * (1 << 30),
+        read_cap: gbps(88.0),
+        write_cap: gbps(100.0),
+        combined_cap: Some(gbps(112.0)),
+    };
+    let c0 = b.cpu(2 * node, mem);
+    let c1 = b.cpu(2 * node + 1, mem);
+    let g0 = 8 * node;
+    let gpus: Vec<_> = (g0..g0 + 8).map(|i| b.gpu(i, GpuModel::A100)).collect();
+    let nvswitch = b.nvswitch();
+    // One PCIe 4.0 switch per GPU *pair*: the shared uplink is the
+    // bottleneck the paper identifies in Figure 4.
+    for pair in 0..4 {
+        let sw = b.pcie_switch(format!("PCIe switch {}", 4 * node + pair));
+        let cpu = if pair < 2 { c0 } else { c1 };
+        b.link_full(
+            cpu,
+            sw,
+            LinkKind::Pcie4,
+            gbps(24.5),
+            gbps(25.5),
+            Some(gbps(39.0)),
+        );
+        for &g in &gpus[2 * pair..2 * pair + 2] {
+            b.link_full(
+                sw,
+                g,
+                LinkKind::Pcie4,
+                gbps(24.5),
+                gbps(25.5),
+                Some(gbps(39.0)),
+            );
+        }
+    }
+    // NVLink 3.0 into the NVSwitch fabric: non-blocking all-to-all.
+    for &g in &gpus {
+        b.link(g, nvswitch, LinkKind::NvLink3, gbps(265.0));
+    }
+    // AMD Infinity Fabric between sockets; duplex cap calibrated to the
+    // remote bidirectional plateau of Figure 4 (GPU pair (4,6): 61 GB/s).
+    b.link_full(
+        c0,
+        c1,
+        LinkKind::InfinityFabric,
+        gbps(102.0),
+        gbps(102.0),
+        Some(gbps(61.0)),
+    );
+    vec![c0, c1]
 }
 
 #[cfg(test)]
@@ -570,6 +771,59 @@ mod tests {
             Platform::dgx_a100().combined_gpu_memory(),
             8 * 40 * (1 << 30)
         );
+    }
+
+    #[test]
+    fn fabric_rates_and_parsing() {
+        for f in Fabric::all() {
+            // Effective rate never exceeds the link's theoretical rate.
+            assert!(f.effective_per_dir() <= f.link_kind().theoretical_per_dir());
+            assert_eq!(Fabric::parse(f.flag()), Some(f));
+        }
+        assert!((Fabric::IbNdr.effective_per_dir() - gbps(48.2)).abs() < 1.0);
+        assert_eq!(Fabric::parse("ethernet"), None);
+    }
+
+    #[test]
+    fn cluster_layout_accessors() {
+        let c = ClusterLayout {
+            nodes: 4,
+            gpus_per_node: 8,
+            sockets_per_node: 2,
+            nics_per_node: 2,
+            fabric: Fabric::IbHdr,
+        };
+        assert_eq!(c.node_of_gpu(0), 0);
+        assert_eq!(c.node_of_gpu(23), 2);
+        assert_eq!(c.node_gpus(1), 8..16);
+        assert_eq!(c.node_socket(3), 6);
+    }
+
+    #[test]
+    fn platform_name_mentions_cluster_shape() {
+        let mut p = Platform::dgx_a100();
+        assert_eq!(p.name(), "NVIDIA DGX A100");
+        p.cluster = Some(ClusterLayout {
+            nodes: 2,
+            gpus_per_node: 8,
+            sockets_per_node: 2,
+            nics_per_node: 2,
+            fabric: Fabric::Slingshot,
+        });
+        assert_eq!(p.name(), "2x NVIDIA DGX A100 (Slingshot)");
+    }
+
+    #[test]
+    fn append_paper_node_offsets_indices() {
+        let mut b = TopologyBuilder::new();
+        append_paper_node(&mut b, PlatformId::DgxA100, 0);
+        append_paper_node(&mut b, PlatformId::DgxA100, 1);
+        let t = b.build();
+        assert_eq!(t.gpu_count(), 16);
+        assert_eq!(t.cpu_count(), 4);
+        // Without a fabric the two nodes are disconnected islands, which
+        // validate() must reject.
+        assert!(t.validate().is_err());
     }
 
     #[test]

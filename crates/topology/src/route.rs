@@ -34,6 +34,12 @@ impl Endpoint {
         Endpoint::GpuMem { index }
     }
 
+    /// Convenience constructor for a host-memory endpoint.
+    #[must_use]
+    pub fn host(socket: usize) -> Self {
+        Endpoint::HostMem { socket }
+    }
+
     /// Resolve to the topology node holding this endpoint's memory.
     #[must_use]
     pub fn node(self, topo: &Topology) -> NodeId {
@@ -78,6 +84,17 @@ impl Route {
             .iter()
             .skip(1)
             .any(|h| matches!(topo.node(h.from).kind, NodeKind::Cpu { .. }))
+    }
+
+    /// `true` if the route crosses the inter-node fabric (traverses a NIC
+    /// or fabric-switch node). Such transfers leave the box, so intra-node
+    /// calibration policies (e.g. the host-traversing P2P rate cap) do not
+    /// apply to them.
+    #[must_use]
+    pub fn crosses_nic(&self, topo: &Topology) -> bool {
+        self.hops
+            .iter()
+            .any(|h| matches!(topo.node(h.to).kind, NodeKind::Nic))
     }
 
     /// Number of link traversals.

@@ -19,6 +19,9 @@
 //! * [`core`] — the paper's contribution: **P2P sort** and **HET sort**
 //!   (with the 2n/3n large-data pipelines and eager merging), GPU-set
 //!   selection, baselines, and per-run reports;
+//! * [`cluster`] — multi-node platforms: 2/4/8-node clusters of the paper
+//!   machines joined by InfiniBand HDR/NDR or Slingshot NIC fabrics, for
+//!   the cross-node sort ([`core::cross_node`]);
 //! * [`serve`] — the multi-tenant sort service: queue policies,
 //!   topology-aware gang placement, and concurrent jobs contending on one
 //!   shared simulated clock;
@@ -42,6 +45,7 @@
 //! println!("{}", report.summary());
 //! ```
 
+pub use msort_cluster as cluster;
 pub use msort_core as core;
 pub use msort_cpu as cpu;
 pub use msort_data as data;
@@ -53,10 +57,12 @@ pub use msort_trace as trace;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use msort_cluster::{cluster_of, delta_d22x_cluster, dgx_a100_cluster, ibm_ac922_cluster};
     pub use msort_core::{
-        best_p2p_route, cpu_only_sort, drive, het_sort, mwms_sort, p2p_sort, rp_sort, run_sort,
-        sample_sort, single_gpu_sort, Algorithm, HetConfig, LargeDataApproach, MwmsConfig,
-        P2pConfig, PhaseBreakdown, RpConfig, RunConfig, SampleSortConfig, SortDriver, SortReport,
+        best_p2p_route, cpu_only_sort, cross_node_sort, drive, het_sort, mwms_sort, p2p_sort,
+        rp_sort, run_sort, sample_sort, single_gpu_sort, Algorithm, CrossNodeConfig,
+        CrossNodeDriver, HetConfig, InnerAlgo, LargeDataApproach, MwmsConfig, P2pConfig,
+        PhaseBreakdown, RpConfig, RunConfig, SampleSortConfig, SortDriver, SortReport,
     };
     pub use msort_data::{generate, is_sorted, same_multiset, DataType, Distribution, SortKey};
     pub use msort_gpu::{Fidelity, GpuSystem, Phase};
@@ -68,8 +74,8 @@ pub mod prelude {
         CostModel, FaultEvent, FaultPlan, FlowSim, GpuSortAlgo, SimDuration, SimTime,
     };
     pub use msort_topology::{
-        best_gpu_set, gbps, Endpoint, FabricHealth, GpuModel, LinkState, Platform, PlatformId,
-        TopologyBuilder,
+        best_gpu_set, gbps, ClusterLayout, Endpoint, Fabric, FabricHealth, GpuModel, LinkState,
+        NodeKind, Platform, PlatformId, TopologyBuilder,
     };
     pub use msort_trace::{
         chrome_trace, json_valid, summarize, MetricsSummary, Recorder, TraceData,

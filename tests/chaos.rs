@@ -279,6 +279,72 @@ fn delta_nvlink_death_mid_bucket_exchange() {
     assert_eq!(output, output2);
 }
 
+/// Cross-node scenario: one NIC uplink dies in the middle of the node
+/// all-to-all bucket exchange on a 2-node DGX cluster. Node 1's traffic
+/// must come back through its surviving sibling NIC (over the inter-socket
+/// link), the sort must validate, the sorted bytes must match the clean
+/// run exactly, and the faulted run must be bit-reproducible.
+#[test]
+fn cluster_nic_death_mid_bucket_exchange() {
+    let p = dgx_a100_cluster(2, Fabric::IbHdr);
+    let n: u64 = 1 << 14;
+    let input = uniform(n as usize, 0xD1C2);
+
+    let clean_config = || RunConfig::cross_node(CrossNodeConfig::new(InnerAlgo::SampleSort));
+    let mut dry = input.clone();
+    let clean = run_sort(&p, &clean_config(), &mut dry, n);
+    assert!(clean.validated);
+    assert_eq!(clean.rerouted_transfers, 0);
+    assert!(
+        clean.inter_node > SimDuration::ZERO,
+        "the exchange must use the fabric"
+    );
+    // Halfway through the merge window (splitter selection + host
+    // partition + node all-to-all): the exchange copies that follow find
+    // the NIC uplink down.
+    let at = SimTime(clean.phases.htod.0 + clean.phases.merge.0 / 2);
+
+    let topo = &p.topology;
+    let nic = *topo
+        .nics()
+        .iter()
+        .find(|&&id| topo.node(id).name == "Node 1 NIC 0")
+        .expect("2-node cluster has node 1's NIC 0");
+    let switch = *topo
+        .nics()
+        .iter()
+        .find(|&&id| topo.node(id).name.contains("switch"))
+        .expect("the cluster has a fabric switch");
+    let link = topo
+        .link_between(nic, switch)
+        .expect("every NIC has a switch uplink");
+    let plan = FaultPlan::new().link_down(at, link);
+
+    let run = |input: &[u32]| {
+        let mut data = input.to_vec();
+        let config = clean_config().with_faults(plan.clone());
+        let report = run_sort(&p, &config, &mut data, n);
+        (report, data)
+    };
+    let (report, output) = run(&input);
+    assert!(report.validated, "the sort must survive the NIC death");
+    assert_sorted_permutation(&input, &output, "NIC uplink kill");
+    assert_eq!(output, dry, "faults must never change the sorted bytes");
+    assert!(
+        report.rerouted_transfers >= 1,
+        "node 1's exchange copies must reroute via the surviving NIC"
+    );
+    assert!(
+        report.total >= clean.total,
+        "losing a NIC uplink cannot make the exchange faster"
+    );
+
+    let (report2, output2) = run(&input);
+    assert_eq!(report.total, report2.total);
+    assert_eq!(report.rerouted_transfers, report2.rerouted_transfers);
+    assert_eq!(output, output2);
+}
+
 /// Fixed-seed chaos runs for CI: DELTA D22x, all three sorts where they
 /// apply, with the run repeated to pin bit-reproducibility. CI invokes
 /// `cargo test --release --test chaos chaos_fixed_seed`.

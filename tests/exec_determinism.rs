@@ -212,3 +212,33 @@ fn sample_sort_fault_mid_exchange_bit_identical_across_effect_threads() {
         "faulted sample sort differs between effect_threads 1 and 4"
     );
 }
+
+/// The cross-node sort composes inner drivers in lockstep over one shared
+/// system — the widest effect-conflict surface in the workspace (two
+/// nodes' partitions, exchanges, and inner sorts all in flight). Output
+/// bytes and the full report must still be independent of the effect
+/// budget.
+#[test]
+fn cross_node_bit_identical_across_effect_threads() {
+    let cluster = dgx_a100_cluster(2, Fabric::IbHdr);
+    let n: u64 = 1 << 15;
+    for inner in [InnerAlgo::SampleSort, InnerAlgo::P2p] {
+        let mut runs = Vec::new();
+        for threads in [1usize, 4] {
+            let mut data: Vec<u32> = generate(Distribution::Uniform, n as usize, 23);
+            let cfg =
+                RunConfig::cross_node(CrossNodeConfig::new(inner)).with_effect_threads(threads);
+            let report = run_sort(&cluster, &cfg, &mut data, n);
+            assert!(report.validated, "{inner:?} threads={threads}");
+            assert!(
+                report.inter_node > SimDuration::ZERO,
+                "{inner:?} threads={threads}: must cross the fabric"
+            );
+            runs.push((data, format!("{report:?}")));
+        }
+        assert_eq!(
+            runs[0], runs[1],
+            "{inner:?}: cross-node run differs between effect_threads 1 and 4"
+        );
+    }
+}

@@ -438,3 +438,75 @@ fn het_sort_any_input() {
         assert!(same_multiset(&input, &data), "seed {seed}");
     }
 }
+
+// ---- Cross-node sort. ----
+
+#[test]
+fn cross_node_sorted_permutation_across_distributions() {
+    let cluster = dgx_a100_cluster(2, Fabric::IbHdr);
+    let n: u64 = 1 << 13;
+    let mut seed = 20_000u64;
+    for dist in [
+        Distribution::Uniform,
+        Distribution::ReverseSorted,
+        Distribution::ZipfDuplicates {
+            skew_permille: 1200,
+        },
+        Distribution::Constant,
+    ] {
+        for inner in [
+            InnerAlgo::SampleSort,
+            InnerAlgo::P2p,
+            InnerAlgo::MultiwayMerge,
+        ] {
+            seed += 1;
+            let input: Vec<u32> = generate(dist, n as usize, seed);
+            let mut data = input.clone();
+            let report = cross_node_sort(&cluster, &CrossNodeConfig::new(inner), &mut data, n);
+            assert!(report.validated, "seed {seed} {dist:?} {inner:?}");
+            assert!(is_sorted(&data), "seed {seed} {dist:?} {inner:?}");
+            assert!(
+                same_multiset(&input, &data),
+                "seed {seed} {dist:?} {inner:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn cross_node_agrees_with_single_node_sorts() {
+    // The same keys sorted on a 2-node cluster and on one DGX box must
+    // produce byte-identical output (sorting is a pure function of the
+    // input multiset), even though the cluster run crosses the fabric.
+    let cluster = dgx_a100_cluster(2, Fabric::IbNdr);
+    let single = Platform::dgx_a100();
+    let n: u64 = 1 << 14;
+    let input: Vec<u32> = generate(Distribution::Normal, n as usize, 0xAC_C0DE);
+
+    let mut cross = input.clone();
+    let rc = cross_node_sort(
+        &cluster,
+        &CrossNodeConfig::new(InnerAlgo::SampleSort),
+        &mut cross,
+        n,
+    );
+    assert!(rc.validated);
+    assert!(rc.inter_node > SimDuration::ZERO, "must use the fabric");
+
+    for (name, out) in [
+        ("p2p", {
+            let mut d = input.clone();
+            let r = p2p_sort(&single, &P2pConfig::new(8), &mut d, n);
+            assert!(r.validated);
+            d
+        }),
+        ("mwms", {
+            let mut d = input.clone();
+            let r = mwms_sort(&single, &MwmsConfig::new(8), &mut d, n);
+            assert!(r.validated);
+            d
+        }),
+    ] {
+        assert_eq!(cross, out, "cross-node vs single-node {name} diverge");
+    }
+}
