@@ -11,6 +11,7 @@ use msort_bench::Harness;
 use msort_core::RunConfig;
 use msort_serve::{
     PlacementPolicy, QueuePolicy, ServeConfig, ServiceReport, SortJob, SortService, TenantId,
+    TraceWorkload,
 };
 use msort_sim::SimTime;
 use msort_topology::Platform;
@@ -35,7 +36,7 @@ fn run(platform: &Platform, placement: PlacementPolicy, jobs: u64, keys: u64) ->
         .with_placement(placement)
         .with_fleet(vec![0, 1, 2])
         .with_run(RunConfig::new().sampled(SCALE));
-    SortService::<u32>::new(platform, config).run(arrivals(jobs, keys))
+    SortService::<u32>::new(platform, config).serve(TraceWorkload::new(arrivals(jobs, keys)))
 }
 
 /// Scheduler wall-clock: a saturated 64-job stream end to end.

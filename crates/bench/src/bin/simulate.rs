@@ -11,6 +11,12 @@
 //! selected box joined by the `--fabric` interconnect, and the sort runs
 //! as the cross-node sort with `--algo` as the per-node inner sort.
 //!
+//! With `--serve` the binary switches from one sort to open-loop service
+//! mode: a seeded arrival process (`--process`, `--rate`, `--jobs`)
+//! drives a multi-tenant sort service with EDF queueing, SLO-aware
+//! admission (`--slo-us`) and an elastic GPU fleet, and the service
+//! report is printed instead of a sort report.
+//!
 //! Prints the sort report (total simulated duration + phase breakdown) and
 //! optionally writes a Chrome trace of the run.
 
@@ -42,6 +48,11 @@ struct Options {
     seed: u64,
     nodes: usize,
     fabric: Fabric,
+    serve: bool,
+    rate: f64,
+    jobs: u64,
+    process: String,
+    slo_us: Option<u64>,
 }
 
 impl Default for Options {
@@ -62,6 +73,11 @@ impl Default for Options {
             seed: 42,
             nodes: 1,
             fabric: Fabric::IbHdr,
+            serve: false,
+            rate: 4_000.0,
+            jobs: 96,
+            process: "poisson".to_owned(),
+            slo_us: None,
         }
     }
 }
@@ -74,11 +90,20 @@ fn usage() -> ! {
          \x20               [--multi-hop] [--approach 2n|3n] [--eager-merge]\n\
          \x20               [--nodes N] [--fabric ib-hdr|ib-ndr|slingshot]\n\
          \x20               [--primitive thrust|cub|stehle|mgpu] [--trace file.json]\n\
+         \x20               [--serve] [--rate R] [--jobs N] [--process poisson|diurnal|bursty]\n\
+         \x20               [--slo-us N]\n\
          \n\
          --nodes N (N > 1) simulates an N-node cluster of the chosen platform\n\
          joined by the --fabric interconnect (default ib-hdr); the sort runs\n\
          as the cross-node sort with --algo as the per-node inner sort and\n\
-         --gpus as the GPUs used per node."
+         --gpus as the GPUs used per node.\n\
+         \n\
+         --serve switches to open-loop service mode: a seeded arrival\n\
+         process (--process poisson|diurnal|bursty at --rate jobs/s,\n\
+         --jobs arrivals total) drives a multi-tenant sort service with\n\
+         EDF queueing, SLO-aware admission (--slo-us sets tenant 0's\n\
+         latency budget) and an elastic GPU fleet; prints the service\n\
+         report instead of a single sort report."
     );
     std::process::exit(2);
 }
@@ -190,6 +215,18 @@ fn parse(args: &[String]) -> Option<Options> {
                 };
                 opts.fabric = f;
             }
+            "--serve" => opts.serve = true,
+            "--rate" => opts.rate = value("--rate")?.parse().ok().filter(|r| *r > 0.0)?,
+            "--jobs" => opts.jobs = value("--jobs")?.parse().ok().filter(|j| *j > 0)?,
+            "--process" => {
+                let v = value("--process")?;
+                if !matches!(v.as_str(), "poisson" | "diurnal" | "bursty") {
+                    eprintln!("unknown arrival process '{v}' (poisson, diurnal, bursty)");
+                    return None;
+                }
+                opts.process = v;
+            }
+            "--slo-us" => opts.slo_us = Some(value("--slo-us")?.parse().ok()?),
             "--multi-hop" => opts.multi_hop = true,
             "--eager-merge" => opts.eager_merge = true,
             "--trace" => opts.trace = Some(value("--trace")?),
@@ -285,9 +322,71 @@ fn run_typed<K: msort_data::SortKey>(opts: &Options, platform: &Platform) -> Sor
     }
 }
 
+/// Open-loop service mode: a seeded arrival process against a
+/// multi-tenant sort service with SLO-aware admission and an elastic
+/// fleet. Serving is u32-only (the mix is fixed; `--type` is ignored).
+fn run_serve(opts: &Options, platform: &Platform) {
+    use msort_serve::{
+        AdmissionPolicy, ArrivalProcess, JobAlgo, JobMix, OpenLoop, QueuePolicy, ServeConfig,
+        SortJob, SortService, TenantId,
+    };
+    use msort_sim::SimDuration;
+
+    let mix = JobMix::of(
+        SortJob::new(TenantId(0), 1 << 16)
+            .with_algo(JobAlgo::Het)
+            .interactive(),
+    )
+    .and(SortJob::new(TenantId(1), 1 << 18).with_gpus(2), 0.75)
+    .and(SortJob::new(TenantId(2), 1 << 16).with_gpus(2), 0.5);
+    let process = match opts.process.as_str() {
+        "diurnal" => ArrivalProcess::Diurnal {
+            rate: opts.rate,
+            amplitude: 0.8,
+            period: SimDuration::from_millis(20),
+        },
+        "bursty" => ArrivalProcess::Bursty {
+            base_rate: opts.rate / 4.0,
+            burst_rate: opts.rate * 4.0,
+            mean_calm: SimDuration::from_millis(4),
+            mean_burst: SimDuration::from_millis(2),
+        },
+        _ => ArrivalProcess::Poisson { rate: opts.rate },
+    };
+    let mut config = ServeConfig::new()
+        .sampled(opts.scale.max(1))
+        .with_policy(QueuePolicy::Edf)
+        .with_admission(AdmissionPolicy::SloAware)
+        .elastic(2, SimDuration::from_millis(1));
+    if let Some(us) = opts.slo_us {
+        config = config.with_slo(TenantId(0), SimDuration::from_micros(us));
+    }
+    let workload = OpenLoop::new(process, mix, opts.jobs, opts.seed);
+    let report = SortService::<u32>::new(platform, config).serve(workload);
+    println!("{}", report.summary());
+    println!(
+        "offered: {} jobs ({} at {:.0}/s)  |  goodput: {:.1} jobs/s  |  \
+         SLO attainment: {:.1}%  |  shed: {}  |  mean fleet: {:.2} GPUs  |  \
+         validated: {}",
+        report.offered_jobs(),
+        opts.process,
+        opts.rate,
+        report.goodput_per_sec(),
+        report.slo_attainment() * 100.0,
+        report.shed_jobs(),
+        report.mean_fleet_size(),
+        report.all_validated(),
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(opts) = parse(&args) else { usage() };
+    if opts.serve {
+        let platform = Platform::paper(opts.platform);
+        run_serve(&opts, &platform);
+        return;
+    }
     let platform = if opts.nodes > 1 {
         cluster_of(opts.platform, opts.nodes, opts.fabric)
     } else {

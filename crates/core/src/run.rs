@@ -373,6 +373,36 @@ mod tests {
         assert!(!config.recorder.is_enabled());
     }
 
+    /// The deprecated per-config `.with_faults` shim, end to end: a plan
+    /// injected through the shim must produce the bit-identical run —
+    /// same clock, same reroutes, same output bytes — as the same plan on
+    /// the shared RunConfig.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_with_faults_shim_injects_like_run_config() {
+        let dgx = Platform::dgx_a100();
+        let n: u64 = 1 << 13;
+        let plan = FaultPlan::randomized(&dgx, 0xFA17, msort_sim::SimDuration::from_micros(400));
+        let input: Vec<u32> = generate(Distribution::Uniform, n as usize, 23);
+        let mut a = input.clone();
+        let shim = crate::p2p_sort(
+            &dgx,
+            &P2pConfig::new(4).with_faults(plan.clone()),
+            &mut a,
+            n,
+        );
+        let mut b = input.clone();
+        let canonical = run_sort(
+            &dgx,
+            &RunConfig::p2p(P2pConfig::new(4)).with_faults(plan),
+            &mut b,
+            n,
+        );
+        assert_eq!(a, b, "shim and RunConfig paths must sort identically");
+        assert_eq!(shim.total, canonical.total, "clocks diverge");
+        assert_eq!(shim.rerouted_transfers, canonical.rerouted_transfers);
+    }
+
     #[test]
     #[should_panic(expected = "RunConfig has no algorithm")]
     fn run_sort_without_algorithm_panics() {

@@ -110,6 +110,18 @@ impl Rng {
     pub fn chance(&mut self, p: f64) -> bool {
         self.f64() < p
     }
+
+    /// Exponentially distributed sample with the given `rate` (events per
+    /// unit time): the inter-arrival time of a Poisson process. Inverse
+    /// CDF of `1 - f64()`, so the argument to `ln` is in `(0, 1]` and the
+    /// result is always finite and non-negative.
+    ///
+    /// # Panics
+    /// Panics if `rate` is not strictly positive.
+    pub fn exp(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "exponential rate must be positive");
+        -(1.0 - self.f64()).ln() / rate
+    }
 }
 
 #[cfg(test)]
@@ -167,5 +179,26 @@ mod tests {
     fn empty_range_panics() {
         let mut r = Rng::seed_from_u64(4);
         let _ = r.usize_in(5..5);
+    }
+
+    #[test]
+    fn exp_matches_the_configured_rate() {
+        let mut r = Rng::seed_from_u64(5);
+        let rate = 250.0;
+        let n = 20_000;
+        let mean = (0..n).map(|_| r.exp(rate)).sum::<f64>() / f64::from(n);
+        assert!(
+            (mean - 1.0 / rate).abs() < 0.05 / rate,
+            "mean inter-arrival {mean} vs expected {}",
+            1.0 / rate
+        );
+        let mut r2 = Rng::seed_from_u64(5);
+        assert!((0..64).all(|_| r2.exp(rate).is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn exp_rejects_zero_rate() {
+        let _ = Rng::seed_from_u64(6).exp(0.0);
     }
 }

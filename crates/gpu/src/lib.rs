@@ -54,6 +54,4 @@ pub mod trace;
 
 pub use buffer::{BufId, Fidelity, Location, World};
 pub use system::{GpuSystem, OpId, Phase, StreamId};
-#[allow(deprecated)]
-pub use trace::chrome_trace;
 pub use trace::TimelineEntry;

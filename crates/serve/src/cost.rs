@@ -110,6 +110,29 @@ pub fn estimate_job_cost(platform: &Platform, job: &SortJob, dt: DataType) -> Si
     SimDuration::from_secs_f64(copy + sort + merge + inter_node)
 }
 
+/// Estimated time until a newly queued job could start, given the backlog
+/// ahead of it: the gang-seconds of queued and in-flight work divided by
+/// the active fleet's size (work conservation — gang scheduling can only
+/// do worse, so this is an optimistic bound and sheds conservatively).
+///
+/// `backlog` is `(estimated solo cost, gang size)` for every pending job
+/// plus every running job (charging a running job its full estimate keeps
+/// the bound cheap and deterministic; the alternative — tracking per-job
+/// progress — would couple admission to simulator internals).
+#[must_use]
+pub fn estimate_queue_wait(backlog: &[(SimDuration, usize)], active_gpus: usize) -> SimDuration {
+    if active_gpus == 0 {
+        // An all-leased-out elastic fleet: the caller scales up before
+        // admitting, so report an empty queue rather than infinity.
+        return SimDuration::ZERO;
+    }
+    let gang_seconds: f64 = backlog
+        .iter()
+        .map(|&(cost, gpus)| cost.as_secs_f64() * gpus as f64)
+        .sum();
+    SimDuration::from_secs_f64(gang_seconds / active_gpus as f64)
+}
+
 /// Device memory footprint of `job`, in **logical keys per GPU** (the unit
 /// the buffer [`msort_gpu::World`] accounts in). Mirrors each driver's
 /// actual pre-allocation so admission control matches what construction
@@ -179,6 +202,16 @@ mod tests {
             by_fabric[1] > by_fabric[0],
             "HDR (24.1 GB/s) must cost more than NDR (48.2 GB/s)"
         );
+    }
+
+    #[test]
+    fn queue_wait_is_work_conserving() {
+        let c = SimDuration::from_millis(10);
+        // 3 jobs × 2 GPUs × 10 ms = 60 gang-ms over 4 GPUs → 15 ms.
+        let wait = estimate_queue_wait(&[(c, 2), (c, 2), (c, 2)], 4);
+        assert_eq!(wait, SimDuration::from_millis(15));
+        assert_eq!(estimate_queue_wait(&[], 4), SimDuration::ZERO);
+        assert_eq!(estimate_queue_wait(&[(c, 2)], 0), SimDuration::ZERO);
     }
 
     #[test]

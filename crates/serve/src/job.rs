@@ -1,6 +1,7 @@
 //! Sort jobs: what a tenant asks the service to do.
 
 use msort_data::Distribution;
+use msort_sim::SimDuration;
 
 /// Opaque tenant identity. Tenants own jobs, weights, and per-tenant
 /// statistics in the [`crate::ServiceReport`].
@@ -88,6 +89,12 @@ pub struct SortJob {
     pub gpus: usize,
     /// Latency class.
     pub deadline: DeadlineClass,
+    /// Latency SLO: the submit-to-finish budget this job must meet to
+    /// count as goodput. `None` falls back to the owning tenant's
+    /// configured target (`ServeConfig::with_slo`), or best-effort if the
+    /// tenant has none. The deadline instant is `submit time + slo`; the
+    /// EDF queue policy and SLO-aware admission both key off it.
+    pub slo: Option<SimDuration>,
     /// Seed for the generated input.
     pub seed: u64,
 }
@@ -103,6 +110,7 @@ impl SortJob {
             algo: JobAlgo::P2p,
             gpus: 2,
             deadline: DeadlineClass::Batch,
+            slo: None,
             seed: 1,
         }
     }
@@ -135,6 +143,14 @@ impl SortJob {
         self
     }
 
+    /// Give the job its own latency SLO (submit-to-finish budget),
+    /// overriding the tenant-level target.
+    #[must_use]
+    pub fn with_slo(mut self, slo: SimDuration) -> Self {
+        self.slo = Some(slo);
+        self
+    }
+
     /// Select the input seed.
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
@@ -154,6 +170,7 @@ mod tests {
             .with_gpus(4)
             .with_dist(Distribution::ReverseSorted)
             .interactive()
+            .with_slo(SimDuration::from_millis(5))
             .with_seed(99);
         assert_eq!(j.tenant, TenantId(3));
         assert_eq!(j.keys, 1 << 20);
@@ -161,6 +178,7 @@ mod tests {
         assert_eq!(j.gpus, 4);
         assert_eq!(j.dist, Distribution::ReverseSorted);
         assert_eq!(j.deadline, DeadlineClass::Interactive);
+        assert_eq!(j.slo, Some(SimDuration::from_millis(5)));
         assert_eq!(j.seed, 99);
         assert_eq!(JobAlgo::Rp.name(), "RP sort");
     }

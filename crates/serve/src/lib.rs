@@ -19,31 +19,33 @@
 //!   link faults;
 //! * [`cost`] — solo cost and device-footprint estimates used for SJF
 //!   ordering, fair-share charging, and admission control;
-//! * [`service`] — [`SortService`]: admission with backpressure,
-//!   exclusive gang leases with device-memory accounting, and the event
-//!   loop that interleaves every running job's [`msort_core::SortDriver`]
-//!   on **one** shared simulated clock, so co-scheduled jobs genuinely
-//!   contend in the fluid-flow engine;
+//! * [`workload`] — open-loop [`Workload`] sources: [`TraceWorkload`]
+//!   replay of an explicit job list, and seeded [`OpenLoop`] generators
+//!   (Poisson, diurnal, bursty MMPP) over a weighted [`JobMix`];
+//! * [`service`] — [`SortService`]: admission with backpressure and
+//!   SLO-aware shedding ([`AdmissionPolicy`]), an elastic GPU fleet
+//!   ([`FleetPolicy`]), exclusive gang leases with device-memory
+//!   accounting, and the event loop that interleaves every running job's
+//!   [`msort_core::SortDriver`] on **one** shared simulated clock, so
+//!   co-scheduled jobs genuinely contend in the fluid-flow engine;
 //! * [`report`] — [`ServiceReport`]: per-job outcomes, per-tenant
-//!   throughput and fair-share error, queue-depth timeline, and
-//!   p50/p95/p99 latency.
+//!   throughput and fair-share error, queue-depth and fleet-size
+//!   timelines, goodput and SLO attainment, and p50/p95/p99 latency.
 //!
-//! Everything is bit-reproducible: same arrivals, same seeds, same
+//! Everything is bit-reproducible: same workload seed, same
 //! configuration (including a [`msort_sim::FaultPlan`]) → the identical
 //! report.
 //!
 //! ```
-//! use msort_serve::{ServeConfig, SortJob, SortService, TenantId};
-//! use msort_sim::SimTime;
+//! use msort_serve::{JobMix, OpenLoop, ServeConfig, SortJob, SortService, TenantId};
 //! use msort_topology::Platform;
 //!
 //! let dgx = Platform::dgx_a100();
+//! let mix = JobMix::of(SortJob::new(TenantId(0), 1 << 12))
+//!     .and(SortJob::new(TenantId(1), 1 << 12), 2.0);
 //! let svc = SortService::<u32>::new(&dgx, ServeConfig::new());
-//! let report = svc.run(vec![
-//!     (SimTime::ZERO, SortJob::new(TenantId(0), 1 << 12)),
-//!     (SimTime::ZERO, SortJob::new(TenantId(1), 1 << 12)),
-//! ]);
-//! assert_eq!(report.outcomes.len(), 2);
+//! let report = svc.serve(OpenLoop::poisson(200.0, mix, 8, 42));
+//! assert_eq!(report.offered_jobs(), 8);
 //! assert!(report.all_validated());
 //! ```
 
@@ -53,10 +55,12 @@ pub mod placement;
 pub mod queue;
 pub mod report;
 pub mod service;
+pub mod workload;
 
-pub use cost::{device_footprint_keys, estimate_job_cost};
+pub use cost::{device_footprint_keys, estimate_job_cost, estimate_queue_wait};
 pub use job::{DeadlineClass, JobAlgo, SortJob, TenantId};
 pub use placement::PlacementPolicy;
 pub use queue::QueuePolicy;
 pub use report::{JobOutcome, RejectReason, RejectedJob, ServiceReport, TenantStats};
-pub use service::{ServeConfig, SortService};
+pub use service::{AdmissionPolicy, FleetPolicy, ServeConfig, SortService};
+pub use workload::{ArrivalProcess, JobMix, OpenLoop, TraceWorkload, Workload};

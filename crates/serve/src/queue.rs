@@ -6,6 +6,11 @@
 //! * [`QueuePolicy::Fifo`] — arrival order;
 //! * [`QueuePolicy::Sjf`] — shortest estimated cost first (from
 //!   [`crate::cost::estimate_job_cost`]), arrival order as tie-break;
+//! * [`QueuePolicy::Edf`] — earliest deadline first: jobs with an SLO
+//!   (per-job or per-tenant) order by their absolute deadline instant;
+//!   best-effort jobs (no SLO) sort behind every deadline, FIFO among
+//!   themselves. This is the policy SLO-aware serving wants: within a
+//!   class the job closest to blowing its budget runs next;
 //! * [`QueuePolicy::WeightedFair`] — the tenant with the least normalized
 //!   service (charged work ÷ weight) goes first, FIFO within the tenant.
 //!
@@ -16,7 +21,7 @@
 //! the paper's gang-scheduling trade-off.
 
 use crate::job::TenantId;
-use msort_sim::SimDuration;
+use msort_sim::{SimDuration, SimTime};
 
 /// Dispatch-order policy for the pending-job queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -25,6 +30,8 @@ pub enum QueuePolicy {
     Fifo,
     /// Shortest (estimated) job first.
     Sjf,
+    /// Earliest (absolute) deadline first; best-effort jobs last.
+    Edf,
     /// Weighted per-tenant fair share.
     WeightedFair,
 }
@@ -40,11 +47,18 @@ pub(crate) struct QueueView {
     pub cost: SimDuration,
     /// `true` for [`crate::DeadlineClass::Interactive`].
     pub interactive: bool,
+    /// Absolute deadline (submit + SLO), if the job has one.
+    pub deadline: Option<SimTime>,
 }
 
 impl QueueView {
     fn class_rank(&self) -> u8 {
         u8::from(!self.interactive)
+    }
+
+    /// Deadline as an orderable key: best-effort jobs sort last.
+    fn deadline_rank(&self) -> u64 {
+        self.deadline.map_or(u64::MAX, |d| d.0)
     }
 }
 
@@ -72,6 +86,7 @@ impl QueuePolicy {
         match self {
             QueuePolicy::Fifo => Some(by_key(&|v| (v.class_rank(), v.seq, 0))),
             QueuePolicy::Sjf => Some(by_key(&|v| (v.class_rank(), v.cost.0, v.seq))),
+            QueuePolicy::Edf => Some(by_key(&|v| (v.class_rank(), v.deadline_rank(), v.seq))),
             QueuePolicy::WeightedFair => {
                 // Pick the least-served tenant present (lower id on ties —
                 // f64 credits are deterministic, so the ordering is too),
@@ -114,6 +129,14 @@ mod tests {
             tenant: TenantId(tenant),
             cost: SimDuration::from_micros(cost_us),
             interactive,
+            deadline: None,
+        }
+    }
+
+    fn vd(seq: u64, deadline_us: Option<u64>, interactive: bool) -> QueueView {
+        QueueView {
+            deadline: deadline_us.map(|d| SimTime::ZERO + SimDuration::from_micros(d)),
+            ..v(seq, 0, 1, interactive)
         }
     }
 
@@ -136,6 +159,29 @@ mod tests {
             Some(1),
             "cost tie goes to earlier seq"
         );
+    }
+
+    #[test]
+    fn edf_orders_by_deadline_within_class() {
+        let p = QueuePolicy::Edf;
+        // Tightest deadline wins, regardless of arrival order.
+        let q = [
+            vd(0, Some(90), false),
+            vd(1, Some(10), false),
+            vd(2, None, false),
+        ];
+        assert_eq!(p.pick(&q, &|_| 0.0), Some(1));
+        // Best-effort jobs (no deadline) sort behind every deadline, FIFO
+        // among themselves.
+        let q2 = [vd(0, None, false), vd(1, None, false)];
+        assert_eq!(p.pick(&q2, &|_| 0.0), Some(0));
+        // Class still dominates: an interactive job outranks a tighter
+        // batch deadline.
+        let q3 = [vd(0, Some(1), false), vd(1, Some(500), true)];
+        assert_eq!(p.pick(&q3, &|_| 0.0), Some(1));
+        // Deadline tie → earlier submission.
+        let q4 = [vd(5, Some(10), false), vd(3, Some(10), false)];
+        assert_eq!(p.pick(&q4, &|_| 0.0), Some(1));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 use msort_data::DataType;
 use msort_serve::{
     estimate_job_cost, JobAlgo, PlacementPolicy, QueuePolicy, ServeConfig, SortJob, SortService,
-    TenantId,
+    TenantId, TraceWorkload,
 };
 use msort_sim::SimTime;
 use msort_topology::Platform;
@@ -15,7 +15,7 @@ fn run(
     config: ServeConfig,
     arrivals: Vec<(SimTime, SortJob)>,
 ) -> msort_serve::ServiceReport {
-    SortService::<u32>::new(platform, config).run(arrivals)
+    SortService::<u32>::new(platform, config).serve(TraceWorkload::new(arrivals))
 }
 
 /// One large job then a burst of small ones, all queued behind a 2-GPU

@@ -1,0 +1,142 @@
+//! Workload-generator properties: every open-loop source must be a pure
+//! function of its seed (bit-reproducible), honor its configured offered
+//! rate in the long run, and the trace adapter must replay an explicit
+//! job list exactly as the old closed-loop entry point consumed it.
+
+use msort_serve::{
+    ArrivalProcess, JobMix, OpenLoop, ServeConfig, SortJob, SortService, TenantId, TraceWorkload,
+    Workload,
+};
+use msort_sim::{SimDuration, SimTime};
+use msort_topology::Platform;
+
+fn mix() -> JobMix {
+    JobMix::of(SortJob::new(TenantId(0), 1 << 12))
+}
+
+fn processes() -> [ArrivalProcess; 3] {
+    [
+        ArrivalProcess::Poisson { rate: 1_000.0 },
+        ArrivalProcess::Diurnal {
+            rate: 1_000.0,
+            amplitude: 0.9,
+            period: SimDuration::from_millis(20),
+        },
+        ArrivalProcess::Bursty {
+            base_rate: 200.0,
+            burst_rate: 2_000.0,
+            mean_calm: SimDuration::from_millis(10),
+            mean_burst: SimDuration::from_millis(2),
+        },
+    ]
+}
+
+/// Same seed → the identical timed arrival stream, draw for draw; a
+/// different seed must actually change it.
+#[test]
+fn seeded_streams_are_bit_reproducible() {
+    for p in processes() {
+        let a = OpenLoop::new(p, mix(), 2_000, 77).collect_arrivals();
+        let b = OpenLoop::new(p, mix(), 2_000, 77).collect_arrivals();
+        assert_eq!(a, b, "{p:?}: same seed must replay bit-identically");
+        let c = OpenLoop::new(p, mix(), 2_000, 78).collect_arrivals();
+        assert_ne!(a, c, "{p:?}: a different seed must change the stream");
+    }
+}
+
+/// The empirical offered rate (jobs ÷ span of the stream) converges on
+/// the configured long-run mean for all three processes.
+#[test]
+fn empirical_rate_matches_the_configured_mean() {
+    let n = 20_000u64;
+    for (p, tolerance) in [
+        (processes()[0], 0.05),
+        (processes()[1], 0.05),
+        // The MMPP averages over state dwells, not just arrivals — give
+        // the two-timescale process a little more room.
+        (processes()[2], 0.10),
+    ] {
+        let arrivals = OpenLoop::new(p, mix(), n, 1234).collect_arrivals();
+        assert_eq!(arrivals.len() as u64, n);
+        let span = arrivals.last().unwrap().0.since(arrivals[0].0);
+        let empirical = (n - 1) as f64 / span.as_secs_f64();
+        let expected = p.mean_rate();
+        let err = (empirical - expected).abs() / expected;
+        assert!(
+            err < tolerance,
+            "{p:?}: empirical rate {empirical:.1}/s vs configured {expected:.1}/s \
+             (error {:.1}% > {:.0}%)",
+            err * 100.0,
+            tolerance * 100.0
+        );
+    }
+}
+
+/// A horizon cuts the stream exactly at the boundary and a drained
+/// generator stays drained.
+#[test]
+fn horizon_bounds_are_exact_and_final() {
+    let horizon = SimTime::ZERO + SimDuration::from_millis(50);
+    let mut w = OpenLoop::poisson(1_000.0, mix(), u64::MAX >> 1, 5).until(horizon);
+    let arrivals = w.collect_arrivals();
+    assert!(!arrivals.is_empty());
+    assert!(arrivals.iter().all(|&(t, _)| t < horizon));
+    assert_eq!(
+        w.next_arrival(),
+        None,
+        "exhausted generators stay exhausted"
+    );
+}
+
+/// `TraceWorkload` replays exactly what the old closed-list entry point
+/// consumed: stable sort by timestamp, ties in submission order — so
+/// draining the adapter reproduces the old pre-processing bit for bit.
+#[test]
+fn trace_workload_round_trips_the_old_job_list_path() {
+    let jobs: Vec<(SimTime, SortJob)> = (0..64u64)
+        .map(|i| {
+            (
+                // Colliding timestamps on purpose: i and 63-i share slots.
+                SimTime(u64::from(((i as u32) % 8) * 100)),
+                SortJob::new(TenantId((i % 3) as u32), 1 << 12).with_seed(i),
+            )
+        })
+        .collect();
+    // What `run` used to do to the list before consuming it.
+    let mut old_path = jobs.clone();
+    old_path.sort_by_key(|&(t, _)| t);
+    let replayed = TraceWorkload::new(jobs).collect_arrivals();
+    assert_eq!(replayed, old_path);
+}
+
+/// End to end: serving the same open-loop generator twice produces the
+/// bit-identical `ServiceReport` — arrivals, placement, contention,
+/// latencies, everything.
+#[test]
+fn open_loop_service_runs_are_bit_reproducible() {
+    let p = Platform::dgx_a100();
+    let gen = || {
+        OpenLoop::new(
+            ArrivalProcess::Bursty {
+                base_rate: 300.0,
+                burst_rate: 3_000.0,
+                mean_calm: SimDuration::from_millis(8),
+                mean_burst: SimDuration::from_millis(2),
+            },
+            JobMix::of(SortJob::new(TenantId(0), 1 << 14))
+                .and(SortJob::new(TenantId(1), 1 << 16).with_gpus(4), 0.5),
+            48,
+            0xBEEF,
+        )
+    };
+    let cfg = || {
+        ServeConfig::new()
+            .sampled(64)
+            .elastic(2, SimDuration::from_millis(1))
+    };
+    let a = SortService::<u32>::new(&p, cfg()).serve(gen());
+    let b = SortService::<u32>::new(&p, cfg()).serve(gen());
+    assert_eq!(a, b);
+    assert!(a.all_validated());
+    assert_eq!(a.offered_jobs(), 48);
+}

@@ -27,6 +27,9 @@ pub mod groups {
     pub const FLOWS: &str = "flows";
     /// Fault/restore instants.
     pub const FAULTS: &str = "faults";
+    /// Service-level tracks: admission decisions and the elastic-fleet
+    /// size counter.
+    pub const SERVICE: &str = "service";
     /// Per-tenant job-span group name (`tenant3` for tenant id 3).
     #[must_use]
     pub fn tenant(id: u32) -> String {

@@ -89,7 +89,7 @@ fn main() {
                 .with_placement(PlacementPolicy::TopologyAware),
         ),
     ] {
-        let report = SortService::<u64>::new(&dgx, config).run(arrivals());
+        let report = SortService::<u64>::new(&dgx, config).serve(TraceWorkload::new(arrivals()));
         assert!(report.all_validated());
         show(title, &report);
     }
@@ -109,7 +109,7 @@ fn main() {
                 .with_recorder(recorder.clone()),
         ),
     )
-    .run(arrivals());
+    .serve(TraceWorkload::new(arrivals()));
     assert!(report.all_validated());
     show("weighted fair share under injected link faults", &report);
 
@@ -135,4 +135,49 @@ fn main() {
             l.peak * 100.0
         );
     }
+
+    // Open-loop serving: instead of a fixed job list, a seeded bursty
+    // (MMPP) generator keeps offering load while an elastic fleet leases
+    // GPUs in against the bursts and releases them when calm returns, and
+    // SLO-aware admission sheds what the backlog could never finish in
+    // time. Same seed → bit-identical report, replay after replay.
+    let mix = JobMix::of(
+        SortJob::new(TenantId(2), 1 << 16)
+            .with_algo(JobAlgo::Het)
+            .interactive(),
+    )
+    .and(SortJob::new(TenantId(0), 1 << 20).with_gpus(4), 0.25);
+    let open = OpenLoop::new(
+        ArrivalProcess::Bursty {
+            base_rate: 150.0,
+            burst_rate: 3_000.0,
+            mean_calm: SimDuration::from_millis(20),
+            mean_burst: SimDuration::from_millis(4),
+        },
+        mix,
+        96,
+        0xC0FFEE,
+    );
+    let report = SortService::<u64>::new(
+        &dgx,
+        base()
+            .with_policy(QueuePolicy::Edf)
+            .with_admission(AdmissionPolicy::SloAware)
+            .with_slo(TenantId(2), SimDuration::from_millis(20))
+            .elastic(2, SimDuration::from_millis(5)),
+    )
+    .serve(open);
+    show(
+        "open-loop bursty load, elastic fleet, SLO-aware EDF",
+        &report,
+    );
+    println!(
+        "  offered {} jobs | goodput {:.0} jobs/s | SLO attainment {:.1}% | \
+         shed {} | mean fleet {:.1} GPUs",
+        report.offered_jobs(),
+        report.goodput_per_sec(),
+        report.slo_attainment() * 100.0,
+        report.shed_jobs(),
+        report.mean_fleet_size(),
+    );
 }

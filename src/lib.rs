@@ -22,7 +22,9 @@
 //! * [`cluster`] — multi-node platforms: 2/4/8-node clusters of the paper
 //!   machines joined by InfiniBand HDR/NDR or Slingshot NIC fabrics, for
 //!   the cross-node sort ([`core::cross_node`]);
-//! * [`serve`] — the multi-tenant sort service: queue policies,
+//! * [`serve`] — the multi-tenant sort service: open-loop workload
+//!   sources (trace replay, Poisson/diurnal/bursty generators), queue
+//!   policies with SLO-aware admission, an elastic GPU fleet,
 //!   topology-aware gang placement, and concurrent jobs contending on one
 //!   shared simulated clock;
 //! * [`trace`] — cross-layer observability: the [`trace::Recorder`] every
@@ -67,8 +69,9 @@ pub mod prelude {
     pub use msort_data::{generate, is_sorted, same_multiset, DataType, Distribution, SortKey};
     pub use msort_gpu::{Fidelity, GpuSystem, Phase};
     pub use msort_serve::{
-        JobAlgo, PlacementPolicy, QueuePolicy, ServeConfig, ServiceReport, SortJob, SortService,
-        TenantId,
+        AdmissionPolicy, ArrivalProcess, FleetPolicy, JobAlgo, JobMix, OpenLoop, PlacementPolicy,
+        QueuePolicy, ServeConfig, ServiceReport, SortJob, SortService, TenantId, TraceWorkload,
+        Workload,
     };
     pub use msort_sim::{
         CostModel, FaultEvent, FaultPlan, FlowSim, GpuSortAlgo, SimDuration, SimTime,

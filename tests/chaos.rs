@@ -86,11 +86,10 @@ fn delta_nvlink_death_mid_merge_reroutes_and_completes() {
 }
 
 /// An empty fault plan is *exactly* the fault-free simulation — same
-/// simulated clock, same output bytes. Deliberately exercises the
-/// deprecated per-config `.with_faults` shim end-to-end: it must keep
-/// injecting through the shared RunConfig path.
+/// simulated clock, same output bytes, through the shared RunConfig
+/// fault path. (The deprecated per-config `.with_faults` shim keeps its
+/// own equivalence coverage next to the shim, in `msort_core::run`.)
 #[test]
-#[allow(deprecated)]
 fn empty_fault_plan_is_bitwise_noop() {
     let p = Platform::dgx_a100();
     let n: u64 = 1 << 13;
@@ -98,12 +97,8 @@ fn empty_fault_plan_is_bitwise_noop() {
     let mut a = input.clone();
     let plain = p2p_sort(&p, &P2pConfig::new(4), &mut a, n);
     let mut b = input.clone();
-    let with_empty = p2p_sort(
-        &p,
-        &P2pConfig::new(4).with_faults(FaultPlan::new()),
-        &mut b,
-        n,
-    );
+    let config = RunConfig::p2p(P2pConfig::new(4)).with_faults(FaultPlan::new());
+    let with_empty = run_sort(&p, &config, &mut b, n);
     assert_eq!(plain.total, with_empty.total);
     assert_eq!(a, b);
     assert_eq!(with_empty.rerouted_transfers, 0);

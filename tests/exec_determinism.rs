@@ -157,7 +157,7 @@ fn service_report_bit_identical_across_effect_threads() {
     let mut reports = Vec::new();
     for threads in [1usize, 4] {
         let cfg = ServeConfig::new().with_run(RunConfig::new().with_effect_threads(threads));
-        let report = SortService::<u32>::new(&platform, cfg).run(arrivals(3));
+        let report = SortService::<u32>::new(&platform, cfg).serve(TraceWorkload::new(arrivals(3)));
         reports.push(format!("{report:?}"));
     }
     assert_eq!(

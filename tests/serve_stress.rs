@@ -47,7 +47,7 @@ fn config() -> ServeConfig {
 }
 
 fn run(platform: &Platform, config: ServeConfig, seed_base: u64) -> ServiceReport {
-    SortService::<u64>::new(platform, config).run(workload(seed_base))
+    SortService::<u64>::new(platform, config).serve(TraceWorkload::new(workload(seed_base)))
 }
 
 /// Max deviation of a tenant's key share from 1/TENANTS over the first

@@ -59,7 +59,7 @@ fn run(platform: &Platform, recorder: Recorder) -> ServiceReport {
             .with_faults(faults(platform))
             .with_recorder(recorder),
     );
-    SortService::<u32>::new(platform, config).run(arrivals())
+    SortService::<u32>::new(platform, config).serve(TraceWorkload::new(arrivals()))
 }
 
 /// Spans on one track must nest: sorted by (start, -end), every span is
