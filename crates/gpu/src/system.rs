@@ -27,7 +27,8 @@ use msort_data::SortKey;
 use msort_sim::{CostModel, FaultPlan, FlowId, FlowSim, GpuSortAlgo, SimDuration, SimTime};
 use msort_topology::{Endpoint, FlowRequest, LinkId, Platform, Route};
 use msort_trace::{groups, Recorder, TrackId};
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 /// How many times one transfer may be interrupted by link failures before
 /// the run is declared unrecoverable.
@@ -154,7 +155,8 @@ impl<K> Effect<K> {
 enum OpState {
     Pending,
     Running {
-        flow: Option<FlowId>,
+        /// Completion time for fixed-duration ops; `None` while a fluid
+        /// flow (tracked in `GpuSystem::flow_op`) carries the op.
         ends: Option<SimTime>,
     },
     /// A transfer interrupted by a link failure (or blocked on a fully
@@ -169,12 +171,18 @@ enum OpState {
 struct Op<K> {
     stream: StreamId,
     name: &'static str,
-    waits: Vec<OpId>,
     kind: Option<OpKind<K>>,
     state: OpState,
     phase: Phase,
     started: Option<SimTime>,
     finished: Option<SimTime>,
+    /// Not-yet-fired waits (incoming dependency edges). Readiness is a
+    /// counter decrement at each dependency's completion, not a rescan of
+    /// a wait list — O(edges) total instead of O(ops · edges).
+    blockers: u32,
+    /// Ops waiting on this one (outgoing dependency edges, absolute
+    /// indices); drained when this op completes.
+    subs: Vec<usize>,
     /// Copies capture their source at start and write at completion —
     /// real DMA streams the data through the transfer window, so a source
     /// overwritten mid-transfer (the 3n-approach's in-place data-transfer
@@ -192,7 +200,34 @@ pub struct GpuSystem<'p, K: SortKey> {
     flows: FlowSim<'p>,
     cost: CostModel,
     world: World<K>,
-    ops: Vec<Op<K>>,
+    /// Retained ops; absolute op index = `ops_base` + ring position. With
+    /// op reclamation on (see [`GpuSystem::set_op_reclaim`]) completed
+    /// front ops are popped, so a long-running service retains only the
+    /// live window instead of every op ever enqueued.
+    ops: VecDeque<Op<K>>,
+    /// Absolute index of `ops[0]`; ops below it are reclaimed (and Done).
+    ops_base: usize,
+    /// Event min-heap over fixed-duration completions: `(ends, op)`.
+    /// Lazily invalidated — an entry is live only while the op is still
+    /// `Running` with exactly that end time (the PR 1 completion-heap
+    /// pattern).
+    timers: BinaryHeap<Reverse<(SimTime, usize)>>,
+    /// Event min-heap over retry wakeups: `(at, op)`, lazily invalidated
+    /// like `timers`.
+    retry_heap: BinaryHeap<Reverse<(SimTime, usize)>>,
+    /// Owning op of every in-flight flow (transfers and host flows), so
+    /// flow completions and interruptions resolve in O(1) instead of a
+    /// scan over all ops.
+    flow_op: HashMap<FlowId, usize>,
+    /// Streams whose head may have become startable since the last
+    /// [`GpuSystem::start_ready_ops`] pass (deduplicated via
+    /// `StreamQueue::dirty`).
+    dirty_streams: Vec<usize>,
+    /// Completed op log for scheduler wakeups; recorded only while
+    /// [`GpuSystem::set_completion_log`] is on.
+    completion_log: Vec<OpId>,
+    log_completions: bool,
+    reclaim_ops: bool,
     /// Per stream: index of the next not-yet-started op in `order`.
     streams: Vec<StreamQueue>,
     /// Shortest paths already computed, keyed by endpoint pair. A sort
@@ -226,6 +261,8 @@ pub struct GpuSystem<'p, K: SortKey> {
 struct StreamQueue {
     ops: Vec<OpId>,
     next: usize,
+    /// `true` while the stream sits in `dirty_streams`.
+    dirty: bool,
 }
 
 impl<'p, K: SortKey> GpuSystem<'p, K> {
@@ -236,7 +273,15 @@ impl<'p, K: SortKey> GpuSystem<'p, K> {
             flows: FlowSim::new(platform),
             cost: CostModel::for_platform(platform),
             world: World::new(&platform.topology, fidelity),
-            ops: Vec::new(),
+            ops: VecDeque::new(),
+            ops_base: 0,
+            timers: BinaryHeap::new(),
+            retry_heap: BinaryHeap::new(),
+            flow_op: HashMap::new(),
+            dirty_streams: Vec::new(),
+            completion_log: Vec::new(),
+            log_completions: false,
+            reclaim_ops: false,
             streams: Vec::new(),
             route_cache: HashMap::new(),
             route_cache_gen: 0,
@@ -330,21 +375,79 @@ impl<'p, K: SortKey> GpuSystem<'p, K> {
         self.streams.push(StreamQueue {
             ops: Vec::new(),
             next: 0,
+            dirty: false,
         });
         id
     }
 
+    /// Reclaim completed ops from the front of the op ring as the
+    /// simulation drains them, so a long-running service holds only the
+    /// live window of operations. Reclaimed ops lose their spans:
+    /// [`GpuSystem::op_span`] returns `None` and they vanish from
+    /// [`GpuSystem::phase_busy`]/timeline queries — enable this only when
+    /// the driver does not read per-op history (the serve loop doesn't).
+    pub fn set_op_reclaim(&mut self, on: bool) {
+        self.reclaim_ops = on;
+    }
+
+    /// Record every completed op in a log drained by
+    /// [`GpuSystem::drain_completions`] — the scheduler-wakeup channel
+    /// that lets a multi-job driver react to exactly the ops that
+    /// finished instead of rescanning every job's wait list.
+    pub fn set_completion_log(&mut self, on: bool) {
+        self.log_completions = on;
+        if !on {
+            self.completion_log.clear();
+        }
+    }
+
+    /// Move the completed-op log (in completion order) into `out`.
+    pub fn drain_completions(&mut self, out: &mut Vec<OpId>) {
+        out.append(&mut self.completion_log);
+    }
+
+    /// Op at absolute index `idx` (must not be reclaimed).
+    fn op(&self, idx: usize) -> &Op<K> {
+        &self.ops[idx - self.ops_base]
+    }
+
+    fn op_mut(&mut self, idx: usize) -> &mut Op<K> {
+        &mut self.ops[idx - self.ops_base]
+    }
+
+    /// `true` once the op at absolute index `idx` has completed (reclaimed
+    /// ops are Done by construction).
+    fn op_done_idx(&self, idx: usize) -> bool {
+        idx < self.ops_base || matches!(self.op(idx).state, OpState::Done)
+    }
+
+    /// Queue `stream` for the next [`GpuSystem::start_ready_ops`] pass.
+    fn mark_dirty(&mut self, stream: usize) {
+        if !self.streams[stream].dirty {
+            self.streams[stream].dirty = true;
+            self.dirty_streams.push(stream);
+        }
+    }
+
     /// When an operation started and finished (after `synchronize`).
+    /// `None` for reclaimed ops (see [`GpuSystem::set_op_reclaim`]).
     #[must_use]
     pub fn op_span(&self, op: OpId) -> Option<(SimTime, SimTime)> {
-        let o = &self.ops[op.0];
+        if op.0 < self.ops_base {
+            return None;
+        }
+        let o = self.op(op.0);
         Some((o.started?, o.finished?))
     }
 
     /// The stream an operation was enqueued on.
+    ///
+    /// # Panics
+    /// Panics if the op was reclaimed.
     #[must_use]
     pub fn op_stream(&self, op: OpId) -> StreamId {
-        self.ops[op.0].stream
+        assert!(op.0 >= self.ops_base, "op {op:?} was reclaimed");
+        self.op(op.0).stream
     }
 
     /// Total wall-clock (simulated) time during which at least one
@@ -371,7 +474,10 @@ impl<'p, K: SortKey> GpuSystem<'p, K> {
         interval_union(
             ops.iter()
                 .filter_map(|id| {
-                    let o = &self.ops[id.0];
+                    if id.0 < self.ops_base {
+                        return None;
+                    }
+                    let o = self.op(id.0);
                     Some((o.started?, o.finished?))
                 })
                 .collect(),
@@ -865,7 +971,7 @@ impl<'p, K: SortKey> GpuSystem<'p, K> {
     /// `true` once `op` has completed.
     #[must_use]
     pub fn op_done(&self, op: OpId) -> bool {
-        matches!(self.ops[op.0].state, OpState::Done)
+        self.op_done_idx(op.0)
     }
 
     /// `true` when every enqueued op has completed.
@@ -891,18 +997,12 @@ impl<'p, K: SortKey> GpuSystem<'p, K> {
                 return self.flows.now();
             }
             // Next event: earliest fixed completion, flow completion, or
-            // pending retry.
-            let mut next: Option<SimTime> = None;
-            for op in &self.ops {
-                let candidate = match op.state {
-                    OpState::Running { ends: Some(t), .. } => Some(t),
-                    OpState::Retrying { at } => Some(at),
-                    _ => None,
-                };
-                if let Some(t) = candidate {
-                    if next.is_none_or(|n| t < n) {
-                        next = Some(t);
-                    }
+            // pending retry — each from its index (heap tops are validated
+            // and stale entries dropped, never scanned).
+            let mut next: Option<SimTime> = self.next_timer();
+            if let Some(t) = self.next_retry() {
+                if next.is_none_or(|n| t < n) {
+                    next = Some(t);
                 }
             }
             if let Some((t, _)) = self.flows.next_completion() {
@@ -928,7 +1028,7 @@ impl<'p, K: SortKey> GpuSystem<'p, K> {
                     .iter()
                     .enumerate()
                     .filter(|(_, o)| !matches!(o.state, OpState::Done))
-                    .map(|(i, _)| i)
+                    .map(|(i, _)| self.ops_base + i)
                     .collect();
                 // Join effects before panicking or returning: unwinding
                 // must not race jobs holding raw views of the world.
@@ -965,23 +1065,66 @@ impl<'p, K: SortKey> GpuSystem<'p, K> {
             // Complete flow-backed ops.
             for fid in finished_flows {
                 let idx = self
-                    .ops
-                    .iter()
-                    .position(
-                        |o| matches!(o.state, OpState::Running { flow: Some(f), .. } if f == fid),
-                    )
+                    .flow_op
+                    .remove(&fid)
                     .expect("finished flow belongs to an op");
                 self.complete_op(idx, t);
             }
-            // Complete fixed ops due now.
-            for idx in 0..self.ops.len() {
-                if let OpState::Running { ends: Some(e), .. } = self.ops[idx].state {
-                    if e <= t {
-                        self.complete_op(idx, t);
-                    }
+            // Complete fixed ops due now — pop the timer heap, which yields
+            // due entries in (end, index) order: the same order as the old
+            // ascending-index scan, because equal-time entries sort by
+            // index and earlier-ending ones were completed in earlier
+            // iterations.
+            while let Some(&Reverse((e, idx))) = self.timers.peek() {
+                if e > t {
+                    break;
+                }
+                self.timers.pop();
+                if idx >= self.ops_base
+                    && matches!(self.op(idx).state,
+                                OpState::Running { ends: Some(end), .. } if end == e)
+                {
+                    self.complete_op(idx, t);
+                }
+            }
+            // With reclamation on, drop the completed prefix of the op ring
+            // (spans and timelines for those ops are gone — see
+            // `set_op_reclaim`).
+            if self.reclaim_ops {
+                while matches!(self.ops.front(), Some(o) if matches!(o.state, OpState::Done)) {
+                    self.ops.pop_front();
+                    self.ops_base += 1;
                 }
             }
         }
+    }
+
+    /// Earliest live fixed-completion time; pops stale heap entries (op
+    /// completed earlier, relaunched with a different end, or reclaimed).
+    fn next_timer(&mut self) -> Option<SimTime> {
+        while let Some(&Reverse((e, idx))) = self.timers.peek() {
+            let live = idx >= self.ops_base
+                && matches!(self.op(idx).state,
+                            OpState::Running { ends: Some(end), .. } if end == e);
+            if live {
+                return Some(e);
+            }
+            self.timers.pop();
+        }
+        None
+    }
+
+    /// Earliest live retry wakeup; pops stale entries like `next_timer`.
+    fn next_retry(&mut self) -> Option<SimTime> {
+        while let Some(&Reverse((at, idx))) = self.retry_heap.peek() {
+            let live = idx >= self.ops_base
+                && matches!(self.op(idx).state, OpState::Retrying { at: a } if a == at);
+            if live {
+                return Some(at);
+            }
+            self.retry_heap.pop();
+        }
+        None
     }
 
     /// Put every op whose flow was truncated by a link failure into
@@ -991,12 +1134,11 @@ impl<'p, K: SortKey> GpuSystem<'p, K> {
         let now = self.flows.now();
         for (fid, remaining) in self.flows.take_interrupted() {
             let idx = self
-                .ops
-                .iter()
-                .position(|o| matches!(o.state, OpState::Running { flow: Some(f), .. } if f == fid))
+                .flow_op
+                .remove(&fid)
                 .expect("interrupted flow belongs to an op");
             let attempts = {
-                let op = &mut self.ops[idx];
+                let op = self.op_mut(idx);
                 op.attempts += 1;
                 op.attempts
             };
@@ -1010,20 +1152,38 @@ impl<'p, K: SortKey> GpuSystem<'p, K> {
                 );
             }
             let backoff = SimDuration(RETRY_BACKOFF.0 << (attempts - 1));
-            let op = &mut self.ops[idx];
+            let at = now + backoff;
+            let op = self.op_mut(idx);
             op.pending_bytes = Some(remaining);
-            op.state = OpState::Retrying { at: now + backoff };
+            op.state = OpState::Retrying { at };
+            self.retry_heap.push(Reverse((at, idx)));
             self.retries += 1;
         }
     }
 
-    /// Re-issue every retrying transfer whose backoff has expired.
+    /// Re-issue every retrying transfer whose backoff has expired. Due
+    /// entries are collected before any launch: a re-issue that finds the
+    /// fabric still unroutable re-parks at the *same* next-fault instant,
+    /// and draining the heap while launching would spin on it forever.
+    /// One attempt per op per pass matches the old single scan.
     fn reissue_due_retries(&mut self) {
         let now = self.flows.now();
-        for idx in 0..self.ops.len() {
-            if matches!(self.ops[idx].state, OpState::Retrying { at } if at <= now) {
-                self.launch_transfer(idx);
+        let mut due = Vec::new();
+        while let Some(&Reverse((at, idx))) = self.retry_heap.peek() {
+            if at > now {
+                break;
             }
+            self.retry_heap.pop();
+            // Lazy invalidation: stale entries (op since relaunched,
+            // completed, or reclaimed) are dropped here.
+            if idx >= self.ops_base
+                && matches!(self.op(idx).state, OpState::Retrying { at: a } if a == at)
+            {
+                due.push(idx);
+            }
+        }
+        for idx in due {
+            self.launch_transfer(idx);
         }
     }
 
@@ -1034,90 +1194,117 @@ impl<'p, K: SortKey> GpuSystem<'p, K> {
             OpKind::Fixed { effect, .. } => effect.name(),
             OpKind::HostFlow { effect, .. } => effect.name(),
         };
-        let id = OpId(self.ops.len());
-        self.ops.push(Op {
+        let id = OpId(self.ops_base + self.ops.len());
+        // Register the dependency edges now: each unfinished wait gets a
+        // subscriber entry pointing back at this op, and the blocker count
+        // is what readiness checks against (O(1) per completion instead of
+        // rescanning the wait list). A wait on this op itself or a
+        // not-yet-enqueued op can never fire — count it as a permanent
+        // blocker so `synchronize` reports the deadlock.
+        let mut blockers = 0u32;
+        for w in waits {
+            if w.0 >= id.0 {
+                blockers += 1;
+            } else if !self.op_done_idx(w.0) {
+                self.op_mut(w.0).subs.push(id.0);
+                blockers += 1;
+            }
+        }
+        self.ops.push_back(Op {
             stream,
             name,
-            waits: waits.to_vec(),
             kind: Some(kind),
             state: OpState::Pending,
             phase,
             started: None,
             finished: None,
+            blockers,
+            subs: Vec::new(),
             staged: None,
             attempts: 0,
             pending_bytes: None,
         });
         self.streams[stream.0].ops.push(id);
+        self.mark_dirty(stream.0);
         id
     }
 
     fn start_ready_ops(&mut self) {
-        // Keep scanning until no stream head becomes ready (starting one op
-        // never *unblocks* another within the same instant except via
-        // zero-duration completion, handled by the outer loop).
-        loop {
-            let mut started_any = false;
-            for s in 0..self.streams.len() {
-                // Skip completed ops at the queue head.
-                while let Some(&op_id) = self.streams[s].ops.get(self.streams[s].next) {
-                    if matches!(self.ops[op_id.0].state, OpState::Done) {
-                        self.streams[s].next += 1;
-                    } else {
-                        break;
-                    }
-                }
-                // A stream runs one op at a time (CUDA stream semantics):
-                // the head may start only when Pending and its waits fired.
-                let Some(&op_id) = self.streams[s].ops.get(self.streams[s].next) else {
-                    continue;
-                };
-                if !matches!(self.ops[op_id.0].state, OpState::Pending) {
-                    continue; // already running
-                }
-                let ready = self.ops[op_id.0]
-                    .waits
-                    .iter()
-                    .all(|w| matches!(self.ops[w.0].state, OpState::Done));
-                if ready {
-                    self.start_op(op_id);
-                    started_any = true;
+        // Only streams touched since the last pass can have a newly
+        // startable head: a stream goes dirty when an op is enqueued on it,
+        // when its running head completes, or when a blocker of one of its
+        // ops fires. Starting an op never *unblocks* another within the
+        // same instant (zero-duration completions go through the outer
+        // event loop), so one pass over the dirty set suffices. Sorted for
+        // determinism: the old code visited streams in index order.
+        if self.dirty_streams.is_empty() {
+            return;
+        }
+        let mut work = std::mem::take(&mut self.dirty_streams);
+        work.sort_unstable();
+        for &s in &work {
+            self.streams[s].dirty = false;
+            // Skip completed ops at the queue head.
+            while let Some(&op_id) = self.streams[s].ops.get(self.streams[s].next) {
+                if self.op_done_idx(op_id.0) {
+                    self.streams[s].next += 1;
+                } else {
+                    break;
                 }
             }
-            if !started_any {
-                return;
+            // Under op reclamation, drop the consumed queue prefix too —
+            // amortized O(1) per op (each drain removes at least half the
+            // queue), keeping per-stream memory at the live window.
+            if self.reclaim_ops {
+                let q = &mut self.streams[s];
+                if q.next >= 64 && q.next * 2 >= q.ops.len() {
+                    q.ops.drain(..q.next);
+                    q.next = 0;
+                }
+            }
+            // A stream runs one op at a time (CUDA stream semantics): the
+            // head may start only when Pending and its waits fired.
+            let Some(&op_id) = self.streams[s].ops.get(self.streams[s].next) else {
+                continue;
+            };
+            let op = self.op(op_id.0);
+            if matches!(op.state, OpState::Pending) && op.blockers == 0 {
+                self.start_op(op_id);
             }
         }
+        // Hand the buffer back without dropping dirties pushed mid-loop.
+        work.clear();
+        work.append(&mut self.dirty_streams);
+        self.dirty_streams = work;
     }
 
     fn start_op(&mut self, id: OpId) {
         let now = self.flows.now();
-        self.ops[id.0].started = Some(now);
+        self.op_mut(id.0).started = Some(now);
         // Copies stage their source bytes now (see `Op::staged`). An
         // in-flight effect job may still be writing the source range, so
         // join the executor's writers on it first — the serial baseline
         // applied every effect before any later op could start.
-        match self.ops[id.0].kind.as_ref().expect("op has a kind") {
+        match self.op(id.0).kind.as_ref().expect("op has a kind") {
             OpKind::Transfer { src, len, .. } | OpKind::LocalCopy { src, len, .. } => {
                 let (src, len) = ((src.0, src.1), *len);
                 let so = self.world.physical(src.1);
                 let l = self.world.physical(len);
                 self.exec.wait_writes(src.0 .0, so, so + l);
                 let snapshot = self.world.slice(src.0, src.1, len).to_vec();
-                self.ops[id.0].staged = Some(snapshot);
+                self.op_mut(id.0).staged = Some(snapshot);
             }
             _ => {}
         }
-        if matches!(self.ops[id.0].kind, Some(OpKind::Transfer { .. })) {
+        if matches!(self.op(id.0).kind, Some(OpKind::Transfer { .. })) {
             self.launch_transfer(id.0);
             return;
         }
-        let kind = self.ops[id.0].kind.as_ref().expect("op has a kind");
+        let kind = self.op(id.0).kind.as_ref().expect("op has a kind");
         let state = match kind {
             OpKind::Transfer { .. } => unreachable!("transfers launch above"),
             OpKind::LocalCopy { duration, .. } | OpKind::Fixed { duration, .. } => {
                 OpState::Running {
-                    flow: None,
                     ends: Some(now + *duration),
                 }
             }
@@ -1159,13 +1346,14 @@ impl<'p, K: SortKey> GpuSystem<'p, K> {
                     rate_cap: Some(*rate_cap),
                 };
                 let flow = self.flows.start_request(request, *bytes);
-                OpState::Running {
-                    flow: Some(flow),
-                    ends: None,
-                }
+                self.flow_op.insert(flow, id.0);
+                OpState::Running { ends: None }
             }
         };
-        self.ops[id.0].state = state;
+        if let OpState::Running { ends: Some(e), .. } = state {
+            self.timers.push(Reverse((e, id.0)));
+        }
+        self.op_mut(id.0).state = state;
     }
 
     /// Start (or re-start after an interruption) the flow backing a
@@ -1175,25 +1363,24 @@ impl<'p, K: SortKey> GpuSystem<'p, K> {
     /// fault event (a restore may re-open one).
     fn launch_transfer(&mut self, idx: usize) {
         let now = self.flows.now();
-        let (route, len) = match self.ops[idx].kind.as_ref().expect("op has a kind") {
+        let (route, len) = match self.op(idx).kind.as_ref().expect("op has a kind") {
             OpKind::Transfer { route, len, .. } => (route.clone(), *len),
             _ => unreachable!("launch_transfer drives transfer ops only"),
         };
-        let bytes = self.ops[idx]
+        let bytes = self
+            .op(idx)
             .pending_bytes
             .unwrap_or(len * K::DATA_TYPE.key_bytes());
         if bytes == 0 {
-            self.ops[idx].state = OpState::Running {
-                flow: None,
-                ends: Some(now),
-            };
+            self.op_mut(idx).state = OpState::Running { ends: Some(now) };
+            self.timers.push(Reverse((now, idx)));
             return;
         }
         let route = if self.flows.route_usable(&route) {
             route
         } else if let Some(r) = self.resolve_route(route.src, route.dst) {
             self.rerouted += 1;
-            if let Some(OpKind::Transfer { route: stored, .. }) = self.ops[idx].kind.as_mut() {
+            if let Some(OpKind::Transfer { route: stored, .. }) = self.op_mut(idx).kind.as_mut() {
                 *stored = r.clone();
             }
             r
@@ -1208,27 +1395,46 @@ impl<'p, K: SortKey> GpuSystem<'p, K> {
                         .map_or_else(String::new, |h| h.describe(&self.platform().topology))
                 );
             };
-            self.ops[idx].state = OpState::Retrying { at };
+            self.op_mut(idx).state = OpState::Retrying { at };
+            self.retry_heap.push(Reverse((at, idx)));
             return;
         };
         let flow = self.flows.start(&route, bytes);
-        self.ops[idx].state = OpState::Running {
-            flow: Some(flow),
-            ends: None,
-        };
+        self.flow_op.insert(flow, idx);
+        self.op_mut(idx).state = OpState::Running { ends: None };
     }
 
     fn complete_op(&mut self, idx: usize, t: SimTime) {
-        self.ops[idx].state = OpState::Done;
-        self.ops[idx].finished = Some(t);
+        {
+            let op = self.op_mut(idx);
+            op.state = OpState::Done;
+            op.finished = Some(t);
+        }
+        // Wake the dependents: each subscriber loses a blocker; a stream
+        // whose op may now be startable (this op's own successor, or a
+        // subscriber that just became unblocked) goes on the dirty list.
+        let stream = self.op(idx).stream.0;
+        self.mark_dirty(stream);
+        let subs = std::mem::take(&mut self.op_mut(idx).subs);
+        for sub in subs {
+            let op = self.op_mut(sub);
+            op.blockers -= 1;
+            if op.blockers == 0 {
+                let s = op.stream.0;
+                self.mark_dirty(s);
+            }
+        }
+        if self.log_completions {
+            self.completion_log.push(OpId(idx));
+        }
         if self.recorder.is_enabled() {
-            let op = &self.ops[idx];
-            let sid = op.stream.0;
+            let sid = self.op(idx).stream.0;
             while self.rec_stream_tracks.len() <= sid {
                 let n = self.rec_stream_tracks.len();
                 self.rec_stream_tracks
                     .push(self.recorder.track(groups::GPU, &format!("stream {n}")));
             }
+            let op = self.op(idx);
             self.recorder.span(
                 self.rec_stream_tracks[sid],
                 op.name,
@@ -1237,10 +1443,14 @@ impl<'p, K: SortKey> GpuSystem<'p, K> {
                 t.0,
             );
         }
-        let kind = self.ops[idx].kind.take().expect("op completes once");
+        let kind = self.op_mut(idx).kind.take().expect("op completes once");
         match kind {
             OpKind::Transfer { dst, len, .. } | OpKind::LocalCopy { dst, len, .. } => {
-                let staged = self.ops[idx].staged.take().expect("copy staged its source");
+                let staged = self
+                    .op_mut(idx)
+                    .staged
+                    .take()
+                    .expect("copy staged its source");
                 let dst_off = self.world.physical(dst.1);
                 let l = self.world.physical(len);
                 if l == 0 {

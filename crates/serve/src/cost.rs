@@ -121,16 +121,28 @@ pub fn estimate_job_cost(platform: &Platform, job: &SortJob, dt: DataType) -> Si
 /// progress — would couple admission to simulator internals).
 #[must_use]
 pub fn estimate_queue_wait(backlog: &[(SimDuration, usize)], active_gpus: usize) -> SimDuration {
+    let gang_ns: u128 = backlog
+        .iter()
+        .map(|&(cost, gpus)| u128::from(cost.0) * gpus as u128)
+        .sum();
+    estimate_queue_wait_ns(gang_ns, active_gpus)
+}
+
+/// [`estimate_queue_wait`] from a pre-accumulated backlog total, in
+/// **gang-nanoseconds** (Σ estimated cost × gang size). The total is an
+/// exact integer, so a counter maintained incrementally (+= on submit and
+/// dispatch, -= on completion) yields bit-identical waits to a fresh sum
+/// over the backlog — u128 addition is associative and commutative, which
+/// f64 accumulation is not. This is what lets the indexed service answer
+/// admission in O(1) and still mirror the reference exactly.
+#[must_use]
+pub fn estimate_queue_wait_ns(gang_ns: u128, active_gpus: usize) -> SimDuration {
     if active_gpus == 0 {
         // An all-leased-out elastic fleet: the caller scales up before
         // admitting, so report an empty queue rather than infinity.
         return SimDuration::ZERO;
     }
-    let gang_seconds: f64 = backlog
-        .iter()
-        .map(|&(cost, gpus)| cost.as_secs_f64() * gpus as f64)
-        .sum();
-    SimDuration::from_secs_f64(gang_seconds / active_gpus as f64)
+    SimDuration((gang_ns / active_gpus as u128) as u64)
 }
 
 /// Device memory footprint of `job`, in **logical keys per GPU** (the unit

@@ -30,7 +30,10 @@
 //!   co-scheduled jobs genuinely contend in the fluid-flow engine;
 //! * [`report`] — [`ServiceReport`]: per-job outcomes, per-tenant
 //!   throughput and fair-share error, queue-depth and fleet-size
-//!   timelines, goodput and SLO attainment, and p50/p95/p99 latency.
+//!   timelines, goodput and SLO attainment, and p50/p95/p99 latency;
+//! * [`reference`] — [`ReferenceService`]: the pre-indexing linear-scan
+//!   serve loop kept verbatim as a golden differential baseline for the
+//!   indexed [`SortService`] core.
 //!
 //! Everything is bit-reproducible: same workload seed, same
 //! configuration (including a [`msort_sim::FaultPlan`]) → the identical
@@ -53,6 +56,7 @@ pub mod cost;
 pub mod job;
 pub mod placement;
 pub mod queue;
+pub mod reference;
 pub mod report;
 pub mod service;
 pub mod workload;
@@ -61,6 +65,7 @@ pub use cost::{device_footprint_keys, estimate_job_cost, estimate_queue_wait};
 pub use job::{DeadlineClass, JobAlgo, SortJob, TenantId};
 pub use placement::PlacementPolicy;
 pub use queue::QueuePolicy;
+pub use reference::ReferenceService;
 pub use report::{JobOutcome, RejectReason, RejectedJob, ServiceReport, TenantStats};
 pub use service::{AdmissionPolicy, FleetPolicy, ServeConfig, SortService};
 pub use workload::{ArrivalProcess, JobMix, OpenLoop, TraceWorkload, Workload};

@@ -98,6 +98,31 @@ pub struct TenantStats {
     pub mean_latency: SimDuration,
 }
 
+/// Append `(at, value)` to a step-function timeline, deduplicating:
+/// a sample equal to the current level is dropped, and several
+/// transitions at one instant collapse to the final value (the
+/// intermediate levels never existed for any observer of the step
+/// function). Shared by the indexed service and the golden reference so
+/// both emit bit-identical timelines.
+pub(crate) fn push_step(log: &mut Vec<(SimTime, usize)>, at: SimTime, value: usize) {
+    if let Some(&(last_at, last_v)) = log.last() {
+        if last_v == value {
+            return;
+        }
+        if last_at == at {
+            log.pop();
+            // The pop may expose an equal predecessor (A → B → A within
+            // one instant): dropping the sample keeps the level at A.
+            if log.last().is_some_and(|&(_, v)| v == value) {
+                return;
+            }
+            log.push((at, value));
+            return;
+        }
+    }
+    log.push((at, value));
+}
+
 /// Everything one [`crate::SortService::run`] produced.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServiceReport {
@@ -111,11 +136,14 @@ pub struct ServiceReport {
     pub outcomes: Vec<JobOutcome>,
     /// Refused submissions in refusal order.
     pub rejected: Vec<RejectedJob>,
-    /// `(time, pending jobs)` sampled at every enqueue and dispatch.
+    /// `(time, pending jobs)` step function, recorded only when the value
+    /// changes (several same-instant transitions coalesce into the final
+    /// value), so million-job runs stay bounded by the number of *distinct*
+    /// depths visited, not the number of events.
     pub queue_depth: Vec<(SimTime, usize)>,
-    /// `(time, active GPUs)` sampled at every elastic lease change; a
-    /// fixed fleet logs one sample at t=0. Step function: each sample
-    /// holds until the next.
+    /// `(time, active GPUs)` step function, deduplicated the same way as
+    /// [`queue_depth`](Self::queue_depth); a fixed fleet logs one sample
+    /// at t=0. Each sample holds until the next.
     pub fleet_size: Vec<(SimTime, usize)>,
     /// Clock value when the last job completed.
     pub makespan: SimTime,
@@ -523,5 +551,27 @@ mod tests {
         let r = report(vec![]);
         assert_eq!(r.throughput_mkeys(), 0.0);
         assert!(r.throughput_mkeys().is_finite());
+    }
+
+    #[test]
+    fn push_step_dedupes_levels_and_instants() {
+        let t = |ms| SimTime::ZERO + SimDuration::from_millis(ms);
+        let mut log = Vec::new();
+        push_step(&mut log, t(0), 2);
+        push_step(&mut log, t(1), 2); // no change → dropped
+        push_step(&mut log, t(2), 5);
+        push_step(&mut log, t(2), 7); // same instant → overwritten
+        push_step(&mut log, t(3), 7); // no change → dropped
+        assert_eq!(log, vec![(t(0), 2), (t(2), 7)]);
+        // A → B → A within one instant leaves the level at A with no
+        // sample: the step function never changed.
+        let mut bounce = vec![(t(0), 2)];
+        push_step(&mut bounce, t(4), 9);
+        push_step(&mut bounce, t(4), 2);
+        assert_eq!(bounce, vec![(t(0), 2)]);
+        // A fresh log records its first sample whatever it is.
+        let mut fresh = Vec::new();
+        push_step(&mut fresh, t(0), 0);
+        assert_eq!(fresh, vec![(t(0), 0)]);
     }
 }

@@ -25,22 +25,34 @@
 //!
 //! The pre-redesign closed-list entry point survives as a deprecated shim:
 //! `run(arrivals)` is exactly `serve(TraceWorkload::new(arrivals))`.
+//!
+//! Internally the loop is built for million-job runs: the pending queue is
+//! an [`IndexedQueue`] (per-policy heaps / an ordered tenant-credit index)
+//! answering "who runs next" in O(log n), SLO admission reads an
+//! incrementally maintained backlog gang-nanosecond counter instead of
+//! re-collecting the backlog, the free-GPU set is a maintained count, job
+//! wakeups ride the [`GpuSystem`] op-completion log instead of rescanning
+//! every running job's wait list, and job inputs are generated into a
+//! reused scratch pool. The pre-index linear-scan loop survives verbatim
+//! as [`crate::reference::ReferenceService`], and a differential test
+//! proves both produce bit-identical [`ServiceReport`]s.
 
-use crate::cost::{device_footprint_keys, estimate_job_cost, estimate_queue_wait};
+use crate::cost::{device_footprint_keys, estimate_job_cost, estimate_queue_wait_ns};
 use crate::job::{DeadlineClass, JobAlgo, SortJob, TenantId};
 use crate::placement::PlacementPolicy;
-use crate::queue::{QueuePolicy, QueueView};
-use crate::report::{JobOutcome, RejectReason, RejectedJob, ServiceReport};
+use crate::queue::{IndexedQueue, QueuePolicy, QueueView};
+use crate::report::{push_step, JobOutcome, RejectReason, RejectedJob, ServiceReport};
 use crate::workload::{TraceWorkload, Workload};
 use msort_core::{
     DriverStep, HetConfig, HetDriver, MwmsConfig, MwmsDriver, P2pConfig, P2pDriver, RpConfig,
     RpDriver, RunConfig, SampleSortConfig, SampleSortDriver, SortDriver,
 };
-use msort_data::{generate, is_sorted, same_multiset, SortKey};
+use msort_data::{generate_into, is_sorted, same_multiset, SortKey};
 use msort_gpu::{Fidelity, GpuSystem, OpId};
 use msort_sim::{FaultPlan, SimDuration, SimTime};
 use msort_topology::Platform;
 use msort_trace::{groups, ArgValue, Recorder, TrackId};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// What the service does with a feasible submission whose latency budget
 /// is in doubt.
@@ -222,13 +234,11 @@ impl Default for ServeConfig {
     }
 }
 
-/// A queued job.
+/// A queued job's payload (policy-visible fields live in its
+/// [`QueueView`] inside the [`IndexedQueue`]).
 struct Pending {
-    seq: u64,
     at: SimTime,
     job: SortJob,
-    cost: SimDuration,
-    deadline: Option<SimTime>,
 }
 
 /// A job holding a gang lease.
@@ -244,10 +254,20 @@ struct Running<K: SortKey> {
     cost: SimDuration,
     input: Vec<K>,
     driver: Box<dyn SortDriver<K>>,
+    /// Ops of the current phase still outstanding at registration time
+    /// (kept for frontier collection; completed entries are skipped there).
     wait: Vec<OpId>,
+    /// How many of `wait` have not yet completed. Maintained by
+    /// op-completion wakeups; the job is steppable at zero.
+    outstanding: usize,
     /// Per-job trace track (dummy when the recorder is disabled).
     track: TrackId,
 }
+
+/// Upper bound on pooled input-generation buffers. Two per concurrently
+/// running job covers the steady state (every finish returns two); the cap
+/// only matters for pathological burst shapes.
+const SCRATCH_POOL_CAP: usize = 32;
 
 struct TenantEntry {
     id: TenantId,
@@ -274,11 +294,38 @@ pub struct SortService<'p, K: SortKey> {
     active: Vec<bool>,
     /// When each slot last became idle (lease released or slot activated).
     idle_since: Vec<SimTime>,
+    /// #(active ∧ ¬leased) — maintained so queued-heavy dispatch attempts
+    /// bail in O(1) instead of re-collecting the free set.
+    free_count: usize,
+    /// #active, maintained alongside `active`.
+    active_count: usize,
+    /// #leased, maintained alongside `leased`.
+    leased_count: usize,
+    /// Reused buffer for the free-GPU list handed to placement.
+    free_scratch: Vec<usize>,
     rr_cursor: usize,
     tenants: Vec<TenantEntry>,
     tenant_slos: Vec<(TenantId, SimDuration)>,
-    pending: Vec<Pending>,
-    running: Vec<Running<K>>,
+    /// The indexed pending queue: O(log n) pick under every policy.
+    queue: IndexedQueue<Pending>,
+    /// Σ gang size over pending jobs (the elastic fleet-target demand).
+    queued_gpus: usize,
+    /// Σ estimated cost × gang size over pending **and** running jobs, in
+    /// gang-nanoseconds — the O(1) backlog feed for SLO admission.
+    backlog_gang_ns: u128,
+    /// Running jobs keyed by dispatch order, so iteration (frontier
+    /// collection, ready stepping) follows the same order the linear
+    /// running-list scan visited them in.
+    running: BTreeMap<u64, Running<K>>,
+    next_run_key: u64,
+    /// In-flight wait op → the dispatch key of the job waiting on it.
+    op_waiters: HashMap<OpId, u64>,
+    /// Jobs whose wait set has fully drained, in dispatch order.
+    ready: BTreeSet<u64>,
+    /// Drain scratch for the op-completion log.
+    completions: Vec<OpId>,
+    /// Pooled input-generation buffers (see [`SCRATCH_POOL_CAP`]).
+    scratch: Vec<Vec<K>>,
     next_seq: u64,
     outcomes: Vec<JobOutcome>,
     rejected: Vec<RejectedJob>,
@@ -296,7 +343,13 @@ impl<'p, K: SortKey> SortService<'p, K> {
     /// contains duplicates, or is smaller than an elastic `min_gpus`.
     #[must_use]
     pub fn new(platform: &'p Platform, config: ServeConfig) -> Self {
-        let sys = config.run.build_system(platform);
+        let mut sys = config.run.build_system(platform);
+        // The serve loop never reads per-op history, so completed ops are
+        // reclaimed as the clock drains them (memory stays at the live
+        // window over a million-job run), and op completions are logged so
+        // job wakeups are O(completions) instead of a wait-list rescan.
+        sys.set_op_reclaim(true);
+        sys.set_completion_log(true);
         let mut fleet = config
             .fleet
             .unwrap_or_else(|| (0..platform.topology.gpu_count()).collect());
@@ -345,7 +398,6 @@ impl<'p, K: SortKey> SortService<'p, K> {
             (TrackId(u32::MAX), TrackId(u32::MAX))
         };
         let initial = active.iter().filter(|&&a| a).count();
-        recorder.counter(fleet_track, "active_gpus", 0, initial as f64);
         Self {
             sys,
             recorder,
@@ -359,11 +411,22 @@ impl<'p, K: SortKey> SortService<'p, K> {
             fleet,
             leased,
             active,
+            free_count: initial,
+            active_count: initial,
+            leased_count: 0,
+            free_scratch: Vec::new(),
             rr_cursor: 0,
             tenants,
             tenant_slos,
-            pending: Vec::new(),
-            running: Vec::new(),
+            queue: IndexedQueue::new(config.policy),
+            queued_gpus: 0,
+            backlog_gang_ns: 0,
+            running: BTreeMap::new(),
+            next_run_key: 0,
+            op_waiters: HashMap::new(),
+            ready: BTreeSet::new(),
+            completions: Vec::new(),
+            scratch: Vec::new(),
             next_seq: 0,
             outcomes: Vec::new(),
             rejected: Vec::new(),
@@ -404,13 +467,18 @@ impl<'p, K: SortKey> SortService<'p, K> {
                     break;
                 }
             }
-            if self.running.is_empty() && self.pending.is_empty() && next.is_none() {
+            if self.running.is_empty() && self.queue.is_empty() && next.is_none() {
                 break;
             }
+            // The running set is bounded by the fleet (gang leases are
+            // exclusive), so collecting the undone frontier is O(fleet),
+            // not O(offered jobs). Completed waits must be filtered here:
+            // `run_until` returns immediately on an already-done op.
             let frontier: Vec<OpId> = self
                 .running
-                .iter()
+                .values()
                 .flat_map(|r| r.wait.iter().copied())
+                .filter(|&o| !self.sys.op_done(o))
                 .collect();
             let mut deadline = next.as_ref().map(|&(t, _)| t);
             if let Some(release) = self.next_release_time() {
@@ -419,11 +487,27 @@ impl<'p, K: SortKey> SortService<'p, K> {
             assert!(
                 !frontier.is_empty() || deadline.is_some(),
                 "sort service stalled: {} queued jobs but nothing runnable",
-                self.pending.len()
+                self.queue.len()
             );
             self.sys.run_until(&frontier, deadline);
+            self.absorb_completions();
         }
         self.into_report()
+    }
+
+    /// Route every op completion recorded since the last clock advance to
+    /// the job waiting on it; jobs whose wait set drained become ready.
+    fn absorb_completions(&mut self) {
+        self.sys.drain_completions(&mut self.completions);
+        for op in self.completions.drain(..) {
+            if let Some(key) = self.op_waiters.remove(&op) {
+                let r = self.running.get_mut(&key).expect("waiter is running");
+                r.outstanding -= 1;
+                if r.outstanding == 0 {
+                    self.ready.insert(key);
+                }
+            }
+        }
     }
 
     /// Execute an explicit arrival list to completion and report.
@@ -536,7 +620,7 @@ impl<'p, K: SortKey> SortService<'p, K> {
             self.reject(seq, job.tenant, at, RejectReason::Infeasible(why));
             return;
         }
-        if self.pending.len() >= self.max_queue_depth {
+        if self.queue.len() >= self.max_queue_depth {
             self.reject(seq, job.tenant, at, RejectReason::QueueFull);
             return;
         }
@@ -561,14 +645,10 @@ impl<'p, K: SortKey> SortService<'p, K> {
                 // over the *maximum* fleet (an elastic fleet scales up
                 // before the backlog drains, so admission assumes it
                 // will). Optimism sheds conservatively: a shed job truly
-                // had no chance.
-                let backlog: Vec<(SimDuration, usize)> = self
-                    .pending
-                    .iter()
-                    .map(|p| (p.cost, p.job.gpus))
-                    .chain(self.running.iter().map(|r| (r.cost, r.gang.len())))
-                    .collect();
-                let wait = estimate_queue_wait(&backlog, self.fleet.len());
+                // had no chance. The backlog total is the incrementally
+                // maintained gang-ns counter — O(1), bit-identical to a
+                // fresh sum (exact integer arithmetic).
+                let wait = estimate_queue_wait_ns(self.backlog_gang_ns, self.fleet.len());
                 if self.sys.now() + wait + cost > deadline {
                     self.reject(
                         seq,
@@ -582,27 +662,24 @@ impl<'p, K: SortKey> SortService<'p, K> {
                 }
             }
         }
-        self.pending.push(Pending {
+        self.backlog_gang_ns += u128::from(cost.0) * job.gpus as u128;
+        self.queued_gpus += job.gpus;
+        let view = QueueView {
             seq,
-            at,
-            job,
+            tenant: job.tenant,
             cost,
+            interactive: job.deadline == DeadlineClass::Interactive,
             deadline,
-        });
-        self.queue_depth.push((self.sys.now(), self.pending.len()));
-    }
-
-    fn active_gpu_count(&self) -> usize {
-        self.active.iter().filter(|&&a| a).count()
+        };
+        self.queue.push(view, Pending { at, job });
+        push_step(&mut self.queue_depth, self.sys.now(), self.queue.len());
     }
 
     /// Demand-driven active-set target for an elastic fleet: enough GPUs
     /// for every leased gang plus every queued gang, clamped to
-    /// `[min_gpus, fleet]`.
+    /// `[min_gpus, fleet]`. Both terms are maintained counters.
     fn fleet_target(&self, min_gpus: usize) -> usize {
-        let leased = self.leased.iter().filter(|&&l| l).count();
-        let queued: usize = self.pending.iter().map(|p| p.job.gpus).sum();
-        (leased + queued).clamp(min_gpus, self.fleet.len())
+        (self.leased_count + self.queued_gpus).clamp(min_gpus, self.fleet.len())
     }
 
     /// One elastic resize pass. Returns `true` if the active set changed.
@@ -616,36 +693,37 @@ impl<'p, K: SortKey> SortService<'p, K> {
         };
         let now = self.sys.now();
         let target = self.fleet_target(min_gpus);
-        let before = self.active_gpu_count();
-        let mut count = before;
+        let before = self.active_count;
         // Scale up immediately — a burst must not queue behind a timer.
         // Lowest slot first, mirrored by highest-first release below, so
         // the fleet grows and shrinks from opposite ends deterministically.
         for i in 0..self.active.len() {
-            if count >= target {
+            if self.active_count >= target {
                 break;
             }
             if !self.active[i] {
                 self.active[i] = true;
                 self.idle_since[i] = now;
-                count += 1;
+                self.active_count += 1;
+                // An inactive slot is never leased, so it goes straight to
+                // the free pool.
+                self.free_count += 1;
             }
         }
         for i in (0..self.active.len()).rev() {
-            if count <= target {
+            if self.active_count <= target {
                 break;
             }
             if self.active[i] && !self.leased[i] && now.since(self.idle_since[i]) >= idle_release {
                 self.active[i] = false;
-                count -= 1;
+                self.active_count -= 1;
+                self.free_count -= 1;
             }
         }
-        if count == before {
+        if self.active_count == before {
             return false;
         }
-        self.fleet_log.push((now, count));
-        self.recorder
-            .counter(self.fleet_track, "active_gpus", now.0, count as f64);
+        push_step(&mut self.fleet_log, now, self.active_count);
         true
     }
 
@@ -660,7 +738,7 @@ impl<'p, K: SortKey> SortService<'p, K> {
         else {
             return None;
         };
-        if self.active_gpu_count() <= self.fleet_target(min_gpus) {
+        if self.active_count <= self.fleet_target(min_gpus) {
             return None;
         }
         (0..self.fleet.len())
@@ -669,25 +747,23 @@ impl<'p, K: SortKey> SortService<'p, K> {
             .min()
     }
 
-    fn free_gpus(&self) -> Vec<usize> {
-        self.fleet
-            .iter()
-            .enumerate()
-            .filter(|&(i, _)| self.active[i] && !self.leased[i])
-            .map(|(_, &g)| g)
-            .collect()
-    }
-
     fn set_leased(&mut self, gang: &[usize], leased: bool) {
         let now = self.sys.now();
         for &g in gang {
             let i = self
                 .fleet
-                .iter()
-                .position(|&f| f == g)
+                .binary_search(&g)
                 .expect("gang GPUs come from the fleet");
+            debug_assert_ne!(self.leased[i], leased, "lease transitions are exact");
             self.leased[i] = leased;
-            if !leased {
+            // Leased slots are always active, so every lease transition
+            // moves the slot in or out of the free pool.
+            if leased {
+                self.leased_count += 1;
+                self.free_count -= 1;
+            } else {
+                self.leased_count -= 1;
+                self.free_count += 1;
                 self.idle_since[i] = now;
             }
         }
@@ -695,34 +771,27 @@ impl<'p, K: SortKey> SortService<'p, K> {
 
     /// Dispatch head-of-line jobs while the policy's next pick is
     /// placeable. Returns `true` if anything was dispatched.
+    ///
+    /// The pick is one indexed lookup; when the maintained free count
+    /// can't cover the gang (the overload steady state) the attempt costs
+    /// O(log n) total, with no queue rebuild and no free-set re-collect.
     fn try_dispatch(&mut self) -> bool {
         let mut any = false;
-        loop {
-            let views: Vec<QueueView> = self
-                .pending
-                .iter()
-                .map(|p| QueueView {
-                    seq: p.seq,
-                    tenant: p.job.tenant,
-                    cost: p.cost,
-                    interactive: p.job.deadline == DeadlineClass::Interactive,
-                    deadline: p.deadline,
-                })
-                .collect();
-            let tenants = &self.tenants;
-            let credit = |t: TenantId| -> f64 {
-                tenants
-                    .binary_search_by_key(&t, |e| e.id)
-                    .map_or(0.0, |i| tenants[i].credit)
-            };
-            let Some(i) = self.policy.pick(&views, &credit) else {
-                break;
-            };
-            let g = self.pending[i].job.gpus;
-            let free = self.free_gpus();
-            if free.len() < g {
+        while let Some(seq) = self.queue.pick() {
+            let (_, pending) = self.queue.get(seq).expect("picked entry is live");
+            let g = pending.job.gpus;
+            if self.free_count < g {
                 break;
             }
+            let mut free = std::mem::take(&mut self.free_scratch);
+            free.clear();
+            free.extend(
+                self.fleet
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| self.active[i] && !self.leased[i])
+                    .map(|(_, &gpu)| gpu),
+            );
             let mut cursor = self.rr_cursor;
             let placed = self.placement.place(
                 self.sys.platform(),
@@ -731,10 +800,11 @@ impl<'p, K: SortKey> SortService<'p, K> {
                 g,
                 &mut cursor,
             );
+            self.free_scratch = free;
             let Some(gang) = placed else {
                 break;
             };
-            let need = device_footprint_keys(&self.pending[i].job, self.fidelity.scale())
+            let need = device_footprint_keys(&pending.job, self.fidelity.scale())
                 * K::DATA_TYPE.key_bytes();
             if gang
                 .iter()
@@ -743,17 +813,16 @@ impl<'p, K: SortKey> SortService<'p, K> {
                 break;
             }
             self.rr_cursor = cursor;
-            let Pending {
-                seq,
-                at,
-                job,
-                cost,
-                deadline,
-            } = self.pending.remove(i);
-            self.queue_depth.push((self.sys.now(), self.pending.len()));
-            let ti = self.tenant_index(job.tenant);
-            self.tenants[ti].credit += cost.as_secs_f64() / self.tenants[ti].weight;
-            self.dispatch(seq, at, job, cost, deadline, gang);
+            let (view, pending) = self.queue.remove(seq).expect("picked entry is live");
+            self.queued_gpus -= g;
+            push_step(&mut self.queue_depth, self.sys.now(), self.queue.len());
+            let ti = self.tenant_index(view.tenant);
+            self.tenants[ti].credit += view.cost.as_secs_f64() / self.tenants[ti].weight;
+            // Mirror the charge into the queue's ordered credit index —
+            // the tenant table stays authoritative, the index follows it.
+            let credit = self.tenants[ti].credit;
+            self.queue.set_credit(view.tenant, credit);
+            self.dispatch(seq, pending.at, pending.job, view.cost, view.deadline, gang);
             any = true;
         }
         any
@@ -772,8 +841,15 @@ impl<'p, K: SortKey> SortService<'p, K> {
     ) {
         let scale = self.fidelity.scale();
         let phys = (job.keys / scale) as usize;
-        let data: Vec<K> = generate(job.dist, phys, job.seed);
-        let input = data.clone();
+        // Inputs are generated into pooled buffers: the driver consumes
+        // `data` and `input` rides along for end-of-job validation, and
+        // both come back to the pool in `finish`, so a million-job run
+        // reuses a handful of allocations instead of making two per job.
+        let mut data = self.scratch.pop().unwrap_or_default();
+        generate_into(job.dist, phys, job.seed, &mut data);
+        let mut input = self.scratch.pop().unwrap_or_default();
+        input.clear();
+        input.extend_from_slice(&data);
         self.set_leased(&gang, true);
         let driver: Box<dyn SortDriver<K>> = match job.algo {
             JobAlgo::P2p => {
@@ -838,44 +914,71 @@ impl<'p, K: SortKey> SortService<'p, K> {
             input,
             driver,
             wait: Vec::new(),
+            outstanding: 0,
             track,
         };
-        self.running.push(running);
-        let idx = self.running.len() - 1;
-        match self.running[idx].driver.step(&mut self.sys) {
-            DriverStep::Wait(ops) => self.running[idx].wait = ops,
+        let key = self.next_run_key;
+        self.next_run_key += 1;
+        self.running.insert(key, running);
+        self.step_one(key);
+    }
+
+    /// Step one running job and route the result: register its next wait
+    /// set, or finish it.
+    fn step_one(&mut self, key: u64) {
+        let step = self
+            .running
+            .get_mut(&key)
+            .expect("stepping a live job")
+            .driver
+            .step(&mut self.sys);
+        match step {
+            DriverStep::Wait(ops) => self.register_waits(key, ops),
             DriverStep::Done => {
-                let r = self.running.remove(idx);
+                let r = self.running.remove(&key).expect("finishing a live job");
                 self.finish(r);
             }
         }
     }
 
-    /// Step every running job whose wait-set has fully drained. Returns
-    /// `true` if any job advanced (or finished).
-    fn step_ready(&mut self) -> bool {
-        let mut progressed = false;
-        let mut i = 0;
-        while i < self.running.len() {
-            let sys = &self.sys;
-            self.running[i].wait.retain(|&o| !sys.op_done(o));
-            if !self.running[i].wait.is_empty() {
-                i += 1;
+    /// Record a job's next wait set. Ops already complete don't count; a
+    /// job whose whole set is already complete goes straight back on the
+    /// ready list (it is stepped again on the *next* pass, exactly when
+    /// the linear scan's next `retain` sweep would have caught it).
+    fn register_waits(&mut self, key: u64, ops: Vec<OpId>) {
+        let mut wait = std::mem::take(&mut self.running.get_mut(&key).expect("live job").wait);
+        wait.clear();
+        for op in ops {
+            if self.sys.op_done(op) {
                 continue;
             }
-            progressed = true;
-            match self.running[i].driver.step(&mut self.sys) {
-                DriverStep::Wait(ops) => {
-                    self.running[i].wait = ops;
-                    i += 1;
-                }
-                DriverStep::Done => {
-                    let r = self.running.remove(i);
-                    self.finish(r);
-                }
-            }
+            self.op_waiters.insert(op, key);
+            wait.push(op);
         }
-        progressed
+        let outstanding = wait.len();
+        let r = self.running.get_mut(&key).expect("live job");
+        r.wait = wait;
+        r.outstanding = outstanding;
+        if outstanding == 0 {
+            self.ready.insert(key);
+        }
+    }
+
+    /// Step every job whose wait set has drained, in dispatch order —
+    /// driven by op-completion wakeups, not a wait-list rescan. Returns
+    /// `true` if any job advanced (or finished).
+    fn step_ready(&mut self) -> bool {
+        if self.ready.is_empty() {
+            return false;
+        }
+        // One batch per pass: a job that re-arms into an already-complete
+        // wait set lands back in `ready` for the next pass, mirroring the
+        // reference's one-sweep-per-call semantics.
+        let batch = std::mem::take(&mut self.ready);
+        for key in batch {
+            self.step_one(key);
+        }
+        true
     }
 
     /// Validate, release, and record a completed job.
@@ -885,6 +988,9 @@ impl<'p, K: SortKey> SortService<'p, K> {
             r.driver.validated() && is_sorted(&output) && same_multiset(&r.input, &output);
         r.driver.release(&mut self.sys);
         self.set_leased(&r.gang, false);
+        // The job's gang-seconds leave the backlog the moment it retires —
+        // the same exact-integer quantum `submit` added.
+        self.backlog_gang_ns -= u128::from(r.cost.0) * r.gang.len() as u128;
         if self.recorder.is_enabled() {
             let end = self.sys.now();
             // "job" (submitted → finished) encloses "queued" and
@@ -909,9 +1015,27 @@ impl<'p, K: SortKey> SortService<'p, K> {
             deadline: r.deadline,
             validated,
         });
+        self.recycle(output);
+        self.recycle(r.input);
+    }
+
+    /// Return a key buffer to the input-generation scratch pool. The pool
+    /// is capped so an idle service doesn't pin gang-sized allocations.
+    fn recycle(&mut self, buf: Vec<K>) {
+        if self.scratch.len() < SCRATCH_POOL_CAP && buf.capacity() > 0 {
+            self.scratch.push(buf);
+        }
     }
 
     fn into_report(self) -> ServiceReport {
+        // Counter samples are emitted from the deduplicated fleet log (one
+        // per recorded change), so the trace mirrors the report exactly.
+        if self.recorder.is_enabled() {
+            for &(at, n) in &self.fleet_log {
+                self.recorder
+                    .counter(self.fleet_track, "active_gpus", at.0, n as f64);
+            }
+        }
         let makespan = self
             .outcomes
             .iter()
@@ -1165,16 +1289,18 @@ mod tests {
         assert_eq!(report.outcomes.len(), 4);
         assert!(report.all_validated());
         let sizes: Vec<usize> = report.fleet_size.iter().map(|&(_, n)| n).collect();
-        assert_eq!(sizes[0], 2, "starts at min_gpus");
-        assert_eq!(
-            sizes.iter().copied().max(),
-            Some(6),
-            "burst demand leases the fleet up to 3 gangs"
-        );
+        // The min_gpus floor entry and the burst's same-instant scale-up
+        // collapse into one deduplicated sample: the fleet held 2 GPUs for
+        // zero simulated time before the t=0 burst leased it up to 6.
+        assert_eq!(sizes[0], 6, "burst demand leases the fleet up to 3 gangs");
         assert_eq!(
             *sizes.last().unwrap(),
             2,
             "idle GPUs are released back to min_gpus"
+        );
+        assert!(
+            report.fleet_size.windows(2).all(|w| w[0].1 != w[1].1),
+            "the deduplicated timeline never repeats a value"
         );
         // The burst ran concurrently (scale-up worked), and the release
         // happened at the hysteresis expiry, not a job edge.
